@@ -1,0 +1,30 @@
+"""E-BS: Section V-A -- the block-size design choice.
+
+Paper: "The block size for CUSZP2 is 32 since we find this is the overall
+best choice in balancing high throughput and high compression ratio."
+This bench sweeps L in {8, 16, 32, 64, 128} and asserts that trade-off
+shape: small blocks pay per-block overhead (offset bytes + bookkeeping),
+large blocks dilute the fixed length and slow the per-thread encode loop.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_block_size_tradeoff(benchmark, save_result):
+    result = run_once(benchmark, E.ablation_block_size)
+    save_result(result)
+    d = result.data
+
+    balance = {L: v["ratio"] * v["throughput"] for L, v in d.items()}
+    # 32 maximizes the ratio-throughput balance (the paper's choice).
+    assert max(balance, key=balance.get) == 32
+
+    # The trade-off's two cliffs exist:
+    assert d[128]["ratio"] < d[32]["ratio"]  # big blocks hurt ratio
+    assert d[8]["throughput"] < d[32]["throughput"]  # small blocks hurt speed
+
+    # Ratio is unimodal-ish: both extremes below the middle.
+    mid = max(d[16]["ratio"], d[32]["ratio"])
+    assert d[8]["ratio"] < mid or d[128]["ratio"] < mid

@@ -1,0 +1,60 @@
+"""E-EB: Section V-B -- throughput as a function of the error bound.
+
+Paper: "since larger error bounds create more zero data blocks, increasing
+error bounds (e.g. from REL 1E-4 to REL 1E-2) in CUSZP2 leads to higher
+throughput."  The mechanism is emergent in this reproduction: a larger
+bound yields a higher measured ratio (and more zero blocks), hence fewer
+payload bytes to produce, store, and (on the way back) parse.
+"""
+
+import numpy as np
+
+from repro.gpusim import A100_40GB
+from repro.harness import run_field, simulate
+from repro.harness import tables
+
+from conftest import RESULTS_DIR
+
+RELS = (1e-4, 1e-3, 1e-2)
+FIELDS = [("RTM", "P2000"), ("CESM-ATM", "FLDS"), ("NYX", "temperature"), ("JetIn", "jet")]
+
+
+def _sweep():
+    rows = []
+    per_field = {}
+    for ds, field in FIELDS:
+        series = []
+        for rel in RELS:
+            run = run_field(ds, field, "cuszp2-o", rel)
+            series.append(
+                (
+                    rel,
+                    run.ratio,
+                    run.artifacts.zero_block_fraction,
+                    simulate(run, A100_40GB, "compress"),
+                    simulate(run, A100_40GB, "decompress"),
+                )
+            )
+            rows.append((f"{ds}/{field}", *series[-1]))
+        per_field[(ds, field)] = series
+    return rows, per_field
+
+
+def test_larger_bounds_run_faster(benchmark, results_dir):
+    rows, per_field = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = tables.series_table(
+        "Sec. V-B: throughput vs error bound (CUSZP2-O)",
+        rows,
+        ("field", "REL", "ratio", "zero frac", "compress GB/s", "decompress GB/s"),
+    )
+    (results_dir / "bound_sensitivity.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    for (ds, field), series in per_field.items():
+        rels, ratios, zfracs, comps, decomps = zip(*series)
+        # Ratio and zero-block fraction grow with the bound...
+        assert ratios[0] < ratios[1] < ratios[2], (ds, field)
+        assert zfracs[0] <= zfracs[1] <= zfracs[2], (ds, field)
+        # ...and so does throughput, in both directions.
+        assert comps[0] < comps[2], (ds, field)
+        assert decomps[0] < decomps[2], (ds, field)

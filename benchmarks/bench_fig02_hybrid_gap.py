@@ -1,0 +1,28 @@
+"""E-F2: Fig. 2 -- kernel vs end-to-end throughput of CPU-GPU hybrids.
+
+Paper reference points (A100): kernel throughput up to 177.48 GB/s while
+end-to-end spans only 0.32 (MGARD compression) to 1.79 GB/s (cuSZx
+compression).
+"""
+
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig02_kernel_vs_end_to_end(benchmark, save_result):
+    result = run_once(benchmark, E.fig02_hybrid_gap)
+    save_result(result)
+    d = result.data
+
+    # End-to-end throughput collapses to the paper's 0.3..2.5 GB/s band.
+    e2e = [d[f]["e2e_comp"] for f in ("cusz", "cuszx", "mgard")]
+    assert all(0.2 < v < 2.5 for v in e2e), e2e
+
+    # Kernel throughput stays 1-2 orders of magnitude higher.
+    for fam in ("cusz", "cuszx", "mgard"):
+        assert d[fam]["kernel_comp"] / d[fam]["e2e_comp"] > 20, fam
+
+    # Orderings: cuSZx is the fastest hybrid end-to-end, MGARD the slowest
+    # (paper: 1.79 vs 0.32 GB/s).
+    assert d["cuszx"]["e2e_comp"] > d["cusz"]["e2e_comp"] > d["mgard"]["e2e_comp"]

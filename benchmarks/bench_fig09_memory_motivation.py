@@ -1,0 +1,28 @@
+"""E-F9: Fig. 9 -- memory throughput of existing pure-GPU compressors.
+
+Paper reference (A100, RTM P3000): 159.95 GB/s (FZ-GPU) to 397.26 GB/s
+(cuSZp), all far below the 1555 GB/s DRAM capacity -- the motivation for
+cuSZp2's vectorized memory accesses.
+"""
+
+from repro.gpusim import A100_40GB
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig09_motivating_underutilization(benchmark, save_result):
+    result = run_once(benchmark, E.fig09_memory_motivation)
+    save_result(result)
+    series = result.data["series"]
+
+    # All existing pure-GPU compressors sit far below the DRAM peak.
+    for name, value in series.items():
+        assert value < 0.35 * A100_40GB.dram_bw, name
+
+    # cuSZp is the best of the three, FZ-GPU the worst (atomics).
+    assert series["cuSZp"] > series["cuZFP"] > series["FZ-GPU"]
+
+    # Levels land near the paper's measurements.
+    assert 100 < series["FZ-GPU"] < 220
+    assert 300 < series["cuSZp"] < 500

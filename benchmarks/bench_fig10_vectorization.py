@@ -1,0 +1,15 @@
+"""E-F10: Fig. 10 -- SASS memory-instruction reduction from float4
+vectorization (LD.E/ST.E x N  ->  LD.E.128/ST.E.128 x N/4)."""
+
+from repro.gpusim import vectorization_reduction
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig10_instruction_reduction(benchmark, save_result):
+    result = run_once(benchmark, E.fig10_vectorization, 4096)
+    save_result(result)
+    # The paper's exact claim: 4x fewer memory instructions.
+    assert result.data["scalar"] == 4 * result.data["vector"]
+    assert vectorization_reduction(1 << 20) == 4.0

@@ -1,0 +1,45 @@
+"""E-F14: Fig. 14 -- the main end-to-end throughput evaluation.
+
+Paper reference averages (A100): CUSZP2-P 334.91 / 538.27 GB/s and
+CUSZP2-O 329.94 / 597.29 GB/s for compression / decompression; other GPU
+compressors range 107.10 (cuZFP compression) to 188.74 GB/s (cuSZp
+decompression).  JetIn decompression exceeds 1 TB/s via the zero-block
+flush.  Observation I: ~2.85x cuZFP, ~2.11x FZ-GPU, ~2.03x cuSZp.
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig14_main_throughput(benchmark, save_result):
+    result = run_once(benchmark, E.fig14_throughput)
+    save_result(result)
+    avg = result.data["averages"]
+
+    # cuSZp2 averages land in the paper's band.
+    assert 250 < avg["compress"]["cuszp2-p"] < 450
+    assert 400 < avg["decompress"]["cuszp2-p"] < 750
+    assert 400 < avg["decompress"]["cuszp2-o"] < 800
+
+    # Observation I's speedups (who wins, by roughly what factor).
+    for baseline, lo, hi in (("cuszp", 1.4, 3.2), ("fzgpu", 1.4, 3.2), ("cuzfp", 2.0, 4.5)):
+        ratio = avg["compress"]["cuszp2-p"] / avg["compress"][baseline]
+        assert lo < ratio < hi, (baseline, ratio)
+
+    # Decompression beats compression for cuSZp2 (no sizing loop).
+    assert avg["decompress"]["cuszp2-p"] > avg["compress"]["cuszp2-p"]
+    assert avg["decompress"]["cuszp2-o"] > avg["compress"]["cuszp2-o"]
+
+    # JetIn decompression approaches/exceeds 1 TB/s (zero-block flush).
+    jet = result.data["decompress"]["JetIn"]
+    assert max(jet["cuszp2-p"], jet["cuszp2-o"]) > 800
+
+    # Every dataset: cuSZp2 compresses faster than every baseline.
+    for ds, series in result.data["compress"].items():
+        ours = max(series["cuszp2-p"], series["cuszp2-o"])
+        for baseline in ("cuszp", "fzgpu", "cuzfp"):
+            if np.isfinite(series[baseline]):
+                assert ours > series[baseline], (ds, baseline)

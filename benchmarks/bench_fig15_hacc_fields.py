@@ -1,0 +1,28 @@
+"""E-F15: Fig. 15 -- CUSZP2-O vs CUSZP2-P on the six HACC fields.
+
+Paper reference: on the smooth position fields (xx/yy/zz) Outlier mode
+achieves ~2x the ratio of Plain mode and therefore *higher* throughput
+despite doing more work (e.g. xx: 380.36 O vs 315.64 P GB/s compression);
+on the velocity fields the two modes are close.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig15_outlier_vs_plain_on_hacc(benchmark, save_result):
+    result = run_once(benchmark, E.fig15_hacc_fields)
+    save_result(result)
+    d = result.data
+
+    for pos in ("xx", "yy", "zz"):
+        # ~2x compression-ratio advantage on smooth position fields...
+        assert d[pos]["cr_o"] / d[pos]["cr_p"] > 1.6, pos
+        # ...which translates into higher throughput for Outlier mode.
+        assert d[pos]["comp_o"] > d[pos]["comp_p"], pos
+        assert d[pos]["decomp_o"] > d[pos]["decomp_p"], pos
+
+    for vel in ("vx", "vy", "vz"):
+        # Velocity fields are rough: modes nearly tie in ratio.
+        assert d[vel]["cr_o"] / d[vel]["cr_p"] < 1.3, vel

@@ -1,0 +1,27 @@
+"""E-F16: Fig. 16 -- memory-bandwidth utilization across all datasets.
+
+Paper reference (A100, Nsight): CUSZP2-P 1175.34 and CUSZP2-O 1103.45 GB/s
+mean memory throughput, approaching the 1555 GB/s limit; baselines range
+134.10 (FZ-GPU) to 410.90 GB/s (cuSZp).
+"""
+
+from repro.gpusim import A100_40GB
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig16_bandwidth_utilization(benchmark, save_result):
+    result = run_once(benchmark, E.fig16_memory_bandwidth)
+    save_result(result)
+    mean = result.data["mean"]
+
+    # cuSZp2 approaches the hardware limit...
+    for ours in ("cuszp2-p", "cuszp2-o"):
+        assert mean[ours] > 0.55 * A100_40GB.dram_bw, ours
+    # ...while every baseline stays far below it.
+    for baseline in ("cuszp", "fzgpu", "cuzfp-8"):
+        assert mean[baseline] < 0.40 * A100_40GB.dram_bw, baseline
+
+    # Fig. 16's ordering.
+    assert mean["cuszp2-p"] > mean["cuszp"] > mean["cuzfp-8"] > mean["fzgpu"]

@@ -1,0 +1,29 @@
+"""E-F19: Fig. 19 -- double-precision throughput.
+
+Paper reference (A100): CUSZP2-P 612.83 / 780.33 GB/s and CUSZP2-O
+628.54 / 809.71 GB/s (compression/decompression), ~2x the single-precision
+figures because the per-element conversion cost is spread over twice the
+bytes.
+"""
+
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig19_double_precision_throughput(benchmark, save_result):
+    result = run_once(benchmark, E.fig19_double_precision)
+    save_result(result)
+
+    # Average double-precision compression in the paper's band.
+    assert 450 < result.data["avg_compress"] < 900
+    assert 550 < result.data["avg_decompress"] < 1300
+
+    # ~2x the single-precision average (Section VI-A's headline).
+    f32 = E.fig14_throughput(datasets=("RTM", "Miranda"))  # quick f32 reference
+    f32_avg = f32.data["averages"]["compress"]["cuszp2-p"]
+    ratio = result.data["avg_compress"] / f32_avg
+    assert 1.4 < ratio < 2.6, ratio
+
+    # Decompression still beats compression.
+    assert result.data["avg_decompress"] > result.data["avg_compress"]

@@ -1,0 +1,43 @@
+"""E-F20: Fig. 20 -- random access to one arbitrary compressed block.
+
+Paper reference (A100, REL 1e-4): 1010.07 GB/s average normalized
+throughput ("TB-level"), ranging 793.14 (SCALE) to 1305.32 GB/s (JetIn).
+Our model omits per-SM scheduling overheads the measurement includes, so
+absolute numbers land higher; the TB-level claim and the sparse-datasets-
+are-faster ordering are preserved (EXPERIMENTS.md discusses the gap).
+"""
+
+import numpy as np
+
+from repro import RandomAccessor, compress, decompress
+from repro.datasets import get_dataset
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_fig20_random_access_throughput(benchmark, save_result):
+    result = run_once(benchmark, E.fig20_random_access)
+    save_result(result)
+    series = result.data["series"]
+
+    # TB-level normalized throughput on every dataset.
+    for ds, v in series.items():
+        assert v > 1000, ds
+
+    # Sparse datasets (zero fast path) access fastest.
+    assert series["JetIn"] == max(v for k, v in series.items() if k != "AVERAGE")
+
+
+def test_fig20_functional_random_access_correct():
+    """The functional counterpart: a random block decodes identically to
+    full decompression for a real dataset field."""
+    ds = get_dataset("RTM")
+    data = ds.fields[2].generate(ds.dtype)
+    buf = compress(data.reshape(-1), rel=1e-4, mode="outlier")
+    full = decompress(buf)
+    ra = RandomAccessor(buf)
+    rng = np.random.default_rng(0)
+    for idx in rng.choice(ra.nblocks, size=16, replace=False):
+        lo = int(idx) * ra.block
+        assert np.array_equal(ra.decode_block(int(idx)), full[lo : lo + ra.block])

@@ -1,0 +1,21 @@
+"""E-T1: Table I -- the design-feature matrix of GPU lossy compressors."""
+
+from repro.harness import experiments as E
+
+from conftest import run_once
+
+
+def test_table1_feature_matrix(benchmark, save_result):
+    result = run_once(benchmark, E.table1_features)
+    save_result(result)
+    feats = result.data["features"]
+    # cuSZp2 is the only compressor with every design property.
+    full = [name for name, f in feats.items() if all(v for v in f.values())]
+    assert full == ["CUSZP2"]
+    # FZ-GPU and cuSZp are pure-GPU but lack latency control (Table I).
+    for name in ("FZ-GPU", "cuSZp"):
+        assert feats[name]["Pure GPU Design?"] is True
+        assert feats[name]["Latency Control?"] is False
+    # The hybrids are not pure GPU.
+    for name in ("cuSZ", "MGARD-GPU", "cuSZx"):
+        assert feats[name]["Pure GPU Design?"] is False

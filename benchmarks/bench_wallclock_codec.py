@@ -1,0 +1,65 @@
+"""E-WC: wall-clock speed of the functional NumPy codecs (engineering
+benchmark -- no paper counterpart; the paper's GB/s figures are simulated
+device throughput, these are this library's real speeds)."""
+
+import numpy as np
+import pytest
+
+from repro import compress, decompress
+from repro.baselines import FZGPU
+from repro.core.quantize import ErrorBound
+from repro.datasets import get_dataset
+
+N = 1 << 22  # 4M elements / 16 MiB
+
+
+@pytest.fixture(scope="module")
+def field():
+    return get_dataset("Miranda").fields[0].generate(np.dtype(np.float32), scale=7)[:N]
+
+
+@pytest.fixture(scope="module")
+def smooth_stream(field):
+    return compress(field, rel=1e-3, mode="outlier")
+
+
+def _report(benchmark, nbytes):
+    benchmark.extra_info["MB/s"] = round(nbytes / benchmark.stats["mean"] / 1e6, 1)
+
+
+def test_compress_plain_wallclock(benchmark, field):
+    buf = benchmark(lambda: compress(field, rel=1e-3, mode="plain"))
+    _report(benchmark, field.nbytes)
+    assert buf.size < field.nbytes
+
+
+def test_compress_outlier_wallclock(benchmark, field):
+    buf = benchmark(lambda: compress(field, rel=1e-3, mode="outlier"))
+    _report(benchmark, field.nbytes)
+    assert buf.size < field.nbytes
+
+
+def test_decompress_wallclock(benchmark, field, smooth_stream):
+    out = benchmark(lambda: decompress(smooth_stream))
+    _report(benchmark, field.nbytes)
+    assert out.size == field.size
+
+
+def test_fzgpu_compress_wallclock(benchmark, field):
+    codec = FZGPU(ErrorBound.relative(1e-3))
+    buf = benchmark(lambda: codec.compress(field))
+    _report(benchmark, field.nbytes)
+    assert buf.size < field.nbytes
+
+
+def test_random_access_wallclock(benchmark, smooth_stream):
+    from repro import RandomAccessor
+
+    ra = RandomAccessor(smooth_stream)
+    idx = np.arange(0, ra.nblocks, max(1, ra.nblocks // 256))
+
+    def access():
+        return ra.decode_blocks(idx)
+
+    out = benchmark(access)
+    assert out.shape[0] == idx.size

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one paper table/figure: it runs the
+experiment (timed via pytest-benchmark), writes the paper-style rendering
+to ``benchmarks/results/<name>.txt``, prints it, and asserts the paper's
+qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def _save(result):
+        (results_dir / f"{result.name}.txt").write_text(result.text + "\n")
+        print("\n" + result.text)
+        return result
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with a single timed round (the experiments
+    are deterministic; wall-clock codec benches use normal rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

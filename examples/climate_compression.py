@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Climate-data compression (CESM-ATM scenario, paper Section V).
+
+Walks the synthetic CESM-ATM dataset: compresses every field in both
+cuSZp2 modes across the paper's three REL bounds, reports per-field ratios
+(Table III's min~max (avg) cells), quality metrics, and the simulated A100
+end-to-end throughput for the best mode.
+
+Run:  python examples/climate_compression.py
+"""
+
+import numpy as np
+
+from repro import compress, decompress
+from repro.datasets import get_dataset
+from repro.gpusim import A100_40GB
+from repro.harness import run_field, simulate
+from repro.metrics import psnr, ratio_for, ssim, summarize
+
+ds = get_dataset("CESM-ATM")
+print(f"Dataset: {ds.name} ({ds.suite}), paper dims {ds.paper_dims}, "
+      f"{ds.paper_fields} fields, {ds.paper_size_gb} GB\n")
+
+for rel in (1e-2, 1e-3, 1e-4):
+    ratios = {"plain": [], "outlier": []}
+    for spec in ds.fields:
+        data = spec.generate(ds.dtype)
+        for mode in ratios:
+            ratios[mode].append(ratio_for(data, compress(data, rel=rel, mode=mode)))
+    print(f"REL {rel:g}:")
+    print(f"  CUSZP2-P ratio  {summarize(ratios['plain'])}")
+    print(f"  CUSZP2-O ratio  {summarize(ratios['outlier'])}  "
+          f"(outlier gain {np.mean(ratios['outlier']) / np.mean(ratios['plain']):.2f}x)")
+
+# Quality on one representative field at the middle bound.
+spec = ds.field("TS")
+data = spec.generate(ds.dtype)
+recon = decompress(compress(data, rel=1e-3, mode="outlier"))
+print(f"\nField TS at REL 1e-3: PSNR {psnr(data, recon):.2f} dB, "
+      f"SSIM {ssim(data, recon):.5f}")
+
+# Simulated A100 end-to-end throughput (paper-scale field sizes).
+run = run_field("CESM-ATM", "TS", "cuszp2-o", 1e-3)
+print(f"Simulated A100 throughput (CUSZP2-O, TS): "
+      f"compress {simulate(run, A100_40GB, 'compress'):.1f} GB/s, "
+      f"decompress {simulate(run, A100_40GB, 'decompress'):.1f} GB/s")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""In-situ compressed checkpointing of a running simulation.
+
+HPC codes checkpoint their state every N steps; at GB/s-class compressor
+speed the checkpoint can be compressed *in situ* instead of stalling on
+I/O.  This example runs a toy 2-D heat-diffusion simulation, packs each
+checkpoint epoch's fields into a cuSZp2 archive, and then demonstrates a
+restart: reconstruct the state from a chosen epoch and continue the run,
+verifying the restarted trajectory stays within a few error bounds of the
+uninterrupted one.
+
+Run:  python examples/in_situ_checkpointing.py
+"""
+
+import numpy as np
+
+from repro.core.archive import DatasetArchive, pack
+from repro.metrics import check_error_bound, psnr
+
+REL = 1e-4
+SHAPE = (96, 96)
+STEPS_PER_EPOCH = 20
+EPOCHS = 4
+
+
+def diffuse(u: np.ndarray, steps: int, kappa: float = 0.2) -> np.ndarray:
+    """Explicit 5-point heat diffusion (periodic boundaries)."""
+    for _ in range(steps):
+        lap = (
+            np.roll(u, 1, 0) + np.roll(u, -1, 0) + np.roll(u, 1, 1) + np.roll(u, -1, 1)
+            - 4.0 * u
+        )
+        u = u + kappa * lap
+    return u
+
+
+rng = np.random.default_rng(11)
+temperature = np.cumsum(np.cumsum(rng.normal(size=SHAPE), 0), 1).astype(np.float32)
+temperature /= np.abs(temperature).max()
+velocity = rng.normal(size=SHAPE).astype(np.float32) * 0.1
+
+checkpoints = []
+u = temperature
+for epoch in range(EPOCHS):
+    u = diffuse(u, STEPS_PER_EPOCH)
+    fields = {"temperature": u, "velocity": velocity}
+    archive_bytes = pack(fields, REL, mode="outlier")
+    raw = sum(f.nbytes for f in fields.values())
+    checkpoints.append(archive_bytes)
+    print(f"epoch {epoch}: checkpoint {raw:,} B -> {archive_bytes.size:,} B "
+          f"(ratio {raw / archive_bytes.size:.2f})")
+
+# --- restart from epoch 1 and catch up to epoch 3 ---------------------------
+restart_epoch = 1
+archive = DatasetArchive(checkpoints[restart_epoch])
+restored = archive.extract("temperature")
+rng_t = float(restored.max() - restored.min())
+assert check_error_bound(
+    diffuse(temperature, (restart_epoch + 1) * STEPS_PER_EPOCH), restored, REL * rng_t * 1.5
+)
+
+caught_up = diffuse(restored, (EPOCHS - 1 - restart_epoch) * STEPS_PER_EPOCH)
+reference = u  # the uninterrupted trajectory
+
+err = float(np.abs(caught_up - reference).max())
+print(f"\nrestarted from epoch {restart_epoch}, advanced to epoch {EPOCHS - 1}:")
+print(f"  max divergence from the uninterrupted run: {err:.3e} "
+      f"(checkpoint bound was {REL * rng_t:.3e})")
+print(f"  PSNR vs reference: {psnr(reference, caught_up):.1f} dB")
+# Diffusion contracts perturbations, so the restart divergence stays within
+# a small multiple of the checkpoint's error bound.
+assert err < 20 * REL * rng_t
+print("restart verified.")

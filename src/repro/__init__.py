@@ -1,0 +1,50 @@
+"""repro -- a from-scratch Python reproduction of *cuSZp2: A GPU Lossy
+Compressor with Extreme Throughput and Optimized Compression Ratio*
+(Huang, Di, Li, Cappello; SC 2024).
+
+The package contains:
+
+* :mod:`repro.core` -- the cuSZp2 codec itself (bit-exact stream format,
+  Plain-/Outlier-FLE, random access, f32/f64, 1-D/2-D/3-D predictors).
+* :mod:`repro.gpusim` -- a GPU execution-model substrate (device specs,
+  memory-access efficiency model, instruction accounting, a cooperative
+  virtual GPU for concurrent kernel protocols, and a calibrated timing
+  model that converts real byte traffic into simulated throughput).
+* :mod:`repro.scan` -- device-level prefix-sum algorithms: reduce-then-scan,
+  plain chained-scan, and the decoupled-lookback design of cuSZp2.
+* :mod:`repro.baselines` -- FZ-GPU, cuSZp, cuZFP (a real ZFP fixed-rate
+  implementation) and the CPU-GPU hybrid pipelines (cuSZ/cuSZx/MGARD-GPU).
+* :mod:`repro.datasets` -- synthetic stand-ins for the SDRBench /
+  Open-SciVis datasets of Tables II and IV.
+* :mod:`repro.metrics` -- PSNR, SSIM, isosurface preservation,
+  rate-distortion.
+* :mod:`repro.harness` -- experiment runners that regenerate every table
+  and figure of the paper's evaluation.
+"""
+
+from .core import (
+    CuSZp2,
+    DatasetArchive,
+    ErrorBound,
+    RandomAccessor,
+    TileAccessor,
+    compress,
+    compression_ratio,
+    decompress,
+    verify,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CuSZp2",
+    "ErrorBound",
+    "RandomAccessor",
+    "TileAccessor",
+    "DatasetArchive",
+    "compress",
+    "decompress",
+    "compression_ratio",
+    "verify",
+    "__version__",
+]

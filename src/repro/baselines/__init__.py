@@ -1,0 +1,27 @@
+"""Baseline compressors the paper compares against, built from scratch.
+
+Pure-GPU designs: :class:`CuSZp` (the predecessor; Plain-FLE),
+:class:`FZGPU` (Lorenzo + bitshuffle + zero-word removal),
+:class:`CuZFP` (real fixed-rate ZFP).  CPU-GPU hybrids: :class:`CuSZ`
+(Lorenzo + Huffman), :class:`CuSZx` (constant blocks + FLE),
+:class:`MGARDLike` (multilevel refactoring).
+"""
+
+from .cuszp import CuSZp
+from .fzgpu import FZGPU, FZGPULaunchError, PAPER_BUG_DATASETS
+from .huffman import HuffmanTable
+from .hybrid import HYBRIDS, CuSZ, CuSZx, MGARDLike
+from .zfp import CuZFP
+
+__all__ = [
+    "CuSZp",
+    "FZGPU",
+    "FZGPULaunchError",
+    "PAPER_BUG_DATASETS",
+    "CuZFP",
+    "CuSZ",
+    "CuSZx",
+    "MGARDLike",
+    "HYBRIDS",
+    "HuffmanTable",
+]

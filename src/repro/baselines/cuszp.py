@@ -1,0 +1,53 @@
+"""cuSZp [23]: the predecessor cuSZp2 improves upon.
+
+Functionally, cuSZp is Plain-FLE over the same quantization/first-order
+difference pipeline: the paper excludes CUSZP2-P from Table III "because it
+has very close compression ratios with cuSZp (e.g. less than 0.01%
+differences) due to the same lossless encoding method".  In this
+reproduction the two are byte-identical by construction, so the cuSZp codec
+simply *is* the core compressor pinned to Plain mode.
+
+What differs is performance: cuSZp uses scalar, partially strided memory
+accesses and a plain chained-scan for the device-level prefix sum -- both
+are captured by :func:`repro.gpusim.pipelines.cuszp_compression` /
+``cuszp_decompression``, which the throughput experiments pair with the
+artifacts this codec produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.compressor import CuSZp2
+from ..core.quantize import ErrorBound
+
+
+@dataclass
+class CuSZp:
+    """Functional cuSZp codec (Plain-FLE, block 32)."""
+
+    error_bound: ErrorBound
+
+    def __post_init__(self):
+        if isinstance(self.error_bound, (int, float)):
+            self.error_bound = ErrorBound.relative(float(self.error_bound))
+        self._impl = CuSZp2(self.error_bound, mode="plain")
+
+    def compress(self, data: np.ndarray) -> np.ndarray:
+        return self._impl.compress(data)
+
+    def decompress(self, buf) -> np.ndarray:
+        return self._impl.decompress(buf)
+
+
+def compress(data: np.ndarray, rel: float = None, abs: float = None) -> np.ndarray:  # noqa: A002
+    eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
+    return CuSZp(eb).compress(data)
+
+
+def decompress(buf) -> np.ndarray:
+    from ..core.compressor import decompress as _d
+
+    return _d(buf)

@@ -1,0 +1,151 @@
+"""Canonical Huffman coding -- the CPU stage of the hybrid compressors.
+
+cuSZ [18] (and MGARD-style pipelines) finish with a Huffman pass whose tree
+construction runs on the host; that CPU round trip is precisely what opens
+the kernel-vs-end-to-end gap of Fig. 2.  This is a complete canonical
+Huffman implementation: frequency analysis, heap-built tree, canonical code
+assignment, vectorized encoding, and table-driven decoding.
+
+Symbols are small unsigned integers (quantization bins); values outside the
+table range are escaped through a reserved symbol followed by a raw 64-bit
+value.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.errors import StreamFormatError
+
+MAX_CODE_LEN = 48
+
+
+def code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Huffman code length per symbol (0 for absent symbols)."""
+    heap = []
+    counter = itertools.count()  # tie-breaker for deterministic trees
+    for sym, f in enumerate(freqs):
+        if f > 0:
+            heap.append((int(f), next(counter), ("leaf", sym)))
+    heapq.heapify(heap)
+    if not heap:
+        raise ValueError("cannot build a Huffman tree from an empty alphabet")
+    if len(heap) == 1:
+        lengths = np.zeros(len(freqs), dtype=np.uint8)
+        lengths[heap[0][2][1]] = 1
+        return lengths
+    while len(heap) > 1:
+        fa, _, a = heapq.heappop(heap)
+        fb, _, b = heapq.heappop(heap)
+        heapq.heappush(heap, (fa + fb, next(counter), ("node", a, b)))
+    lengths = np.zeros(len(freqs), dtype=np.uint8)
+
+    stack = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node[0] == "leaf":
+            lengths[node[1]] = max(depth, 1)
+        else:
+            stack.append((node[1], depth + 1))
+            stack.append((node[2], depth + 1))
+    if lengths.max() > MAX_CODE_LEN:
+        raise ValueError(f"Huffman code length {lengths.max()} exceeds {MAX_CODE_LEN}")
+    return lengths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values from code lengths (shorter codes first,
+    then by symbol index).  Returns uint64 codes, MSB-first semantics."""
+    codes = np.zeros(len(lengths), dtype=np.uint64)
+    order = sorted((int(l), s) for s, l in enumerate(lengths) if l > 0)
+    code = 0
+    prev_len = order[0][0] if order else 0
+    for length, sym in order:
+        code <<= length - prev_len
+        prev_len = length
+        codes[sym] = code
+        code += 1
+    return codes
+
+
+@dataclass
+class HuffmanTable:
+    lengths: np.ndarray  # uint8 per symbol
+    codes: np.ndarray  # uint64 per symbol
+
+    @classmethod
+    def from_frequencies(cls, freqs: np.ndarray) -> "HuffmanTable":
+        lengths = code_lengths(freqs)
+        return cls(lengths=lengths, codes=canonical_codes(lengths))
+
+    @property
+    def alphabet_size(self) -> int:
+        return len(self.lengths)
+
+    def expected_bits(self, freqs: np.ndarray) -> float:
+        return float((freqs * self.lengths).sum())
+
+
+def encode(symbols: np.ndarray, table: HuffmanTable) -> Tuple[np.ndarray, int]:
+    """Vectorized encode; returns ``(packed bytes, total bits)``.
+
+    Bits are MSB-first within each code and codes are concatenated in
+    symbol order, packed LSB-byte-first for the decoder.
+    """
+    lens = table.lengths[symbols].astype(np.int64)
+    if (lens == 0).any():
+        bad = int(symbols[np.argmax(lens == 0)])
+        raise ValueError(f"symbol {bad} has no code (zero frequency at table build)")
+    codes = table.codes[symbols]
+    total_bits = int(lens.sum())
+    max_len = int(lens.max())
+    # Right-align each code in a max_len-wide bit matrix: placing code c of
+    # length l in the last l columns means column j holds bit
+    # (c >> (max_len - 1 - j)) & 1 regardless of l, and row-major selection
+    # of the valid (last l) columns yields the code MSB-first.
+    col = np.arange(max_len, dtype=np.int64)[None, :]
+    bitmat = ((codes[:, None] >> (max_len - 1 - col).astype(np.uint64)) & np.uint64(1)).astype(np.uint8)
+    valid = col >= (max_len - lens[:, None])
+    packed = np.packbits(bitmat[valid], bitorder="big")
+    return packed, total_bits
+
+
+def decode(packed: np.ndarray, total_bits: int, table: HuffmanTable, count: int) -> np.ndarray:
+    """Table-driven canonical decode of ``count`` symbols."""
+    # first_code[l], first_index[l], and symbols sorted canonically.
+    order = sorted((int(l), s) for s, l in enumerate(table.lengths) if l > 0)
+    sorted_syms = np.array([s for _, s in order], dtype=np.int64)
+    lens = np.array([l for l, _ in order], dtype=np.int64)
+    first_code: Dict[int, int] = {}
+    first_index: Dict[int, int] = {}
+    for i, (l, s) in enumerate(order):
+        if l not in first_code:
+            first_code[l] = int(table.codes[s])
+            first_index[l] = i
+    counts = {l: int((lens == l).sum()) for l in set(lens.tolist())}
+
+    bits = np.unpackbits(packed, bitorder="big")[:total_bits]
+    out = np.empty(count, dtype=np.int64)
+    pos = 0
+    for i in range(count):
+        code = 0
+        length = 0
+        while True:
+            if pos >= total_bits:
+                raise StreamFormatError("Huffman stream exhausted mid-symbol")
+            code = (code << 1) | int(bits[pos])
+            pos += 1
+            length += 1
+            fc = first_code.get(length)
+            if fc is not None and code - fc < counts[length] and code >= fc:
+                out[i] = sorted_syms[first_index[length] + (code - fc)]
+                break
+            if length > MAX_CODE_LEN:
+                raise StreamFormatError("invalid Huffman code in stream")
+        continue
+    return out

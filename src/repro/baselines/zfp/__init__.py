@@ -1,0 +1,10 @@
+"""A from-scratch fixed-rate ZFP implementation standing in for cuZFP.
+
+Stages: :mod:`fixedpoint` (block exponent alignment), :mod:`transform`
+(integer lifting + sequency ordering), :mod:`negabinary`, :mod:`embedded`
+(group-tested bit-plane coding), composed in :mod:`codec`.
+"""
+
+from .codec import CuZFP, compress, decompress
+
+__all__ = ["CuZFP", "compress", "decompress"]

@@ -1,0 +1,189 @@
+"""cuZFP [21]: fixed-rate ZFP compression of 1-D/2-D/3-D float fields.
+
+Pipeline per 4^d block (Lindstrom 2014): block-floating-point alignment ->
+integer lifting transform -> sequency reordering -> negabinary -> embedded
+bit-plane coding truncated at the fixed per-block bit budget.  Fixed-rate
+mode is the only mode cuZFP supports in the paper's comparison ("cuZFP only
+supports fixed-rate mode", Section V-A), so the compression ratio is set by
+the rate, not the data, and there is no error bound.
+
+Stream layout (deviation from the zfp container, documented in DESIGN.md):
+block exponents live in a separate uint16 section and each block's embedded
+payload is padded to whole bytes, so the effective rate is slightly above
+the nominal one; the reported compressed size is the real stream size.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.errors import InvalidInputError, StreamFormatError
+from . import embedded, fixedpoint, negabinary, transform
+
+MAGIC = b"ZFP1"
+HEADER_FMT = "<4sBBHH3Q"
+HEADER_SIZE = struct.calcsize(HEADER_FMT)
+#: intprec per input dtype: 32-bit pipeline for float32, 64 for float64.
+INTPREC = 32
+
+
+def _blockize(field: np.ndarray) -> np.ndarray:
+    """Split an ndim field into (nblocks, 4**ndim) blocks, edge-padding."""
+    ndim = field.ndim
+    pads = [(0, (-s) % 4) for s in field.shape]
+    if any(p[1] for p in pads):
+        field = np.pad(field, pads, mode="edge")
+    if ndim == 1:
+        return field.reshape(-1, 4)
+    if ndim == 2:
+        h, w = field.shape
+        return field.reshape(h // 4, 4, w // 4, 4).transpose(0, 2, 1, 3).reshape(-1, 16)
+    if ndim == 3:
+        d0, d1, d2 = field.shape
+        return (
+            field.reshape(d0 // 4, 4, d1 // 4, 4, d2 // 4, 4)
+            .transpose(0, 2, 4, 1, 3, 5)
+            .reshape(-1, 64)
+        )
+    raise InvalidInputError(f"cuZFP supports 1-3 dimensions, got {ndim}")
+
+
+def _unblockize(blocks: np.ndarray, shape: tuple) -> np.ndarray:
+    ndim = len(shape)
+    padded = tuple(s + (-s) % 4 for s in shape)
+    if ndim == 1:
+        out = blocks.reshape(-1)[: padded[0]]
+        return out[: shape[0]]
+    if ndim == 2:
+        h, w = padded
+        out = blocks.reshape(h // 4, w // 4, 4, 4).transpose(0, 2, 1, 3).reshape(h, w)
+        return out[: shape[0], : shape[1]]
+    d0, d1, d2 = padded
+    out = (
+        blocks.reshape(d0 // 4, d1 // 4, d2 // 4, 4, 4, 4)
+        .transpose(0, 3, 1, 4, 2, 5)
+        .reshape(d0, d1, d2)
+    )
+    return out[: shape[0], : shape[1], : shape[2]]
+
+
+@dataclass
+class CuZFP:
+    """Fixed-rate ZFP codec.  ``rate`` is bits per value (the paper sweeps
+    4, 8 and 16)."""
+
+    rate: float
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise InvalidInputError(f"rate must be positive, got {self.rate}")
+
+    def maxbits(self, ndim: int) -> int:
+        return max(int(round(self.rate * 4**ndim)), fixedpoint.EXP_BITS + 1)
+
+    def compress(self, field: np.ndarray) -> np.ndarray:
+        field = np.asarray(field)
+        if field.dtype not in (np.float32, np.float64):
+            raise InvalidInputError("cuZFP handles float32 or float64 fields")
+        if not np.isfinite(field).all():
+            raise InvalidInputError("cuZFP requires finite data")
+        intprec = fixedpoint.INTPREC_FOR_DTYPE[field.dtype]
+        ndim = field.ndim
+        blocks = _blockize(field)
+        nblocks, bsize = blocks.shape
+        maxbits = self.maxbits(ndim)
+        payload_bits = maxbits - 16  # exponent stored out-of-band in 16 bits
+        payload_bytes = -(-payload_bits // 8)
+
+        emax = fixedpoint.block_exponents(blocks)
+        iblocks = fixedpoint.to_fixed(blocks, emax, intprec)
+        coeffs = transform.forward(iblocks, ndim)
+        nb = negabinary.int_to_negabinary(coeffs, intprec)
+
+        emax_codes = fixedpoint.encode_emax(np.where(np.abs(blocks).max(axis=1) > 0, emax, -fixedpoint.EXP_BIAS))
+        payload = np.zeros((nblocks, payload_bytes), dtype=np.uint8)
+        nb_list = nb.tolist()
+        for b in range(nblocks):
+            if emax_codes[b] == 0:
+                continue  # all-zero block: payload stays zero
+            s = embedded.encode_block(nb_list[b], payload_bits, intprec)
+            payload[b] = np.frombuffer(
+                s.to_bytes(payload_bits).ljust(payload_bytes, b"\0"), dtype=np.uint8
+            )
+
+        header = struct.pack(
+            HEADER_FMT,
+            MAGIC,
+            1,
+            ndim,
+            int(round(self.rate * 16)),  # rate in 1/16 bit units
+            0 if intprec == 32 else 1,  # dtype code
+            *(tuple(field.shape) + (1,) * (3 - ndim)),
+        )
+        return np.concatenate(
+            [
+                np.frombuffer(header, dtype=np.uint8),
+                emax_codes.astype("<u2").view(np.uint8),
+                payload.reshape(-1),
+            ]
+        )
+
+    def decompress(self, buf: np.ndarray) -> np.ndarray:
+        if not isinstance(buf, np.ndarray):
+            buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+        if buf.size < HEADER_SIZE:
+            raise StreamFormatError("cuZFP stream shorter than its header")
+        magic, _ver, ndim, rate16, dtype_code, d0, d1, d2 = struct.unpack(
+            HEADER_FMT, buf[:HEADER_SIZE].tobytes()
+        )
+        if magic != MAGIC:
+            raise StreamFormatError(f"bad cuZFP magic {magic!r}")
+        if dtype_code not in (0, 1):
+            raise StreamFormatError(f"bad cuZFP dtype code {dtype_code}")
+        intprec = 32 if dtype_code == 0 else 64
+        dtype = np.float32 if dtype_code == 0 else np.float64
+        shape = (d0, d1, d2)[:ndim]
+        rate = rate16 / 16.0
+        maxbits = max(int(round(rate * 4**ndim)), fixedpoint.EXP_BITS + 1)
+        payload_bits = maxbits - 16
+        payload_bytes = -(-payload_bits // 8)
+        bsize = 4**ndim
+        nblocks = 1
+        for s in shape:
+            nblocks *= (s + 3) // 4
+
+        off = HEADER_SIZE
+        emax_codes = buf[off : off + 2 * nblocks].view("<u2").astype(np.uint16)
+        off += 2 * nblocks
+        payload = buf[off : off + nblocks * payload_bytes]
+        if payload.size != nblocks * payload_bytes:
+            raise StreamFormatError("cuZFP payload truncated")
+        payload = payload.reshape(nblocks, payload_bytes)
+
+        emax, is_zero = fixedpoint.decode_emax(emax_codes)
+        nb = np.zeros((nblocks, bsize), dtype=np.uint32 if intprec == 32 else np.uint64)
+        for b in range(nblocks):
+            if is_zero[b]:
+                continue
+            s = embedded.BitStream.from_bytes(payload[b].tobytes(), payload_bits)
+            nb[b] = embedded.decode_block(s, payload_bits, bsize, intprec)
+        coeffs = negabinary.negabinary_to_int(nb, intprec)
+        iblocks = transform.inverse(coeffs, ndim)
+        blocks = fixedpoint.from_fixed(iblocks, emax, dtype, intprec)
+        blocks[is_zero] = 0.0
+        return _unblockize(blocks, shape)
+
+    def ratio(self, field: np.ndarray) -> float:
+        """Compression ratio implied by the stream this codec emits."""
+        return field.size * field.dtype.itemsize / self.compress(field).size
+
+
+def compress(field: np.ndarray, rate: float) -> np.ndarray:
+    return CuZFP(rate).compress(field)
+
+
+def decompress(buf) -> np.ndarray:
+    return CuZFP(rate=8).decompress(buf)

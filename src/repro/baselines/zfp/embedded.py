@@ -1,0 +1,145 @@
+"""ZFP stage 4: embedded (group-tested) bit-plane coding.
+
+Faithful port of ZFP's ``encode_ints`` / ``decode_ints``: bit planes are
+emitted most-significant first; within a plane, the bits of coefficients
+already known to be significant are written verbatim, and the remainder is
+unary run-length coded (one test bit asking "any one-bits left?", then bits
+until the next one-bit).  Truncating the resulting stream at ``maxbits``
+yields the fixed-rate mode cuZFP exposes -- every block occupies exactly
+``rate * 4**d`` bits.
+
+Bit I/O uses Python integers as arbitrary-precision bit buffers
+(LSB = first bit written), which keeps the port compact and exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class BitStream:
+    """Append-only/read-only bit buffer; bit 0 of ``bits`` is the first bit."""
+
+    bits: int = 0
+    length: int = 0
+    _pos: int = 0
+
+    def write_bit(self, b: int) -> int:
+        self.bits |= (b & 1) << self.length
+        self.length += 1
+        return b & 1
+
+    def write_bits(self, value: int, n: int) -> int:
+        """Write the low ``n`` bits of ``value``; returns the remaining
+        (shifted) value, mirroring zfp's ``stream_write_bits``."""
+        if n:
+            self.bits |= (value & ((1 << n) - 1)) << self.length
+            self.length += n
+        return value >> n
+
+    def read_bit(self) -> int:
+        if self._pos >= self.length:
+            return 0  # reading past a truncated fixed-rate stream yields 0s
+        b = (self.bits >> self._pos) & 1
+        self._pos += 1
+        return b
+
+    def read_bits(self, n: int) -> int:
+        v = 0
+        for i in range(n):
+            v |= self.read_bit() << i
+        return v
+
+    def rewind(self) -> None:
+        self._pos = 0
+
+    def to_bytes(self, nbits: int) -> bytes:
+        nbytes = -(-nbits // 8)
+        return (self.bits & ((1 << nbits) - 1)).to_bytes(nbytes, "little")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, nbits: int) -> "BitStream":
+        return cls(bits=int.from_bytes(raw, "little") & ((1 << nbits) - 1), length=nbits)
+
+
+def encode_block(coeffs: Sequence[int], maxbits: int, intprec: int = 32) -> BitStream:
+    """Encode one block of negabinary coefficients (uints) into exactly
+    ``maxbits`` bits (zfp ``encode_ints`` with fixed-rate padding)."""
+    size = len(coeffs)
+    s = BitStream()
+    bits = maxbits
+    n = 0
+    for k in range(intprec - 1, -1, -1):
+        if bits == 0:
+            break
+        # step 1: extract bit plane k
+        x = 0
+        for i in range(size):
+            x |= ((int(coeffs[i]) >> k) & 1) << i
+        # step 2: emit the bits of already-significant coefficients
+        m = min(n, bits)
+        bits -= m
+        x = s.write_bits(x, m)
+        # step 3: unary run-length encode the rest of the plane.  This
+        # mirrors zfp's nested for-loops exactly: the outer test bit says
+        # "one-bits remain"; the inner loop emits literal bits up to (and
+        # excluding) the next one-bit; the outer increment consumes the
+        # one-bit coefficient itself (implicit for the final coefficient).
+        while n < size and bits:
+            bits -= 1
+            test = 1 if x else 0
+            s.write_bit(test)
+            if not test:
+                break
+            while n < size - 1 and bits:
+                bits -= 1
+                b = x & 1
+                s.write_bit(b)
+                if b:
+                    break
+                x >>= 1
+                n += 1
+            # outer-loop increment (runs whether the inner loop found the
+            # one-bit, exhausted the budget, or reached the last position)
+            x >>= 1
+            n += 1
+    # fixed-rate: pad to exactly maxbits
+    s.length = maxbits
+    return s
+
+
+def decode_block(stream: BitStream, maxbits: int, size: int, intprec: int = 32) -> List[int]:
+    """Inverse of :func:`encode_block`; returns negabinary coefficients."""
+    stream.rewind()
+    coeffs = [0] * size
+    bits = maxbits
+    n = 0
+    for k in range(intprec - 1, -1, -1):
+        if bits == 0:
+            break
+        m = min(n, bits)
+        bits -= m
+        x = stream.read_bits(m)
+        # unary run-length decode (exact mirror of the encoder's loops)
+        while n < size and bits:
+            bits -= 1
+            if not stream.read_bit():
+                break
+            while n < size - 1 and bits:
+                bits -= 1
+                if stream.read_bit():
+                    break
+                n += 1
+            # outer-loop increment: the coefficient the run stopped at is
+            # significant at this plane
+            x |= 1 << n
+            n += 1
+        # deposit plane k
+        for i in range(size):
+            if (x >> i) & 1:
+                coeffs[i] |= 1 << k
+    return coeffs

@@ -1,0 +1,63 @@
+"""ZFP stage 1: block-floating-point alignment.
+
+Each 4^d block is aligned to the exponent of its largest magnitude value
+and converted to signed fixed point with two guard bits for transform
+growth (Lindstrom 2014): for float32 the fraction uses 30 of 32 bits, for
+float64 62 of 64 (the double's 52-bit mantissa means the low fixed-point
+bits are exact zeros, as in the C implementation).
+
+Block exponents are stored out-of-band as biased 15-bit codes
+(``emax + EXP_BIAS``), with code 0 reserved for all-zero blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Fraction bits per intprec: intprec - 2 guard bits.
+FRACTION_BITS = {32: 30, 64: 62}
+#: Exponent bias covering both f32 (+-127) and f64 (+-1023) ranges.
+EXP_BIAS = 16384
+EXP_BITS = 16
+
+INTPREC_FOR_DTYPE = {np.dtype(np.float32): 32, np.dtype(np.float64): 64}
+
+
+def block_exponents(blocks: np.ndarray) -> np.ndarray:
+    """Per-block max exponent ``e`` with ``max|v| = f * 2**e, f in [0.5,1)``.
+    All-zero blocks get the sentinel ``-EXP_BIAS`` (encodes as 0)."""
+    maxes = np.abs(blocks).max(axis=1)
+    _, e = np.frexp(maxes)
+    return np.where(maxes > 0, e, -EXP_BIAS).astype(np.int32)
+
+
+def to_fixed(blocks: np.ndarray, emax: np.ndarray, intprec: int = 32) -> np.ndarray:
+    """Convert float blocks ``(n, bsize)`` to fixed point against the
+    per-block exponent (int64 carrier for both precisions)."""
+    frac = FRACTION_BITS[intprec]
+    scale = np.ldexp(1.0, frac - emax.astype(np.int64))
+    q = blocks.astype(np.float64) * scale[:, None]
+    return q.astype(np.int64)  # |q| <= 2**frac, guard bits left for the transform
+
+
+def from_fixed(iblocks: np.ndarray, emax: np.ndarray, dtype=np.float32, intprec: int = 32) -> np.ndarray:
+    """Invert :func:`to_fixed`."""
+    frac = FRACTION_BITS[intprec]
+    scale = np.ldexp(1.0, emax.astype(np.int64) - frac)
+    return (iblocks.astype(np.float64) * scale[:, None]).astype(dtype)
+
+
+def encode_emax(emax: np.ndarray) -> np.ndarray:
+    """Biased exponent codes (uint16; 0 marks an all-zero block)."""
+    code = emax.astype(np.int64) + EXP_BIAS
+    if (code < 0).any() or (code >= (1 << EXP_BITS)).any():
+        raise ValueError("block exponent outside the representable range")
+    return code.astype(np.uint16)
+
+
+def decode_emax(code: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(emax, is_zero_block)``."""
+    emax = code.astype(np.int32) - EXP_BIAS
+    return emax, code == 0

@@ -1,0 +1,47 @@
+"""ZFP stage 3: two's complement <-> negabinary.
+
+The embedded coder consumes *unsigned* bit planes; ZFP maps signed
+coefficients to negabinary (base -2), where small magnitudes of either sign
+have small codes and no separate sign bit is needed:
+
+    uint = (int + MASK) ^ MASK       MASK = 0xaaaaaaaa
+    int  = (uint ^ MASK) - MASK
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NBMASK32 = np.uint32(0xAAAAAAAA)
+NBMASK64 = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def int_to_negabinary(values: np.ndarray, intprec: int = 32) -> np.ndarray:
+    """Signed fixed-point (int64 carrier) -> unsigned negabinary codes.
+
+    ``intprec`` selects the 32- or 64-bit mapping (float32 / float64
+    pipelines respectively)."""
+    if intprec == 32:
+        u = values.astype(np.int64).astype(np.uint64) & np.uint64(0xFFFFFFFF)
+        mask = np.uint64(int(NBMASK32))
+        return (((u + mask) & np.uint64(0xFFFFFFFF)) ^ mask).astype(np.uint32)
+    if intprec == 64:
+        with np.errstate(over="ignore"):
+            u = values.astype(np.int64).view(np.uint64)
+            return (u + NBMASK64) ^ NBMASK64  # wraps mod 2**64, as in C
+    raise ValueError(f"intprec must be 32 or 64, got {intprec}")
+
+
+def negabinary_to_int(codes: np.ndarray, intprec: int = 32) -> np.ndarray:
+    """Unsigned negabinary codes -> signed int64 values."""
+    if intprec == 32:
+        mask = np.uint64(int(NBMASK32))
+        u = (codes.astype(np.uint64) ^ mask)
+        u = (u - mask) & np.uint64(0xFFFFFFFF)
+        # Reinterpret the low 32 bits as signed.
+        return u.astype(np.uint32).view(np.int32).astype(np.int64)
+    if intprec == 64:
+        with np.errstate(over="ignore"):
+            u = (codes.astype(np.uint64) ^ NBMASK64) - NBMASK64
+            return u.view(np.int64)
+    raise ValueError(f"intprec must be 32 or 64, got {intprec}")

@@ -1,0 +1,289 @@
+"""Command-line interface mirroring the paper's artifact-evaluation flow.
+
+The AE appendix drives everything through two binaries (``gsz_p`` /
+``gsz_o``) plus wrap-up Python scripts; this CLI reproduces that surface:
+
+* ``repro compress file.f32 1e-3 --mode outlier`` -- compress a raw
+  SDRBench field, verify the bound, and print the gsz-style report
+  (ratio + simulated A100 end-to-end speeds, ``Pass error check!``).
+* ``repro decompress file.csz2 -o out.f32`` -- reconstruct a field.
+* ``repro evaluate CESM-ATM --rel 1e-3`` -- the per-dataset sweep the
+  ``1-execution.py`` script prints (P and O modes, min/max/avg ratios,
+  simulated throughput).
+* ``repro experiment fig14`` -- regenerate any paper table/figure.
+* ``repro datasets`` -- list the Table II/IV registry.
+
+Run as ``python -m repro.cli ...`` (or the ``repro`` console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_raw(path: str, dims=None) -> np.ndarray:
+    from .datasets.io import read_field
+
+    return read_field(path, dims=tuple(dims) if dims else None)
+
+
+def _parse_dims(text):
+    if not text:
+        return None
+    return [int(x) for x in text.replace("x", ",").split(",") if x]
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_compress(args) -> int:
+    from . import compress, compression_ratio
+    from .core import decompress
+    from .gpusim import A100_40GB, Artifacts, get_device
+    from .gpusim import pipelines as P
+    from .metrics import check_error_bound
+
+    data = _load_raw(args.input, _parse_dims(args.dims))
+    mode = {"p": "plain", "o": "outlier"}.get(args.mode, args.mode)
+
+    t0 = time.perf_counter()
+    if args.absolute:
+        stream = compress(data, abs=args.error_bound, mode=mode)
+        eb_abs = args.error_bound
+    else:
+        stream = compress(data, rel=args.error_bound, mode=mode)
+        rng = float(data.max() - data.min())
+        eb_abs = args.error_bound * (rng if rng else max(abs(float(data.max())), 1.0))
+    wall = time.perf_counter() - t0
+
+    out_path = Path(args.output or (args.input + ".csz2"))
+    stream.tofile(out_path)
+
+    device = get_device(args.device) if args.device else A100_40GB
+    art = Artifacts.from_cuszp2_stream(data, stream)
+    comp = P.cuszp2_compression(art, device).end_to_end_throughput(device, art.input_bytes)
+    dec = P.cuszp2_decompression(art, device).end_to_end_throughput(device, art.input_bytes)
+
+    print("GSZ finished!")
+    print(f"GSZ compression end-to-end speed: {comp:.6f} GB/s (simulated {device.name})")
+    print(f"GSZ decompression end-to-end speed: {dec:.6f} GB/s (simulated {device.name})")
+    print(f"GSZ compression ratio: {compression_ratio(data, stream):.6f}")
+    print(f"(functional codec wall time: {wall:.3f} s for {data.nbytes / 1e6:.1f} MB)")
+    print(f"compressed stream written to {out_path}")
+    print()
+    recon = decompress(stream)
+    if check_error_bound(data.reshape(-1), recon.reshape(-1), eb_abs):
+        print("Pass error check!")
+        return 0
+    print("ERROR CHECK FAILED")
+    return 1
+
+
+def cmd_decompress(args) -> int:
+    from .core import decompress
+
+    stream = np.fromfile(args.input, dtype=np.uint8)
+    recon = decompress(stream)
+    out_path = Path(args.output or (str(args.input).removesuffix(".csz2") + ".out"))
+    suffix = ".f64" if recon.dtype == np.float64 else ".f32"
+    if out_path.suffix not in (".f32", ".f64"):
+        out_path = out_path.with_suffix(suffix)
+    recon.tofile(out_path)
+    print(f"decompressed {recon.size} x {recon.dtype} -> {out_path}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .datasets import get_dataset
+    from .gpusim import A100_40GB
+    from .harness import dataset_runs, simulate
+
+    ds = get_dataset(args.dataset)
+    rel = args.rel
+    print(f"=====")
+    print(f"Done with Execution GSZ-P and GSZ-O on {ds.name.lower()} under {rel:g}")
+    for comp, label in (("cuszp2-p", "GSZ-P"), ("cuszp2-o", "GSZ-O")):
+        runs = dataset_runs(ds.name, comp, rel)
+        comp_t = np.mean([simulate(r, A100_40GB, "compress") for r in runs.values()])
+        dec_t = np.mean([simulate(r, A100_40GB, "decompress") for r in runs.values()])
+        ratios = [r.ratio for r in runs.values()]
+        print(f"{label}\tcompression throughput: {comp_t} GB/s (simulated A100)")
+        print(f"{label}\tdecompression throughput: {dec_t} GB/s (simulated A100)")
+        print(f"{label}\tmax compression ratio: {max(ratios):.6f}")
+        print(f"{label}\tmin compression ratio: {min(ratios):.6f}")
+        print(f"{label}\tavg compression ratio: {np.mean(ratios)}")
+        print()
+    print("=====")
+    return 0
+
+
+EXPERIMENTS = {
+    "table1": "table1_features",
+    "fig02": "fig02_hybrid_gap",
+    "fig09": "fig09_memory_motivation",
+    "fig10": "fig10_vectorization",
+    "fig14": "fig14_throughput",
+    "fig15": "fig15_hacc_fields",
+    "fig16": "fig16_memory_bandwidth",
+    "fig17": "fig17_lookback",
+    "fig18": "fig18_isosurface_quality",
+    "table3": "table3_compression_ratio",
+    "fig19": "fig19_double_precision",
+    "table5": "table5_double_cr",
+    "fig20": "fig20_random_access",
+    "fig21": "fig21_other_gpus",
+    "table6": "table6_dimensionality",
+    "ablation": "ablation_breakdown",
+    "block-size": "ablation_block_size",
+}
+
+
+def cmd_experiment(args) -> int:
+    from .harness import experiments as E
+
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; choose from: {', '.join(sorted(EXPERIMENTS))}")
+        return 2
+    result = getattr(E, EXPERIMENTS[args.name])()
+    print(result.text)
+    if args.output:
+        Path(args.output).write_text(result.text + "\n")
+        print(f"\n(written to {args.output})")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    from .datasets import ALL_DATASETS
+
+    print(f"{'dataset':<10} {'suite':<12} {'paper dims':<16} {'fields':>6} {'size':>9}  dtype")
+    for ds in ALL_DATASETS:
+        print(
+            f"{ds.name:<10} {ds.suite:<12} {ds.paper_dims:<16} "
+            f"{ds.paper_fields:>6} {ds.paper_size_gb:>7.2f}GB  {ds.dtype}"
+        )
+    return 0
+
+
+def cmd_pack(args) -> int:
+    from .core.archive import pack_dataset
+
+    buf = pack_dataset(args.dataset, args.rel, mode=args.mode)
+    out = Path(args.output or f"{args.dataset}.csz2arch")
+    buf.tofile(out)
+    print(f"packed {args.dataset} at REL {args.rel:g} -> {out} ({buf.size:,} bytes)")
+    return 0
+
+
+def cmd_extract(args) -> int:
+    from .core.archive import DatasetArchive
+    from .datasets import write_field
+
+    archive = DatasetArchive(np.fromfile(args.archive, dtype=np.uint8))
+    if args.field is None:
+        print("fields:", ", ".join(archive.names))
+        return 0
+    data = archive.extract(args.field)
+    suffix = ".f64" if data.dtype == np.float64 else ".f32"
+    out = Path(args.output or f"{args.field}{suffix}")
+    write_field(out, data)
+    print(f"extracted {args.field}: shape {data.shape} -> {out}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .datasets import get_dataset, write_field
+
+    ds = get_dataset(args.dataset)
+    spec = ds.field(args.field)
+    data = spec.generate(ds.dtype, scale=args.scale)
+    suffix = ".f64" if ds.dtype == np.float64 else ".f32"
+    out = Path(args.output or f"{ds.name}_{spec.name}{suffix}".replace("/", "_"))
+    write_field(out, data)
+    print(f"generated {ds.name}/{spec.name}: shape {data.shape}, {data.nbytes / 1e6:.1f} MB -> {out}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="cuSZp2 (SC 2024) reproduction: compression CLI + experiment runner",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="compress a raw .f32/.f64 field")
+    c.add_argument("input", help="raw field file (.f32 or .f64, SDRBench layout)")
+    c.add_argument("error_bound", type=float, help="REL bound, e.g. 1e-3 (or ABS with --absolute)")
+    c.add_argument("--mode", default="outlier", choices=["plain", "outlier", "p", "o"])
+    c.add_argument("--absolute", action="store_true", help="treat the bound as absolute")
+    c.add_argument("--dims", help="logical dims, e.g. 512x512x512 (optional)")
+    c.add_argument("--device", help="device for simulated throughput (default A100-40GB)")
+    c.add_argument("-o", "--output", help="output stream path (default <input>.csz2)")
+    c.set_defaults(fn=cmd_compress)
+
+    d = sub.add_parser("decompress", help="decompress a .csz2 stream")
+    d.add_argument("input")
+    d.add_argument("-o", "--output")
+    d.set_defaults(fn=cmd_decompress)
+
+    e = sub.add_parser("evaluate", help="sweep one registry dataset (AE 1-execution.py style)")
+    e.add_argument("dataset")
+    e.add_argument("--rel", type=float, default=1e-3)
+    e.set_defaults(fn=cmd_evaluate)
+
+    x = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    x.add_argument("name", help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    x.add_argument("-o", "--output", help="also write the rendering to a file")
+    x.set_defaults(fn=cmd_experiment)
+
+    ls = sub.add_parser("datasets", help="list the Table II/IV dataset registry")
+    ls.set_defaults(fn=cmd_datasets)
+
+    pk = sub.add_parser("pack", help="compress a registry dataset into one archive")
+    pk.add_argument("dataset")
+    pk.add_argument("--rel", type=float, default=1e-3)
+    pk.add_argument("--mode", default="outlier", choices=["plain", "outlier"])
+    pk.add_argument("-o", "--output")
+    pk.set_defaults(fn=cmd_pack)
+
+    ex = sub.add_parser("extract", help="extract a field from an archive (omit FIELD to list)")
+    ex.add_argument("archive")
+    ex.add_argument("field", nargs="?")
+    ex.add_argument("-o", "--output")
+    ex.set_defaults(fn=cmd_extract)
+
+    g = sub.add_parser("generate", help="write a synthetic field as a raw file")
+    g.add_argument("dataset")
+    g.add_argument("field")
+    g.add_argument("--scale", type=int, default=1)
+    g.add_argument("-o", "--output")
+    g.set_defaults(fn=cmd_generate)
+
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro datasets | head`
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

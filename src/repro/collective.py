@@ -1,0 +1,163 @@
+"""Compression-accelerated GPU-to-GPU communication (the Fig. 1 scenario).
+
+The paper motivates ultra-fast GPU compression with distributed training
+and MPI collectives on GPU clusters ([35]-[37]): gradients or halo data
+cross links far slower than device memory, so compressing before the wire
+pays off -- *if* the compressor's end-to-end time stays below the transfer
+time it saves.  This module provides a functional + simulated model of that
+trade-off:
+
+* data really is compressed/decompressed (`repro.core`), so the received
+  arrays carry the true bounded error;
+* transfer and codec times come from the link parameters and the
+  calibrated pipeline model, so "does compression help on this link?" has
+  a quantitative answer with a crossover point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .core import compress as _compress
+from .core import decompress as _decompress
+from .gpusim import Artifacts, DeviceSpec
+from .gpusim import pipelines as P
+from .gpusim.device import A100_40GB
+
+
+@dataclass(frozen=True)
+class Link:
+    """One inter-GPU link."""
+
+    name: str
+    bandwidth_gbs: float
+    latency_s: float = 5e-6
+
+    def transfer_time(self, nbytes: float) -> float:
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+#: Common fabrics (effective rates).
+NVLINK3 = Link("NVLink3", 250.0, 2e-6)
+PCIE4 = Link("PCIe4", 12.0, 5e-6)
+IB_HDR = Link("InfiniBand-HDR", 23.0, 2e-6)
+ETH_25G = Link("25GbE", 2.8, 20e-6)
+
+
+@dataclass
+class CommReport:
+    """Simulated time breakdown of one communication operation."""
+
+    compress_s: float = 0.0
+    transfer_s: float = 0.0
+    decompress_s: float = 0.0
+    bytes_on_wire: float = 0.0
+    steps: List[Tuple[str, float]] = dc_field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return self.compress_s + self.transfer_s + self.decompress_s
+
+
+def _codec_times(data: np.ndarray, stream: np.ndarray, device: DeviceSpec) -> Tuple[float, float]:
+    art = Artifacts.from_cuszp2_stream(data, stream)
+    c = P.cuszp2_compression(art, device).end_to_end_time(device)
+    d = P.cuszp2_decompression(art, device).end_to_end_time(device)
+    return c, d
+
+
+def send(
+    data: np.ndarray,
+    link: Link,
+    rel: Optional[float] = None,
+    device: DeviceSpec = A100_40GB,
+    mode: str = "outlier",
+) -> Tuple[np.ndarray, CommReport]:
+    """Point-to-point transfer; ``rel=None`` sends raw.
+
+    Returns the array the receiver observes (exact for raw, bounded-error
+    for compressed) and the simulated time breakdown.
+    """
+    report = CommReport()
+    if rel is None:
+        report.transfer_s = link.transfer_time(data.nbytes)
+        report.bytes_on_wire = float(data.nbytes)
+        report.steps.append(("raw transfer", report.transfer_s))
+        return data.copy(), report
+
+    stream = _compress(data, rel=rel, mode=mode)
+    c, d = _codec_times(data, stream, device)
+    t = link.transfer_time(stream.size)
+    report.compress_s = c
+    report.transfer_s = t
+    report.decompress_s = d
+    report.bytes_on_wire = float(stream.size)
+    report.steps += [("compress", c), ("transfer", t), ("decompress", d)]
+    return _decompress(stream), report
+
+
+def crossover_bandwidth(
+    data: np.ndarray,
+    rel: float,
+    device: DeviceSpec = A100_40GB,
+    mode: str = "outlier",
+) -> float:
+    """Link bandwidth (GB/s) below which compressing the transfer wins.
+
+    Raw time:   N / B.     Compressed: T_codec + (N / CR) / B.
+    Equal at B* = N (1 - 1/CR) / T_codec -- fast compressors push the
+    crossover into NVLink territory; hybrid compressors never reach it.
+    """
+    stream = _compress(data, rel=rel, mode=mode)
+    c, d = _codec_times(data, stream, device)
+    saved_bytes = data.nbytes - stream.size
+    if saved_bytes <= 0:
+        return 0.0
+    return saved_bytes / (c + d) / 1e9
+
+
+def ring_allgather(
+    chunks: Sequence[np.ndarray],
+    link: Link,
+    rel: Optional[float] = None,
+    device: DeviceSpec = A100_40GB,
+    mode: str = "outlier",
+) -> Tuple[List[Dict[int, np.ndarray]], CommReport]:
+    """Ring all-gather over ``len(chunks)`` ranks (rank *i* contributes
+    ``chunks[i]``); each step forwards one chunk to the next rank.
+
+    Compressed mode compresses each chunk once at its owner and forwards
+    the *stream*, decompressing only at delivery -- the way
+    compression-enabled collectives avoid recompression per hop [35].
+
+    Returns per-rank views ``{source_rank: array}`` and the simulated
+    report (time of the critical path: P-1 pipelined steps).
+    """
+    nranks = len(chunks)
+    if nranks < 2:
+        raise ValueError("ring_allgather needs at least 2 ranks")
+    report = CommReport()
+
+    if rel is None:
+        wire = [c.copy() for c in chunks]
+        per_step = max(link.transfer_time(c.nbytes) for c in chunks)
+        report.transfer_s = (nranks - 1) * per_step
+        report.bytes_on_wire = float(sum(c.nbytes for c in chunks)) * (nranks - 1)
+        received = [{src: wire[src] for src in range(nranks)} for _ in range(nranks)]
+        return received, report
+
+    streams = [_compress(c, rel=rel, mode=mode) for c in chunks]
+    times = [_codec_times(c, s, device) for c, s in zip(chunks, streams)]
+    # Owners compress in parallel; each ring step forwards the largest
+    # stream on the critical path; delivery decompresses in parallel.
+    report.compress_s = max(t[0] for t in times)
+    report.transfer_s = (nranks - 1) * max(link.transfer_time(s.size) for s in streams)
+    report.decompress_s = max(t[1] for t in times)
+    report.bytes_on_wire = float(sum(s.size for s in streams)) * (nranks - 1)
+
+    decoded = [_decompress(s) for s in streams]
+    received = [{src: decoded[src] for src in range(nranks)} for _ in range(nranks)]
+    return received, report

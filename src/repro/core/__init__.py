@@ -1,0 +1,53 @@
+"""The cuSZp2 codec: the paper's primary contribution.
+
+Public surface: :func:`compress`, :func:`decompress`, :class:`CuSZp2`,
+:class:`ErrorBound`, :class:`RandomAccessor`.
+"""
+
+from .compressor import (
+    DEFAULT_BLOCK,
+    CompressorConfig,
+    CuSZp2,
+    compress,
+    compression_ratio,
+    decompress,
+)
+from .errors import (
+    CuSZp2Error,
+    ErrorBoundError,
+    InvalidInputError,
+    QuantizationOverflowError,
+    RandomAccessError,
+    StreamFormatError,
+)
+from .quantize import ErrorBound
+from .archive import DatasetArchive, pack, pack_dataset
+from .random_access import RandomAccessor
+from .tile_access import TileAccessor
+from .verify import VerificationReport, verify
+from .stream import HEADER_SIZE, StreamHeader
+
+__all__ = [
+    "CuSZp2",
+    "CompressorConfig",
+    "ErrorBound",
+    "RandomAccessor",
+    "TileAccessor",
+    "DatasetArchive",
+    "pack",
+    "pack_dataset",
+    "verify",
+    "VerificationReport",
+    "StreamHeader",
+    "HEADER_SIZE",
+    "DEFAULT_BLOCK",
+    "compress",
+    "decompress",
+    "compression_ratio",
+    "CuSZp2Error",
+    "ErrorBoundError",
+    "InvalidInputError",
+    "QuantizationOverflowError",
+    "RandomAccessError",
+    "StreamFormatError",
+]

@@ -1,0 +1,138 @@
+"""Multi-field archives: compressing a whole dataset into one container.
+
+SDRBench datasets ship as directories of raw fields (Table II: CESM-ATM has
+33, HACC 6, ...).  Downstream users compress and move them together, so the
+library provides a simple archive: a table of contents followed by one
+independent cuSZp2 stream per field.  Streams stay byte-identical to
+standalone compression -- the archive adds framing only -- and any field
+can be extracted (or randomly accessed) without touching the others.
+
+Layout (little-endian)::
+
+    [8-byte magic 'CSZ2ARCH']
+    [u32 field count]
+    per field: [u16 name length][name utf-8][u64 stream length]
+    concatenated streams
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from .compressor import CuSZp2
+from .errors import StreamFormatError
+from .quantize import ErrorBound
+from .random_access import RandomAccessor
+
+MAGIC = b"CSZ2ARCH"
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    name: str
+    offset: int  # byte offset of the stream within the archive
+    length: int
+
+
+class DatasetArchive:
+    """Read view over a packed archive."""
+
+    def __init__(self, buf):
+        if not isinstance(buf, np.ndarray):
+            buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+        self._buf = buf
+        self.entries: Dict[str, ArchiveEntry] = {}
+        self._parse()
+
+    def _parse(self) -> None:
+        buf = self._buf
+        if buf.size < len(MAGIC) + 4 or bytes(buf[: len(MAGIC)]) != MAGIC:
+            raise StreamFormatError("not a cuSZp2 archive")
+        pos = len(MAGIC)
+        (count,) = struct.unpack("<I", buf[pos : pos + 4].tobytes())
+        pos += 4
+        toc: List[Tuple[str, int]] = []
+        for _ in range(count):
+            if buf.size < pos + 2:
+                raise StreamFormatError("archive TOC truncated")
+            (nlen,) = struct.unpack("<H", buf[pos : pos + 2].tobytes())
+            pos += 2
+            name = buf[pos : pos + nlen].tobytes().decode("utf-8")
+            pos += nlen
+            (slen,) = struct.unpack("<Q", buf[pos : pos + 8].tobytes())
+            pos += 8
+            toc.append((name, slen))
+        for name, slen in toc:
+            if buf.size < pos + slen:
+                raise StreamFormatError(f"archive stream for {name!r} truncated")
+            if name in self.entries:
+                raise StreamFormatError(f"duplicate archive entry {name!r}")
+            self.entries[name] = ArchiveEntry(name, pos, slen)
+            pos += slen
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.entries)
+
+    def stream(self, name: str) -> np.ndarray:
+        try:
+            e = self.entries[name]
+        except KeyError:
+            raise KeyError(f"archive has no field {name!r}; have {self.names}") from None
+        return self._buf[e.offset : e.offset + e.length]
+
+    def extract(self, name: str) -> np.ndarray:
+        """Decompress one field."""
+        from .compressor import decompress
+
+        return decompress(self.stream(name))
+
+    def accessor(self, name: str) -> RandomAccessor:
+        """Random access into one field without extracting it."""
+        return RandomAccessor(self.stream(name))
+
+    def extract_all(self) -> Dict[str, np.ndarray]:
+        return {name: self.extract(name) for name in self.names}
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._buf.size)
+
+
+def pack(
+    fields: Mapping[str, np.ndarray],
+    error_bound,
+    mode: str = "outlier",
+    block: int = 32,
+) -> np.ndarray:
+    """Compress every field and pack them into one archive byte array."""
+    if not fields:
+        raise ValueError("cannot pack an empty archive")
+    if isinstance(error_bound, (int, float)):
+        error_bound = ErrorBound.relative(float(error_bound))
+    compressor = CuSZp2(error_bound, mode=mode, block=block)
+
+    streams = {name: compressor.compress(data) for name, data in fields.items()}
+    toc = bytearray()
+    toc += MAGIC
+    toc += struct.pack("<I", len(streams))
+    for name, s in streams.items():
+        encoded = name.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ValueError(f"field name too long: {name[:40]!r}...")
+        toc += struct.pack("<H", len(encoded)) + encoded + struct.pack("<Q", int(s.size))
+    return np.concatenate(
+        [np.frombuffer(bytes(toc), dtype=np.uint8)] + [streams[n] for n in streams]
+    )
+
+
+def pack_dataset(dataset_name: str, error_bound, mode: str = "outlier", scale: int = 1) -> np.ndarray:
+    """Pack every synthetic field of a registry dataset (Table II/IV)."""
+    from ..datasets import get_dataset
+
+    ds = get_dataset(dataset_name)
+    return pack(ds.generate_all(scale=scale), error_bound, mode=mode)

@@ -1,0 +1,82 @@
+"""Vectorized bit-plane packing primitives shared by Plain- and Outlier-FLE.
+
+Fixed-length encoding stores, for every block, the sign of each integer
+(1 bit, aggregated into ``L/8`` bytes) followed by ``fl`` bit-planes of the
+magnitudes, LSB plane first.  Within a plane, byte ``j`` holds the plane
+bits of elements ``8j .. 8j+7``; element ``8j + k`` contributes bit ``k``
+(LSB-first).  This layout makes both directions expressible as pure NumPy
+tensor ops -- the software analogue of the paper's claim that FLE's
+regularity is what makes full vectorization possible (Section IV-B).
+
+All functions operate on whole groups of blocks at once: shape
+``(g, L)`` magnitudes -> shape ``(g, fl * L // 8)`` payload bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BIT_WEIGHTS = (np.uint8(1) << np.arange(8, dtype=np.uint8)).astype(np.uint8)
+
+
+def bit_length(mag: np.ndarray) -> np.ndarray:
+    """Per-element bit length of non-negative int64 magnitudes, exactly.
+
+    Uses ``frexp`` on the float64 image, which is exact for integers below
+    2**53 (our magnitudes are capped at 2**31 - 1 well before this point).
+    """
+    _, exp = np.frexp(mag.astype(np.float64))
+    return exp.astype(np.uint8)  # frexp exponent of integer m equals bit_length(m); 0 -> 0
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., 8k)`` array of 0/1 values into ``(..., k)`` bytes,
+    LSB-first within each byte."""
+    b = bits.reshape(bits.shape[:-1] + (-1, 8)).astype(np.uint8)
+    return (b * _BIT_WEIGHTS).sum(axis=-1, dtype=np.uint16).astype(np.uint8)
+
+
+def unpack_bits(packed: np.ndarray, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``(..., k)`` bytes -> ``(..., nbits)``
+    0/1 uint8 values (``nbits`` must be ``8k``)."""
+    bits = (packed[..., :, None] >> np.arange(8, dtype=np.uint8)) & np.uint8(1)
+    return bits.reshape(packed.shape[:-1] + (-1,))[..., :nbits]
+
+
+def pack_signs(deltas: np.ndarray) -> np.ndarray:
+    """Aggregate sign bits of ``(g, L)`` signed deltas into ``(g, L//8)``
+    bytes.  Bit value 1 marks a negative integer (paper's convention is one
+    bit per integer; the polarity is internal to the stream format)."""
+    return pack_bits((deltas < 0).astype(np.uint8))
+
+
+def unpack_signs(sign_bytes: np.ndarray, length: int) -> np.ndarray:
+    """Recover the ``(g, L)`` boolean negativity mask."""
+    return unpack_bits(sign_bytes, length).astype(bool)
+
+
+def pack_planes(mag: np.ndarray, fl: int) -> np.ndarray:
+    """Encode ``(g, L)`` magnitudes (all < 2**fl) as ``(g, fl * L // 8)``
+    bit-plane bytes, LSB plane first."""
+    g, length = mag.shape
+    if fl == 0:
+        return np.empty((g, 0), dtype=np.uint8)
+    planes = np.arange(fl, dtype=np.uint64)
+    bits = (mag.astype(np.uint64)[:, None, :] >> planes[None, :, None]) & np.uint64(1)
+    return pack_bits(bits.astype(np.uint8)).reshape(g, fl * length // 8)
+
+
+def unpack_planes(payload: np.ndarray, fl: int, length: int) -> np.ndarray:
+    """Decode ``(g, fl * L // 8)`` bit-plane bytes back to ``(g, L)`` int64
+    magnitudes."""
+    g = payload.shape[0]
+    if fl == 0:
+        return np.zeros((g, length), dtype=np.int64)
+    bits = unpack_bits(payload.reshape(g, fl, length // 8), length)
+    weights = (np.int64(1) << np.arange(fl, dtype=np.int64))
+    return np.tensordot(bits.astype(np.int64), weights, axes=([1], [0]))
+
+
+def apply_signs(mag: np.ndarray, negative: np.ndarray) -> np.ndarray:
+    """Combine magnitudes and negativity mask into signed int64 deltas."""
+    return np.where(negative, -mag, mag)

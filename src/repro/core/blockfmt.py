@@ -1,0 +1,87 @@
+"""The per-block offset byte (Fig. 8) and payload-size arithmetic.
+
+Every block contributes exactly one offset byte to the fixed-size offset
+section of the stream:
+
+===  =========================================================
+bit  meaning
+===  =========================================================
+7    mode flag: 1 -> Outlier-FLE, 0 -> Plain-FLE
+6-5  outlier size - 1 in bytes (00=1 ... 11=4); Outlier mode only
+4-0  fixed length ``fl`` in bits, 0..31
+===  =========================================================
+
+Because the offset byte alone determines a block's payload length,
+decompression (and random access) can locate every block with a single
+prefix sum over these bytes -- the property cuSZp2's single-kernel design
+relies on (Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+MODE_PLAIN = 0
+MODE_OUTLIER = 1
+
+_FL_MASK = np.uint8(0x1F)
+_OUTLIER_SHIFT = np.uint8(5)
+_MODE_BIT = np.uint8(0x80)
+
+
+def encode_offset_bytes(mode: np.ndarray, outlier_nbytes: np.ndarray, fl: np.ndarray) -> np.ndarray:
+    """Build offset bytes from per-block fields.
+
+    ``mode`` is 0/1, ``outlier_nbytes`` in 1..4 (ignored for plain blocks),
+    ``fl`` in 0..31.
+    """
+    fl = fl.astype(np.uint8)
+    if (fl > 31).any():
+        raise ValueError("fixed length exceeds 31 bits")
+    out = fl & _FL_MASK
+    is_outlier = mode.astype(bool)
+    onb = np.where(is_outlier, outlier_nbytes.astype(np.uint8) - 1, 0).astype(np.uint8)
+    out = out | (onb << _OUTLIER_SHIFT)
+    out = out | np.where(is_outlier, _MODE_BIT, np.uint8(0))
+    return out.astype(np.uint8)
+
+
+def decode_offset_bytes(offsets: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split offset bytes into ``(mode, outlier_nbytes, fl)`` arrays.
+    ``outlier_nbytes`` is 0 for plain blocks."""
+    offsets = offsets.astype(np.uint8, copy=False)
+    mode = (offsets >> 7).astype(np.uint8)
+    fl = (offsets & _FL_MASK).astype(np.uint8)
+    onb = (((offsets >> _OUTLIER_SHIFT) & np.uint8(0x3)) + 1).astype(np.uint8)
+    onb = np.where(mode == MODE_OUTLIER, onb, 0).astype(np.uint8)
+    return mode, onb, fl
+
+
+def payload_sizes(mode: np.ndarray, outlier_nbytes: np.ndarray, fl: np.ndarray, block: int) -> np.ndarray:
+    """Per-block payload length in bytes (excluding the offset byte itself).
+
+    Plain: 0 when ``fl == 0`` (the zero-block fast path -- one total byte
+    per all-zero block, Section V-C), else ``L/8 + fl * L/8``.
+    Outlier: ``L/8 + outlier_nbytes + fl * L/8`` always (sign bits are
+    needed even when the residual planes are empty, to sign the outlier).
+    """
+    sign_bytes = block // 8
+    fl64 = fl.astype(np.int64)
+    plain = np.where(fl64 == 0, 0, sign_bytes + fl64 * sign_bytes)
+    outlier = sign_bytes + outlier_nbytes.astype(np.int64) + fl64 * sign_bytes
+    return np.where(mode.astype(bool), outlier, plain)
+
+
+def outlier_byte_count(mag: np.ndarray) -> np.ndarray:
+    """Adaptive outlier size in bytes (1..4) for int64 magnitudes
+    ``<= 2**31 - 1``: the smallest little-endian width that holds the
+    magnitude, with zero still occupying one byte."""
+    m = mag.astype(np.int64)
+    return (
+        1
+        + (m > 0xFF).astype(np.int64)
+        + (m > 0xFFFF).astype(np.int64)
+        + (m > 0xFFFFFF).astype(np.int64)
+    )

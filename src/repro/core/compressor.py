@@ -1,0 +1,234 @@
+"""End-to-end cuSZp2 compression / decompression (public API).
+
+Mirrors the paper's four-stage single-kernel pipeline (Fig. 4):
+
+1. **Lossy Conversion** -- :mod:`repro.core.quantize`
+2. **Lossless Encoding** -- :mod:`repro.core.fle` (Plain- or Outlier-FLE)
+3. **Global Prefix-sum** -- a cumulative sum over per-block payload sizes
+   (the device-level decoupled-lookback realization of this step is modeled
+   and verified in :mod:`repro.scan`)
+4. **Block Concatenation** -- :mod:`repro.core.stream`
+
+The two public entry points, :func:`compress` and :func:`decompress`,
+operate GPU-buffer-to-GPU-buffer in the paper; here they are NumPy-array to
+NumPy-uint8-array.  ``mode="plain"`` is CUSZP2-P, ``mode="outlier"`` is
+CUSZP2-O.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import compress, decompress
+>>> data = np.cumsum(np.random.default_rng(0).normal(size=4096)).astype(np.float32)
+>>> stream = compress(data, rel=1e-3)
+>>> recon = decompress(stream)
+>>> float(np.abs(recon - data).max()) <= 1e-3 * (data.max() - data.min())
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import fle, predictor, stream
+from .errors import InvalidInputError
+from .quantize import ErrorBound, dequantize, quantize, validate_input
+
+MODES = {"plain": 0, "outlier": 1}
+MODE_NAMES = {v: k for k, v in MODES.items()}
+
+#: The paper's default block size ("the overall best choice in balancing
+#: high throughput and high compression ratio", Section V-A).
+DEFAULT_BLOCK = 32
+
+#: Blocks per processing chunk; bounds temporary bit-plane memory while
+#: keeping every NumPy op long enough to amortize dispatch (the software
+#: analogue of a grid-stride loop).
+DEFAULT_CHUNK_BLOCKS = 1 << 16
+
+
+@dataclass(frozen=True)
+class CompressorConfig:
+    """Static configuration of a cuSZp2 instance."""
+
+    mode: str = "outlier"
+    block: int = DEFAULT_BLOCK
+    predictor_ndim: int = 1
+    chunk_blocks: int = DEFAULT_CHUNK_BLOCKS
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise InvalidInputError(f"mode must be 'plain' or 'outlier', got {self.mode!r}")
+        if self.block <= 0 or self.block % 8:
+            raise InvalidInputError(f"block size must be a positive multiple of 8, got {self.block}")
+        if self.predictor_ndim not in (1, 2, 3):
+            raise InvalidInputError(f"predictor_ndim must be 1, 2 or 3, got {self.predictor_ndim}")
+        if self.predictor_ndim > 1:
+            t = round(self.block ** (1.0 / self.predictor_ndim))
+            if t**self.predictor_ndim != self.block:
+                raise InvalidInputError(
+                    f"block={self.block} is not a perfect {self.predictor_ndim}-D tile"
+                )
+        if self.chunk_blocks <= 0:
+            raise InvalidInputError("chunk_blocks must be positive")
+
+
+def _resolve_dims(data: np.ndarray, cfg: CompressorConfig) -> Tuple[Tuple[int, ...], int]:
+    """Logical dims stored in the header plus the original ndim tag."""
+    if cfg.predictor_ndim > 1:
+        if data.ndim != cfg.predictor_ndim:
+            raise InvalidInputError(
+                f"{cfg.predictor_ndim}-D predictor requires a {cfg.predictor_ndim}-D array, "
+                f"got shape {data.shape}"
+            )
+        return tuple(data.shape), data.ndim
+    if 1 <= data.ndim <= 3:
+        return tuple(data.shape), data.ndim
+    return (data.size,), 0  # >3-D inputs are flattened; shape not preserved
+
+
+class CuSZp2:
+    """A configured cuSZp2 compressor instance.
+
+    Parameters
+    ----------
+    error_bound:
+        An :class:`~repro.core.quantize.ErrorBound` (or a float, interpreted
+        as a REL bound, matching the paper's CLI ``./gsz_p vx.f32 1e-3``).
+    mode:
+        ``"plain"`` (CUSZP2-P) or ``"outlier"`` (CUSZP2-O).
+    block:
+        Elements per block; the paper uses 32 (and 64 / 8x8 / 4x4x4 for the
+        Table VI dimensionality study).
+    predictor_ndim:
+        1 (default, the cuSZp2 design), or 2/3 for the Lorenzo variants.
+    """
+
+    def __init__(
+        self,
+        error_bound,
+        mode: str = "outlier",
+        block: int = DEFAULT_BLOCK,
+        predictor_ndim: int = 1,
+        chunk_blocks: int = DEFAULT_CHUNK_BLOCKS,
+    ):
+        if isinstance(error_bound, (int, float)):
+            error_bound = ErrorBound.relative(float(error_bound))
+        self.error_bound = error_bound
+        self.config = CompressorConfig(mode, block, predictor_ndim, chunk_blocks)
+
+    # -- compression --------------------------------------------------------
+
+    def compress(self, data: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        dims, orig_ndim = _resolve_dims(np.asarray(data), cfg)
+        flat = validate_input(np.asarray(data))
+        eb_abs = self.error_bound.resolve(flat)
+        q = quantize(flat, eb_abs)
+
+        use_outlier = cfg.mode == "outlier"
+        if cfg.predictor_ndim == 1:
+            offsets, payload = self._encode_1d_chunked(q, cfg, use_outlier)
+        else:
+            dblocks = predictor.forward(q, dims, cfg.predictor_ndim, cfg.block)
+            offsets, payload = fle.encode_blocks(dblocks, use_outlier)
+
+        header = stream.StreamHeader(
+            mode=MODES[cfg.mode],
+            dtype=np.dtype(data.dtype),
+            predictor_ndim=cfg.predictor_ndim,
+            block=cfg.block,
+            nelems=flat.size,
+            eb_abs=eb_abs,
+            dims=dims,
+        )
+        buf = stream.assemble(header, offsets, payload)
+        return self._stamp_orig_ndim(buf, orig_ndim)
+
+    @staticmethod
+    def _stamp_orig_ndim(buf: np.ndarray, orig_ndim: int) -> np.ndarray:
+        # The reserved u16 at header offset 10 records the original ndim so
+        # decompress() can restore the caller's shape (0 = flattened).
+        buf[10:12] = np.frombuffer(np.uint16(orig_ndim).tobytes(), dtype=np.uint8)
+        return buf
+
+    @staticmethod
+    def _read_orig_ndim(buf: np.ndarray) -> int:
+        return int(np.frombuffer(buf[10:12].tobytes(), dtype=np.uint16)[0])
+
+    def _encode_1d_chunked(self, q: np.ndarray, cfg: CompressorConfig, use_outlier: bool):
+        qblocks = predictor.blockize_1d(q, cfg.block)
+        nblocks = qblocks.shape[0]
+        offset_parts, payload_parts = [], []
+        for lo in range(0, nblocks, cfg.chunk_blocks):
+            chunk = qblocks[lo : lo + cfg.chunk_blocks]
+            offs, pay = fle.encode_blocks(predictor.diff_1d(chunk), use_outlier)
+            offset_parts.append(offs)
+            payload_parts.append(pay)
+        return np.concatenate(offset_parts), np.concatenate(payload_parts)
+
+    # -- decompression -------------------------------------------------------
+
+    def decompress(self, buf) -> np.ndarray:
+        return decompress(buf)
+
+
+# ---------------------------------------------------------------------------
+# Functional API
+# ---------------------------------------------------------------------------
+
+def compress(
+    data: np.ndarray,
+    rel: Optional[float] = None,
+    abs: Optional[float] = None,  # noqa: A002 - mirrors compressor CLIs
+    mode: str = "outlier",
+    block: int = DEFAULT_BLOCK,
+    predictor_ndim: int = 1,
+) -> np.ndarray:
+    """Compress ``data`` under a REL (``rel=``) or ABS (``abs=``) error
+    bound; returns the unified compressed byte array (uint8)."""
+    if (rel is None) == (abs is None):
+        raise InvalidInputError("specify exactly one of rel= or abs=")
+    eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
+    return CuSZp2(eb, mode=mode, block=block, predictor_ndim=predictor_ndim).compress(data)
+
+
+def decompress(buf, chunk_blocks: int = DEFAULT_CHUNK_BLOCKS) -> np.ndarray:
+    """Decompress a cuSZp2 stream back to a float array (original shape
+    restored when it had at most 3 axes)."""
+    if not isinstance(buf, np.ndarray):
+        buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+    header, offsets, payload = stream.split(buf)
+    orig_ndim = CuSZp2._read_orig_ndim(buf)
+
+    sizes = fle.block_payload_sizes(offsets, header.block)
+    bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+
+    if header.predictor_ndim == 1:
+        nblocks = offsets.shape[0]
+        parts = []
+        for lo in range(0, nblocks, chunk_blocks):
+            hi = min(lo + chunk_blocks, nblocks)
+            dblocks = fle.decode_blocks(
+                offsets[lo:hi], payload[bounds[lo] : bounds[hi]], header.block
+            )
+            parts.append(predictor.undiff_1d(dblocks).reshape(-1))
+        q = np.concatenate(parts)[: header.nelems]
+    else:
+        dblocks = fle.decode_blocks(offsets, payload[: bounds[-1]], header.block)
+        q = predictor.inverse(
+            dblocks, header.dims, header.predictor_ndim, header.block, header.nelems
+        )
+
+    out = dequantize(q, header.eb_abs, header.dtype)
+    if orig_ndim == 0:
+        return out
+    shape = header.dims[:orig_ndim] if orig_ndim <= len(header.dims) else header.dims
+    return out.reshape(shape)
+
+
+def compression_ratio(data: np.ndarray, compressed: np.ndarray) -> float:
+    """Original bytes / compressed bytes."""
+    return data.size * data.dtype.itemsize / compressed.size

@@ -1,0 +1,39 @@
+"""Exception types raised by the cuSZp2 codec.
+
+The real cuSZp2 CUDA kernels exhibit undefined behaviour on inputs the
+format cannot represent (non-finite values, quantization integers that
+overflow ``int32``).  This reproduction turns every such case into a typed,
+documented exception so library users get a diagnosable failure instead of
+silent corruption.
+"""
+
+from __future__ import annotations
+
+
+class CuSZp2Error(Exception):
+    """Base class for all codec errors."""
+
+
+class InvalidInputError(CuSZp2Error):
+    """The input array cannot be compressed (wrong dtype, non-finite, empty)."""
+
+
+class ErrorBoundError(CuSZp2Error):
+    """The requested error bound is unusable (non-positive, NaN, ...)."""
+
+
+class QuantizationOverflowError(CuSZp2Error):
+    """A quantization integer or block delta exceeds the signed-32-bit
+    magnitude range (|value| > 2**31 - 1) that the offset-byte format can
+    describe.  Raised instead of producing a corrupt stream; the fix is a
+    larger error bound."""
+
+
+class StreamFormatError(CuSZp2Error):
+    """The compressed byte stream is malformed (bad magic, truncated data,
+    inconsistent offsets)."""
+
+
+class RandomAccessError(CuSZp2Error):
+    """A random-access request referenced a block or element range outside
+    the compressed stream."""

@@ -1,0 +1,172 @@
+"""Plain and Outlier fixed-length encoding (the paper's Section IV-A).
+
+Given the ``(nblocks, L)`` signed delta blocks produced by the predictor,
+this module performs the Lossless Encoding step of the cuSZp2 pipeline:
+
+* **Plain-FLE** stores, per block, one sign bit per element plus ``fl``
+  bit-planes where ``fl`` is the bit length of the largest magnitude in the
+  block.  An all-zero block costs zero payload bytes.
+* **Outlier-FLE** additionally extracts the block's first delta -- the
+  value that differences against an implicit zero and therefore tends to
+  dwarf its neighbours on smooth data (Fig. 6) -- storing it exactly in
+  1..4 adaptive bytes so the plane width can shrink to the bit length of
+  the *remaining* magnitudes.
+* The **selection strategy** ("for each data block, selecting Outlier-FLE
+  only when it offers a higher compression ratio") is a pure byte-count
+  comparison; no re-encoding is needed, matching the paper's single
+  magnitude pass.
+
+Everything is vectorized by grouping blocks with identical
+``(mode, fixed-length, outlier-width)`` signatures and encoding or decoding
+each group as one tensor operation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import bitpack, blockfmt
+from .errors import QuantizationOverflowError, StreamFormatError
+from .quantize import MAX_QUANT_MAGNITUDE
+
+
+def _check_magnitudes(mag: np.ndarray) -> None:
+    if mag.size and int(mag.max()) > int(MAX_QUANT_MAGNITUDE):
+        raise QuantizationOverflowError(
+            "a block delta exceeds 2**31 - 1 and cannot be represented by the "
+            "5-bit fixed-length field; increase the error bound"
+        )
+
+
+def _block_bitlengths(mag: np.ndarray) -> np.ndarray:
+    """Per-block fixed length: bit length of the max magnitude in the row."""
+    return bitpack.bit_length(mag.max(axis=1))
+
+
+def _scatter_rows(out: np.ndarray, starts: np.ndarray, rows: np.ndarray) -> None:
+    """Write each payload row ``rows[i]`` at ``out[starts[i]: starts[i]+w]``."""
+    if rows.size == 0:
+        return
+    w = rows.shape[1]
+    out[starts[:, None] + np.arange(w)[None, :]] = rows
+
+
+def _gather_rows(buf: np.ndarray, starts: np.ndarray, width: int) -> np.ndarray:
+    if starts.size == 0 or width == 0:
+        return np.empty((starts.size, width), dtype=np.uint8)
+    idx = starts[:, None] + np.arange(width)[None, :]
+    if idx.size and int(idx.max()) >= buf.size:
+        raise StreamFormatError("payload truncated: block data extends past end of stream")
+    return buf[idx]
+
+
+def encode_blocks(dblocks: np.ndarray, use_outlier: bool) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode delta blocks; returns ``(offset_bytes, payload)``.
+
+    ``use_outlier`` selects the compressor mode: ``False`` is CUSZP2-P
+    (strict Plain-FLE, the extreme-throughput mode), ``True`` is CUSZP2-O
+    (per-block best of Plain/Outlier).
+    """
+    nblocks, L = dblocks.shape
+    mag = np.abs(dblocks)
+    _check_magnitudes(mag)
+    fl_plain = _block_bitlengths(mag).astype(np.int64)
+
+    if use_outlier:
+        omag = mag[:, 0].astype(np.int64)
+        onb = blockfmt.outlier_byte_count(omag)
+        mag_rest = mag.copy()
+        mag_rest[:, 0] = 0
+        fl_rest = _block_bitlengths(mag_rest).astype(np.int64)
+        sign_bytes = L // 8
+        cost_plain = np.where(fl_plain == 0, 0, sign_bytes * (1 + fl_plain))
+        cost_outlier = sign_bytes + onb + fl_rest * sign_bytes
+        mode = (cost_outlier < cost_plain).astype(np.uint8)
+    else:
+        omag = np.zeros(nblocks, dtype=np.int64)
+        onb = np.zeros(nblocks, dtype=np.int64)
+        fl_rest = fl_plain  # unused
+        mode = np.zeros(nblocks, dtype=np.uint8)
+
+    fl = np.where(mode == blockfmt.MODE_OUTLIER, fl_rest, fl_plain)
+    offsets = blockfmt.encode_offset_bytes(mode, np.maximum(onb, 1), fl)
+    sizes = blockfmt.payload_sizes(mode, np.where(mode == 1, onb, 0), fl, L)
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+    payload = np.zeros(int(sizes.sum()), dtype=np.uint8)
+
+    signs_all = bitpack.pack_signs(dblocks)
+
+    # --- plain groups, keyed by fixed length ------------------------------
+    plain_sel = mode == blockfmt.MODE_PLAIN
+    plain_fls = np.unique(fl[plain_sel])
+    for f in plain_fls:
+        f = int(f)
+        if f == 0:
+            continue  # zero blocks carry no payload
+        idx = np.flatnonzero(plain_sel & (fl == f))
+        rows = np.concatenate([signs_all[idx], bitpack.pack_planes(mag[idx], f)], axis=1)
+        _scatter_rows(payload, starts[idx], rows)
+
+    # --- outlier groups, keyed by (fixed length, outlier width) -----------
+    if use_outlier:
+        out_sel = mode == blockfmt.MODE_OUTLIER
+        if out_sel.any():
+            keys = fl[out_sel] * 8 + onb[out_sel]
+            for key in np.unique(keys):
+                f, k = int(key) // 8, int(key) % 8
+                idx = np.flatnonzero(out_sel & (fl == f) & (onb == k))
+                obytes = (
+                    (omag[idx, None] >> (8 * np.arange(k, dtype=np.int64))) & 0xFF
+                ).astype(np.uint8)
+                rows = np.concatenate(
+                    [signs_all[idx], obytes, bitpack.pack_planes(mag_rest[idx], f)], axis=1
+                )
+                _scatter_rows(payload, starts[idx], rows)
+
+    return offsets, payload
+
+
+def decode_blocks(offsets: np.ndarray, payload: np.ndarray, block: int) -> np.ndarray:
+    """Invert :func:`encode_blocks` back to ``(nblocks, L)`` int64 deltas."""
+    nblocks = offsets.shape[0]
+    L = block
+    sign_bytes = L // 8
+    mode, onb, fl = blockfmt.decode_offset_bytes(offsets)
+    sizes = blockfmt.payload_sizes(mode, onb, fl, L)
+    total = int(sizes.sum())
+    if total != payload.size:
+        raise StreamFormatError(
+            f"offset bytes describe {total} payload bytes but stream holds {payload.size}"
+        )
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+    deltas = np.zeros((nblocks, L), dtype=np.int64)
+
+    fl64 = fl.astype(np.int64)
+    keys = mode.astype(np.int64) * 512 + fl64 * 8 + onb.astype(np.int64)
+    for key in np.unique(keys):
+        m, rem = divmod(int(key), 512)
+        f, k = divmod(rem, 8)
+        idx = np.flatnonzero(keys == key)
+        if m == blockfmt.MODE_PLAIN and f == 0:
+            continue  # zero blocks decode to all-zero deltas
+        width = int(sizes[idx[0]])
+        rows = _gather_rows(payload, starts[idx], width)
+        negative = bitpack.unpack_signs(rows[:, :sign_bytes], L)
+        if m == blockfmt.MODE_PLAIN:
+            mag = bitpack.unpack_planes(rows[:, sign_bytes:], f, L)
+        else:
+            obytes = rows[:, sign_bytes : sign_bytes + k].astype(np.int64)
+            omag = (obytes << (8 * np.arange(k, dtype=np.int64))[None, :]).sum(axis=1)
+            mag = bitpack.unpack_planes(rows[:, sign_bytes + k :], f, L)
+            mag[:, 0] = omag
+        deltas[idx] = bitpack.apply_signs(mag, negative)
+    return deltas
+
+
+def block_payload_sizes(offsets: np.ndarray, block: int) -> np.ndarray:
+    """Payload size per block from offset bytes alone (used by the global
+    prefix-sum step and by random access)."""
+    mode, onb, fl = blockfmt.decode_offset_bytes(offsets)
+    return blockfmt.payload_sizes(mode, onb, fl, block)

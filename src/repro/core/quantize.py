@@ -1,0 +1,123 @@
+"""Lossy conversion: floating-point data <-> bounded quantization integers.
+
+This is step 1 of the cuSZp2 pipeline (Fig. 4 of the paper) and the *only*
+lossy stage.  Each value ``x`` becomes the integer ``q = floor(x / (2*eb) +
+0.5)`` and is reconstructed as ``q * 2 * eb``, guaranteeing
+``|x - q * 2 * eb| <= eb``.
+
+Both the value-range-based relative bound (REL, the paper's evaluation
+setting) and an absolute bound (ABS) are supported.  All arithmetic is done
+in float64 regardless of the input precision so that single- and
+double-precision inputs share one quantizer, mirroring the paper's
+observation that f32/f64 differ only in this conversion step
+(Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ErrorBoundError, InvalidInputError, QuantizationOverflowError
+
+#: Largest magnitude a quantization integer (or block delta) may take: the
+#: offset byte dedicates 5 bits to the fixed length, so magnitudes must fit
+#: in 31 bits (Section IV-A: "the absolute value of a signed int32 data
+#: ranges from 0 to 2^31 - 1").
+MAX_QUANT_MAGNITUDE = np.int64(2**31 - 1)
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """User-facing error-bound specification.
+
+    ``kind`` is ``"rel"`` (value-range relative, as in the paper's REL
+    lambda settings) or ``"abs"`` (absolute).  Use the :meth:`relative` /
+    :meth:`absolute` constructors rather than instantiating directly.
+    """
+
+    kind: str
+    value: float
+
+    @classmethod
+    def relative(cls, lam: float) -> "ErrorBound":
+        """Value-range relative bound: the pointwise error is at most
+        ``lam * (max(data) - min(data))``."""
+        return cls("rel", float(lam))
+
+    @classmethod
+    def absolute(cls, eb: float) -> "ErrorBound":
+        """Absolute bound: the pointwise error is at most ``eb``."""
+        return cls("abs", float(eb))
+
+    def resolve(self, data: np.ndarray) -> float:
+        """Return the absolute error bound for ``data``.
+
+        For a REL bound on constant data (range zero) any positive bound
+        reproduces the data exactly after quantization; we fall back to
+        ``lam * max(|c|, 1)`` so the quantizer still has a usable step.
+        """
+        if not np.isfinite(self.value) or self.value <= 0.0:
+            raise ErrorBoundError(f"error bound must be finite and > 0, got {self.value!r}")
+        if self.kind == "abs":
+            return self.value
+        if self.kind != "rel":
+            raise ErrorBoundError(f"unknown error-bound kind {self.kind!r}")
+        lo = float(np.min(data))
+        hi = float(np.max(data))
+        rng = hi - lo
+        if rng == 0.0:
+            return self.value * max(abs(hi), 1.0)
+        return self.value * rng
+
+
+def validate_input(data: np.ndarray) -> np.ndarray:
+    """Check that ``data`` is a non-empty finite float32/float64 array and
+    return it as a flattened C-contiguous view/copy."""
+    if not isinstance(data, np.ndarray):
+        raise InvalidInputError(f"expected a numpy array, got {type(data).__name__}")
+    if data.dtype not in (np.float32, np.float64):
+        raise InvalidInputError(f"dtype must be float32 or float64, got {data.dtype}")
+    if data.size == 0:
+        raise InvalidInputError("cannot compress an empty array")
+    flat = np.ascontiguousarray(data).reshape(-1)
+    if not np.isfinite(flat).all():
+        raise InvalidInputError("input contains NaN or infinity; cuSZp2 requires finite data")
+    return flat
+
+
+def quantize(data: np.ndarray, eb_abs: float) -> np.ndarray:
+    """Convert floats to quantization integers (int64) under absolute bound
+    ``eb_abs``.  Raises :class:`QuantizationOverflowError` when an integer
+    would exceed the signed-32-bit magnitude the stream format supports."""
+    if eb_abs <= 0.0 or not np.isfinite(eb_abs):
+        raise ErrorBoundError(f"absolute error bound must be finite and > 0, got {eb_abs!r}")
+    scaled = data.astype(np.float64, copy=False) / (2.0 * eb_abs)
+    q = np.floor(scaled + 0.5)
+    # Check in float space first: float64 can exceed int64 range.
+    bad = np.abs(q) > float(MAX_QUANT_MAGNITUDE)
+    if bad.any():
+        idx = int(np.argmax(bad))
+        raise QuantizationOverflowError(
+            f"quantization integer {q.flat[idx]:.0f} at element {idx} exceeds "
+            f"2**31 - 1; increase the error bound (eb={eb_abs:g})"
+        )
+    return q.astype(np.int64)
+
+
+def dequantize(q: np.ndarray, eb_abs: float, dtype: np.dtype) -> np.ndarray:
+    """Reconstruct floats from quantization integers."""
+    return (q.astype(np.float64) * (2.0 * eb_abs)).astype(dtype)
+
+
+def max_quantized_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest pointwise absolute error between two arrays (the quantity the
+    error bound promises to cap)."""
+    return float(
+        np.max(
+            np.abs(
+                original.astype(np.float64, copy=False) - reconstructed.astype(np.float64, copy=False)
+            )
+        )
+    )

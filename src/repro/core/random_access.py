@@ -1,0 +1,188 @@
+"""Random access into a compressed cuSZp2 stream (paper Section VI-B).
+
+Because cuSZp2 compresses at block granularity and blocks are mutually
+independent (the first element of every block differences against an
+implicit zero), any block can be reconstructed by
+
+1. reading the fixed-location offset bytes,
+2. prefix-summing the per-block payload sizes they imply (the same global
+   synchronization the decompression kernel performs), and
+3. decoding just the requested block's payload.
+
+:class:`RandomAccessor` amortizes steps 1-2 across many requests, which is
+how the paper reaches TB-level random-access throughput (Fig. 20): the work
+per access is tiny compared to the dataset the throughput is normalized by.
+Random access is only available for the 1-D predictor (the cuSZp2 default);
+Lorenzo tiles of the 2-D/3-D variants are also independent, but their
+element indexing is tile-based and out of scope for this API.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import fle, predictor, stream
+from .errors import RandomAccessError
+from .quantize import dequantize
+
+
+class RandomAccessor:
+    """Decode arbitrary blocks or element ranges of a compressed stream."""
+
+    def __init__(self, buf):
+        if not isinstance(buf, np.ndarray):
+            buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+        self._raw = buf
+        self.header, self._offsets, self._payload = stream.split(buf)
+        if self.header.predictor_ndim != 1:
+            raise RandomAccessError(
+                "random access requires the 1-D predictor "
+                f"(stream uses {self.header.predictor_ndim}-D)"
+            )
+        sizes = fle.block_payload_sizes(self._offsets, self.header.block)
+        # Exclusive prefix sum: block i's payload is payload[bounds[i]:bounds[i+1]].
+        self._bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        if int(self._bounds[-1]) != self._payload.size:
+            from .errors import StreamFormatError
+
+            raise StreamFormatError(
+                f"offset bytes describe {int(self._bounds[-1])} payload bytes "
+                f"but the stream holds {self._payload.size}"
+            )
+
+    @property
+    def nblocks(self) -> int:
+        return self._offsets.shape[0]
+
+    @property
+    def block(self) -> int:
+        return self.header.block
+
+    def _check_block(self, idx: int) -> int:
+        if not -self.nblocks <= idx < self.nblocks:
+            raise RandomAccessError(f"block {idx} out of range [0, {self.nblocks})")
+        return idx % self.nblocks
+
+    def decode_block(self, idx: int) -> np.ndarray:
+        """Reconstruct the ``idx``-th data block (its valid elements only
+        for the final, possibly partial, block)."""
+        return self.decode_blocks(np.array([self._check_block(idx)]))[0][
+            : self._valid_len(self._check_block(idx))
+        ]
+
+    def decode_blocks(self, indices: np.ndarray) -> np.ndarray:
+        """Reconstruct several blocks at once; returns ``(k, L)`` floats
+        (padding elements of a trailing partial block are reconstructed but
+        meaningless)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.nblocks):
+            raise RandomAccessError(
+                f"block indices must lie in [0, {self.nblocks}); got "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        L = self.header.block
+        widths = self._bounds[indices + 1] - self._bounds[indices]
+        deltas = np.zeros((indices.size, L), dtype=np.int64)
+        for w in np.unique(widths):
+            sel = widths == w
+            idx = indices[sel]
+            rows_payload = (
+                self._payload[
+                    self._bounds[idx][:, None] + np.arange(int(w))[None, :]
+                ]
+                if w
+                else np.empty((idx.size, 0), dtype=np.uint8)
+            )
+            deltas[sel] = fle.decode_blocks(
+                self._offsets[idx], rows_payload.reshape(-1), L
+            )
+        q = predictor.undiff_1d(deltas)
+        return dequantize(q, self.header.eb_abs, self.header.dtype)
+
+    def _valid_len(self, idx: int) -> int:
+        L = self.header.block
+        return min(L, self.header.nelems - idx * L)
+
+    def block_for_element(self, elem: int) -> Tuple[int, int]:
+        """Map a flat element index to ``(block_index, offset_in_block)``."""
+        if not 0 <= elem < self.header.nelems:
+            raise RandomAccessError(f"element {elem} out of range [0, {self.header.nelems})")
+        return divmod(elem, self.header.block)
+
+    def decode_range(self, start: int, stop: int) -> np.ndarray:
+        """Reconstruct the flat element range ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.header.nelems:
+            raise RandomAccessError(
+                f"range [{start}, {stop}) outside [0, {self.header.nelems}]"
+            )
+        if start == stop:
+            return np.empty(0, dtype=self.header.dtype)
+        L = self.header.block
+        b0, b1 = start // L, (stop - 1) // L
+        rows = self.decode_blocks(np.arange(b0, b1 + 1))
+        flat = rows.reshape(-1)
+        return flat[start - b0 * L : stop - b0 * L]
+
+    def payload_bytes_touched(self, indices: np.ndarray) -> int:
+        """Payload bytes actually read to decode ``indices`` -- used by the
+        performance model to credit random access with its tiny traffic."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return int((self._bounds[indices + 1] - self._bounds[indices]).sum())
+
+    # -- random-access write (Section VI-B: "random access write have
+    # similar results") ----------------------------------------------------
+
+    def rewrite_block(self, idx: int, values: np.ndarray) -> np.ndarray:
+        """Replace the contents of block ``idx`` and return the updated
+        stream.
+
+        The new values are quantized under the stream's stored error bound
+        and re-encoded with its encoding mode.  When the re-encoded payload
+        has the same length, the write is a local splice (the offset byte
+        plus that block's payload bytes -- the in-place case real
+        random-access write exploits); otherwise the surrounding payload is
+        shifted, which is still a single pass over the byte array.
+        """
+        from . import fle as fle_mod
+        from .quantize import quantize
+
+        idx = self._check_block(idx)
+        L = self.header.block
+        valid = self._valid_len(idx)
+        values = np.asarray(values)
+        if values.shape != (valid,):
+            raise RandomAccessError(
+                f"block {idx} holds {valid} elements; got shape {values.shape}"
+            )
+        if values.dtype != self.header.dtype:
+            values = values.astype(self.header.dtype)
+
+        q = quantize(values.astype(np.float64), self.header.eb_abs)
+        if valid < L:  # trailing partial block pads by repeating the last value
+            q = np.concatenate([q, np.full(L - valid, q[-1], dtype=np.int64)])
+        deltas = predictor.diff_1d(q.reshape(1, L))
+        new_offset, new_payload = fle_mod.encode_blocks(
+            deltas, use_outlier=self.header.mode == 1
+        )
+
+        lo, hi = int(self._bounds[idx]), int(self._bounds[idx + 1])
+        head_end = stream.HEADER_SIZE
+        off_section = self._offsets.copy()
+        off_section[idx] = new_offset[0]
+        new_buf = np.concatenate(
+            [
+                # header bytes (includes the orig-ndim tag at offset 10)
+                np.asarray(self._raw[:head_end]),
+                off_section,
+                self._payload[:lo],
+                new_payload,
+                self._payload[hi:],
+            ]
+        )
+        return new_buf
+
+    def updated(self, idx: int, values: np.ndarray) -> "RandomAccessor":
+        """Functional update: a new accessor over the rewritten stream."""
+        return RandomAccessor(self.rewrite_block(idx, values))

@@ -1,0 +1,128 @@
+"""Compressed-stream container: header framing + section views.
+
+Layout (all little-endian; see DESIGN.md Section 6)::
+
+    [52-byte header][nblocks offset bytes][payload bytes]
+
+The offset section has a *predictable* location and size -- one byte per
+block -- which is what lets decompression and random access find any block
+with a prefix sum over offset bytes only (paper, Fig. 5: "We store offset
+information because each data block's offset requires only 1 byte,
+ensuring predictable locations").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .errors import StreamFormatError
+
+MAGIC = b"CSZ2"
+VERSION = 1
+HEADER_FMT = "<4sBBBBHHQd3Q"
+HEADER_SIZE = struct.calcsize(HEADER_FMT)
+
+DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+CODE_DTYPES = {0: np.dtype(np.float32), 1: np.dtype(np.float64)}
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Decoded header fields of a cuSZp2 stream."""
+
+    mode: int  # 0 = Plain-FLE (CUSZP2-P), 1 = Outlier-FLE (CUSZP2-O)
+    dtype: np.dtype
+    predictor_ndim: int  # 1, 2 or 3
+    block: int  # elements per block (L)
+    nelems: int
+    eb_abs: float  # resolved absolute error bound
+    dims: Tuple[int, ...]  # logical field shape (padded with 1s to 3 axes)
+
+    @property
+    def nblocks(self) -> int:
+        if self.predictor_ndim == 1:
+            return -(-self.nelems // self.block)
+        t = round(self.block ** (1.0 / self.predictor_ndim))
+        n = 1
+        for s in self.dims[: self.predictor_ndim]:
+            n *= -(-s // t)
+        return n
+
+    def pack(self) -> bytes:
+        dims3 = tuple(self.dims) + (1,) * (3 - len(self.dims))
+        return struct.pack(
+            HEADER_FMT,
+            MAGIC,
+            VERSION,
+            self.mode,
+            DTYPE_CODES[np.dtype(self.dtype)],
+            self.predictor_ndim,
+            self.block,
+            0,  # reserved
+            self.nelems,
+            self.eb_abs,
+            *dims3,
+        )
+
+    @classmethod
+    def unpack(cls, buf: np.ndarray) -> "StreamHeader":
+        if buf.size < HEADER_SIZE:
+            raise StreamFormatError(f"stream shorter than the {HEADER_SIZE}-byte header")
+        fields = struct.unpack(HEADER_FMT, buf[:HEADER_SIZE].tobytes())
+        magic, version, mode, dtype_code, ndim, block, _res, nelems, eb, d0, d1, d2 = fields
+        if magic != MAGIC:
+            raise StreamFormatError(f"bad magic {magic!r}; not a cuSZp2 stream")
+        if version != VERSION:
+            raise StreamFormatError(f"unsupported stream version {version}")
+        if dtype_code not in CODE_DTYPES:
+            raise StreamFormatError(f"unknown dtype code {dtype_code}")
+        if mode not in (0, 1):
+            raise StreamFormatError(f"unknown mode {mode}")
+        if ndim not in (1, 2, 3):
+            raise StreamFormatError(f"unsupported predictor dimensionality {ndim}")
+        if block == 0 or block % 8:
+            raise StreamFormatError(f"block size {block} must be a positive multiple of 8")
+        if eb <= 0 or not np.isfinite(eb):
+            raise StreamFormatError(f"stored error bound {eb!r} is not positive/finite")
+        # Keep the full logical shape (the caller's array shape), trimming
+        # only trailing padding 1s beyond the predictor's dimensionality.
+        dims = [int(d) for d in (d0, d1, d2)]
+        while len(dims) > max(ndim, 1) and dims[-1] == 1:
+            dims.pop()
+        prod = 1
+        for d in dims:
+            prod *= d
+        if prod != nelems:
+            raise StreamFormatError(
+                f"header inconsistency: dims {tuple(dims)} describe {prod} elements "
+                f"but the element count says {nelems}"
+            )
+        return cls(mode, CODE_DTYPES[dtype_code], ndim, block, nelems, eb, tuple(dims))
+
+
+def assemble(header: StreamHeader, offsets: np.ndarray, payload: np.ndarray) -> np.ndarray:
+    """Concatenate header + offset bytes + payload into one uint8 array (the
+    'single, unified byte array' the paper's Block Concatenation step
+    produces)."""
+    head = np.frombuffer(header.pack(), dtype=np.uint8)
+    return np.concatenate([head, offsets.astype(np.uint8), payload.astype(np.uint8)])
+
+
+def split(buf: np.ndarray) -> Tuple[StreamHeader, np.ndarray, np.ndarray]:
+    """Parse a stream into ``(header, offset_bytes, payload)`` views."""
+    if isinstance(buf, (bytes, bytearray, memoryview)):
+        buf = np.frombuffer(buf, dtype=np.uint8)
+    if buf.dtype != np.uint8:
+        raise StreamFormatError(f"stream must be uint8 bytes, got dtype {buf.dtype}")
+    header = StreamHeader.unpack(buf)
+    nblocks = header.nblocks
+    off_end = HEADER_SIZE + nblocks
+    if buf.size < off_end:
+        raise StreamFormatError(
+            f"stream truncated: need {nblocks} offset bytes, have {buf.size - HEADER_SIZE}"
+        )
+    return header, buf[HEADER_SIZE:off_end], buf[off_end:]

@@ -1,0 +1,30 @@
+"""Synthetic HPC dataset substrate (stand-ins for Tables II and IV)."""
+
+from .generators import GENERATORS, hpc_field
+from .io import read_field, write_field
+from .registry import (
+    ALL_DATASETS,
+    DATASETS,
+    DOUBLE_PRECISION,
+    SINGLE_PRECISION,
+    DatasetSpec,
+    FieldSpec,
+    get_dataset,
+)
+from .spectral import band_limited_noise, power_law_field
+
+__all__ = [
+    "GENERATORS",
+    "hpc_field",
+    "power_law_field",
+    "band_limited_noise",
+    "DatasetSpec",
+    "FieldSpec",
+    "DATASETS",
+    "ALL_DATASETS",
+    "SINGLE_PRECISION",
+    "DOUBLE_PRECISION",
+    "get_dataset",
+    "read_field",
+    "write_field",
+]

@@ -1,0 +1,164 @@
+"""Synthetic stand-ins for the paper's dataset families.
+
+Each generator targets the compression-relevant statistics of one Table
+II/IV family (documented per function): smoothness (first-difference
+magnitude relative to range), sparsity (zero-block fraction), and
+oscillation.  Absolute values are arbitrary; ratios and orderings are what
+the reproduction preserves (DESIGN.md Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .spectral import band_limited_noise, power_law_field
+
+
+def smooth_field(shape: Tuple[int, ...], beta: float, noise: float, seed: int, dtype=np.float32) -> np.ndarray:
+    """Power-law field plus a white-noise floor.
+
+    ``noise`` (relative to unit field std) sets the quantized-delta floor:
+    larger noise -> larger fixed lengths -> lower ratios.  Climate/
+    hydrodynamics families (CESM-ATM, SCALE, Miranda, NYX) use this with
+    different (beta, noise).
+    """
+    rng = np.random.default_rng(seed + 1)
+    f = power_law_field(shape, beta, seed, np.float64)
+    if noise > 0:
+        f = f + noise * rng.normal(size=shape)
+    return f.astype(dtype)
+
+
+def sparse_wavefield(
+    shape: Tuple[int, ...],
+    active_fraction: float,
+    beta: float,
+    seed: int,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Mostly-zero field with localized smooth wave packets.
+
+    Mimics RTM pressure snapshots and the JetIn combustion volume: large
+    exactly-zero regions (zero blocks -> 1 byte each) surrounding a smooth
+    active region.  ``active_fraction`` is the kept volume fraction.
+    """
+    f = power_law_field(shape, beta, seed, np.float64)
+    envelope = power_law_field(shape, 3.0, seed + 7, np.float64)
+    threshold = np.quantile(envelope, 1.0 - active_fraction)
+    out = np.where(envelope > threshold, f, 0.0)
+    return out.astype(dtype)
+
+
+def particle_field(n: int, smoothness: float, seed: int, dtype=np.float32) -> np.ndarray:
+    """1-D particle attribute stream (HACC positions/velocities).
+
+    HACC stores per-particle attributes; particles are laid out in a
+    spatially correlated order, so position fields (xx/yy/zz) are smooth
+    ramps with small jitter while velocity fields (vx/vy/vz) carry much
+    more entropy.  ``smoothness`` in [0, 1] interpolates between white
+    jitter and an almost monotone ramp.
+    """
+    rng = np.random.default_rng(seed)
+    ramp = np.linspace(0.0, 1.0, n)
+    walk = np.cumsum(rng.normal(size=n))
+    walk /= max(np.abs(walk).max(), 1e-12)
+    jitter = rng.normal(size=n)
+    jitter /= max(np.abs(jitter).max(), 1e-12)
+    f = smoothness * (ramp + 0.2 * walk) + (1.0 - smoothness) * jitter
+    return f.astype(dtype)
+
+
+def oscillatory_field(shape: Tuple[int, ...], k_center: float, seed: int, dtype=np.float32) -> np.ndarray:
+    """Band-limited oscillatory data (QMCPack wavefunctions, NWChem
+    integrals): neighbouring samples decorrelate quickly, so Outlier-FLE
+    gains little over Plain-FLE."""
+    return band_limited_noise(shape, 0.5 * k_center, 1.5 * k_center, seed, dtype)
+
+
+def lattice_field(shape: Tuple[int, ...], period: int, noise: float, seed: int, dtype=np.float32) -> np.ndarray:
+    """Periodic solid/void structure with CT-style noise (SynTruss: an
+    additively manufactured truss scanned synthetically).  Noise rides on
+    the solid material only; voids scan as exact zeros, giving the large
+    zero-block population the paper observes for this dataset."""
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.arange(s) for s in shape], indexing="ij")
+    phase = sum(np.sin(2 * np.pi * g / period) for g in grids)
+    solid = (phase > 0.3).astype(np.float64)
+    f = solid * (1.0 + noise * rng.normal(size=shape))
+    return f.astype(dtype)
+
+
+def turbulence_field(shape: Tuple[int, ...], beta: float, seed: int, dtype=np.float32) -> np.ndarray:
+    """Lognormal density field (NYX baryon density, S3D species): smooth in
+    the log domain, heavy-tailed in the linear one."""
+    g = power_law_field(shape, beta, seed, np.float64)
+    f = np.exp(0.8 * g)
+    return f.astype(dtype)
+
+
+def hpc_field(
+    shape: Tuple[int, ...],
+    seed: int,
+    k_cut: float = 0.02,
+    body_power: float = 1.0,
+    zero_fraction: float = 0.0,
+    inflate_range: float = 0.0,
+    noise: float = 0.0,
+    zero_envelope_kcut: float = 0.02,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Composite generator covering the Table II field families.
+
+    Knobs map directly onto the block-cost tiers of the cuSZp2 format:
+
+    ``k_cut``
+        Band limit (cycles/sample): lower -> smaller per-sample drift ->
+        smaller fixed lengths (the fine-sampling regime of the paper's
+        ~1000-per-axis grids).
+    ``body_power``
+        Values are shaped as ``sign(g) |g|^p``: large ``p`` concentrates
+        the body near zero so a range-relative error bound turns most
+        blocks into zero blocks (NYX/SCALE-style heavy tails).
+    ``zero_fraction``
+        Fraction of the domain forced to exact zero via a smooth envelope
+        (RTM/JetIn-style inactive regions, decoded via the memset path).
+    ``inflate_range``
+        If > 0, a handful of isolated samples are set to +-R times the
+        body scale: real HPC fields' global range is dominated by rare
+        extremes, which shrinks every other block's quantization integers
+        under a range-relative bound.
+    ``noise``
+        White-noise floor relative to the body scale: the entropy floor
+        that keeps ratios finite on rough fields (HACC velocities,
+        QMCPack).
+    """
+    rng = np.random.default_rng(seed + 13)
+    g = power_law_field(shape, 3.0, seed, np.float64, k_cut=k_cut)
+    f = np.sign(g) * np.abs(g) ** body_power
+    std = f.std()
+    if std > 0:
+        f /= std
+    if noise > 0:
+        f = f + noise * rng.normal(size=shape)
+    if zero_fraction > 0:
+        envelope = power_law_field(shape, 3.0, seed + 7, np.float64, k_cut=zero_envelope_kcut)
+        threshold = np.quantile(envelope, zero_fraction)
+        f = np.where(envelope > threshold, f, 0.0)
+    if inflate_range > 0:
+        n = max(2, int(f.size * 1e-5))
+        idx = rng.choice(f.size, n, replace=False)
+        f.flat[idx] = rng.choice([-1.0, 1.0], n) * inflate_range
+    return f.astype(dtype)
+
+
+GENERATORS = {
+    "smooth": smooth_field,
+    "sparse_wavefield": sparse_wavefield,
+    "particle": particle_field,
+    "oscillatory": oscillatory_field,
+    "lattice": lattice_field,
+    "turbulence": turbulence_field,
+    "hpc": hpc_field,
+}

@@ -1,0 +1,46 @@
+"""Raw binary field I/O following SDRBench conventions.
+
+SDRBench distributes fields as headerless little-endian ``.f32`` / ``.f64``
+files whose dimensions are published out-of-band (Table II); these helpers
+read and write that format so the examples can operate on real SDRBench
+downloads when available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+_SUFFIX_DTYPES = {".f32": np.dtype("<f4"), ".f64": np.dtype("<f8")}
+
+
+def dtype_for_path(path) -> np.dtype:
+    suffix = Path(path).suffix.lower()
+    try:
+        return _SUFFIX_DTYPES[suffix]
+    except KeyError:
+        raise ValueError(
+            f"cannot infer dtype from suffix {suffix!r}; expected .f32 or .f64"
+        ) from None
+
+
+def read_field(path, dims: Optional[Tuple[int, ...]] = None) -> np.ndarray:
+    """Read a raw SDRBench field; reshape to ``dims`` when given."""
+    dtype = dtype_for_path(path)
+    data = np.fromfile(path, dtype=dtype)
+    if dims is not None:
+        expected = int(np.prod(dims))
+        if data.size != expected:
+            raise ValueError(
+                f"{path}: holds {data.size} values but dims {dims} need {expected}"
+            )
+        data = data.reshape(dims)
+    return data
+
+
+def write_field(path, data: np.ndarray) -> None:
+    """Write a field in the raw format matching the path suffix."""
+    dtype = dtype_for_path(path)
+    np.ascontiguousarray(data, dtype=dtype).tofile(path)

@@ -1,0 +1,57 @@
+"""GPU execution-model substrate.
+
+Because this reproduction has no CUDA device, GPU behaviour is split into
+(a) a *protocol* layer -- :mod:`repro.gpusim.vm`'s cooperative virtual GPU,
+on which concurrent kernel algorithms run and are property-tested -- and
+(b) a *performance* layer -- device specs, access-pattern costs, kernel
+cost models, and a calibrated mapping from real byte traffic to simulated
+throughput (see DESIGN.md Section 2 for the substitution argument).
+"""
+
+from .access import Access, Pattern, effective_bandwidth
+from .device import A100_40GB, DEVICES, RTX_3080, RTX_3090, DeviceSpec, get_device
+from .instruction import InstructionMix, compile_copy_loop, vectorization_reduction
+from .kernelmodel import (
+    KernelCost,
+    KernelTiming,
+    PipelineCost,
+    ablate_vectorization,
+    merge,
+    replace_sync,
+)
+from .pipelines import Artifacts
+from .profiler import PipelineProfile, profile
+from .roofline import RooflinePoint, place as roofline_place, render as roofline_render, ridge_intensity
+from .vm import DeadlockError, GlobalMemory, RunReport, VirtualGPU
+
+__all__ = [
+    "Access",
+    "Pattern",
+    "effective_bandwidth",
+    "DeviceSpec",
+    "A100_40GB",
+    "RTX_3090",
+    "RTX_3080",
+    "DEVICES",
+    "get_device",
+    "InstructionMix",
+    "compile_copy_loop",
+    "vectorization_reduction",
+    "KernelCost",
+    "KernelTiming",
+    "PipelineCost",
+    "merge",
+    "ablate_vectorization",
+    "replace_sync",
+    "Artifacts",
+    "profile",
+    "PipelineProfile",
+    "RooflinePoint",
+    "roofline_place",
+    "roofline_render",
+    "ridge_intensity",
+    "GlobalMemory",
+    "VirtualGPU",
+    "RunReport",
+    "DeadlockError",
+]

@@ -1,0 +1,101 @@
+"""Global-memory access patterns and their DRAM cost model.
+
+The paper's Section IV-B attributes the throughput gap between cuSZp2 and
+earlier pure-GPU compressors to memory access behaviour:
+
+* **vectorized + coalesced** (cuSZp2): ``LD.E.128`` transactions, adjacent
+  warps touching adjacent blocks -> near-peak DRAM utilization
+  (1330 GB/s of 1555 measured for the optimized stage);
+* **scalar coalesced** (typical well-written kernels): 4x the instruction
+  count, lower L1 sector utilization;
+* **strided / scalar-per-thread-block** (cuSZp: "strided and scalar-manner
+  memory access patterns", 410 GB/s);
+* **atomic-heavy** (FZ-GPU's global synchronization: 134 GB/s).
+
+Each pattern carries two coefficients:
+
+``amplification``
+    Raw DRAM bytes moved per useful byte (partial 32-byte sectors count in
+    full -- e.g. a 4-byte load with a 128-byte stride still moves a 32-byte
+    sector, amplification 8).
+``utilization``
+    Fraction of peak DRAM bandwidth the pattern can sustain (latency-bound
+    and serialization effects: atomics serialize, strided patterns defeat
+    prefetching).
+
+Effective useful bandwidth is ``peak * utilization / amplification``.
+The coefficients are calibration constants; their provenance is documented
+in :mod:`repro.gpusim.calibration`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+
+class Pattern(enum.Enum):
+    """How a kernel touches a region of global memory."""
+
+    #: 128-bit vector loads/stores, warp-adjacent blocks (cuSZp2, Fig. 10/11).
+    VECTORIZED = "vectorized"
+    #: 32-bit scalar accesses, still warp-coalesced.
+    COALESCED = "coalesced"
+    #: Each thread walks a private contiguous chunk -> inter-thread stride.
+    STRIDED = "strided"
+    #: Serialized atomic read-modify-write traffic.
+    ATOMIC = "atomic"
+    #: Byte-granular scatter of variable-length compressed blocks (partial
+    #: sectors at block boundaries).
+    BLOCK_SCATTER = "block_scatter"
+    #: cudaMemset-style bulk fill (zero-block flush fast path).
+    MEMSET = "memset"
+
+
+@dataclass(frozen=True)
+class PatternCost:
+    amplification: float
+    utilization: float
+
+
+#: Calibrated pattern coefficients (see calibration.py for how these were
+#: fitted against the paper's Figures 9 and 16).
+PATTERN_COSTS = {
+    Pattern.VECTORIZED: PatternCost(amplification=1.00, utilization=0.86),
+    Pattern.COALESCED: PatternCost(amplification=1.00, utilization=0.62),
+    Pattern.STRIDED: PatternCost(amplification=2.00, utilization=0.55),
+    Pattern.ATOMIC: PatternCost(amplification=4.00, utilization=0.25),
+    Pattern.BLOCK_SCATTER: PatternCost(amplification=1.35, utilization=0.80),
+    Pattern.MEMSET: PatternCost(amplification=1.00, utilization=0.90),
+}
+
+
+@dataclass(frozen=True)
+class Access:
+    """One logical memory stream of a kernel: ``nbytes`` useful bytes moved
+    with a given pattern (direction does not change the cost model)."""
+
+    nbytes: float
+    pattern: Pattern
+    label: str = ""
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.nbytes * PATTERN_COSTS[self.pattern].amplification
+
+    def time_on(self, device: DeviceSpec) -> float:
+        """Seconds this stream alone would need on ``device``."""
+        cost = PATTERN_COSTS[self.pattern]
+        bw = device.dram_bw * cost.utilization
+        if self.pattern is Pattern.MEMSET:
+            bw = device.memset_bw * cost.utilization
+        return self.dram_bytes / (bw * 1e9)
+
+
+def effective_bandwidth(pattern: Pattern, device: DeviceSpec) -> float:
+    """Useful GB/s this pattern sustains on ``device``."""
+    cost = PATTERN_COSTS[pattern]
+    peak = device.memset_bw if pattern is Pattern.MEMSET else device.dram_bw
+    return peak * cost.utilization / cost.amplification

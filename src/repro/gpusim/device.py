@@ -1,0 +1,101 @@
+"""GPU device specifications used by the performance model.
+
+The paper evaluates on an NVIDIA A100 (40 GB, 108 SMs, 1555 GB/s DRAM
+bandwidth -- the figure quoted in Sections IV-B and V-B), and checks
+compatibility on RTX 3090 and RTX 3080 (Section VI-C).  Hybrid compressors
+additionally cross PCIe and run CPU stages, so the spec also carries host
+link and host compute parameters (Section I: PCIe "has only a limited
+throughput of around 10~20 GB/s").
+
+All bandwidth values are in **GB/s (1e9 bytes per second)** and times in
+seconds, consistently across :mod:`repro.gpusim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU (plus its host link)."""
+
+    name: str
+    num_sms: int
+    #: Peak DRAM bandwidth, GB/s.
+    dram_bw: float
+    #: Sustained integer/logic operation throughput, Gop/s, across the
+    #: device (per-SM ALUs x SM count x clock, derated for issue limits).
+    op_rate: float
+    #: SM boost clock in GHz (used by the discrete-event scan models to
+    #: convert cycle counts to time).
+    clock_ghz: float
+    #: Kernel launch overhead in seconds (CUDA ~3-10 us per launch).
+    kernel_launch_s: float
+    #: Host<->device PCIe bandwidth, GB/s (one direction).
+    pcie_bw: float
+    #: Host-side sequential processing rate for CPU stages of hybrid
+    #: compressors (e.g. Huffman tree construction), GB/s.
+    host_rate: float
+    #: cudaMemset device fill bandwidth, GB/s (used by the zero-block flush
+    #: fast path, Section V-B).
+    memset_bw: float
+    #: Resident thread blocks the device can keep in flight at once
+    #: (occupancy proxy for the scan timing models).
+    resident_blocks: int
+
+    def scaled(self, **overrides) -> "DeviceSpec":
+        """Return a copy with selected fields replaced (used by ablations)."""
+        return replace(self, **overrides)
+
+
+#: NVIDIA A100-SXM4-40GB -- the paper's primary platform (Section V-A).
+A100_40GB = DeviceSpec(
+    name="A100-40GB",
+    num_sms=108,
+    dram_bw=1555.0,
+    op_rate=9_700.0,  # 108 SMs x 64 INT32 lanes x 1.41 GHz
+    clock_ghz=1.41,
+    kernel_launch_s=5e-6,
+    pcie_bw=12.0,  # PCIe gen3/4 effective, the paper's "10~20 GB/s"
+    host_rate=1.2,
+    memset_bw=1400.0,
+    resident_blocks=216,  # 2 blocks per SM at cuSZp2's occupancy
+)
+
+#: NVIDIA GeForce RTX 3090 (Section VI-C).
+RTX_3090 = DeviceSpec(
+    name="RTX-3090",
+    num_sms=82,
+    dram_bw=936.0,
+    op_rate=7_200.0,
+    clock_ghz=1.70,
+    kernel_launch_s=5e-6,
+    pcie_bw=12.0,
+    host_rate=1.2,
+    memset_bw=850.0,
+    resident_blocks=164,
+)
+
+#: NVIDIA GeForce RTX 3080 10GB (Section VI-C).
+RTX_3080 = DeviceSpec(
+    name="RTX-3080",
+    num_sms=68,
+    dram_bw=760.0,
+    op_rate=6_000.0,
+    clock_ghz=1.71,
+    kernel_launch_s=5e-6,
+    pcie_bw=12.0,
+    host_rate=1.2,
+    memset_bw=700.0,
+    resident_blocks=136,
+)
+
+DEVICES = {d.name: d for d in (A100_40GB, RTX_3090, RTX_3080)}
+
+
+def get_device(name: str) -> DeviceSpec:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICES)}") from None

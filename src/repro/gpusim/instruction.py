@@ -1,0 +1,85 @@
+"""SASS-level memory-instruction accounting (paper Fig. 10).
+
+Figure 10 shows that vectorizing a copy loop with ``float4`` turns
+``ele_num`` pairs of ``LD.E`` / ``ST.E`` (32-bit) instructions into
+``ele_num / 4`` pairs of ``LD.E.128`` / ``ST.E.128``.  This module models
+exactly that compilation: given a kernel's element count, element width and
+vector width, it produces the instruction mix a SASS dump would show, plus
+the derived control-flow (loop iteration) count -- the quantity the paper
+says vectorization also reduces ("this loop vectorization design also
+reduces control-flow penalties").
+
+It is intentionally tiny and exact so the Fig. 10 benchmark can assert the
+4x reduction as an equality rather than a model output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: SASS load/store opcodes by access width in bits.
+LOAD_OPCODES = {32: "LD.E", 64: "LD.E.64", 128: "LD.E.128"}
+STORE_OPCODES = {32: "ST.E", 64: "ST.E.64", 128: "ST.E.128"}
+
+
+@dataclass
+class InstructionMix:
+    """Instruction counts of one compiled loop nest."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, opcode: str, n: int) -> None:
+        self.counts[opcode] = self.counts.get(opcode, 0) + int(n)
+
+    @property
+    def memory_instructions(self) -> int:
+        ld_st = tuple(LOAD_OPCODES.values()) + tuple(STORE_OPCODES.values())
+        return sum(v for k, v in self.counts.items() if k in ld_st)
+
+    @property
+    def control_instructions(self) -> int:
+        return self.counts.get("BRA", 0) + self.counts.get("ISETP", 0)
+
+    def __getitem__(self, opcode: str) -> int:
+        return self.counts.get(opcode, 0)
+
+
+def compile_copy_loop(
+    ele_num: int,
+    elem_bits: int = 32,
+    vector_width: int = 1,
+    loads_per_iter: int = 1,
+    stores_per_iter: int = 1,
+) -> InstructionMix:
+    """'Compile' the Fig. 10 demo loop.
+
+    ``vector_width`` elements are grouped per memory operation (1 = the
+    scalar original, 4 = the ``float4`` version).  Each loop iteration
+    contributes one compare (``ISETP``) and one branch (``BRA``).
+    """
+    if vector_width not in (1, 2, 4):
+        raise ValueError(f"vector_width must be 1, 2 or 4, got {vector_width}")
+    if ele_num % vector_width:
+        raise ValueError(
+            f"element count {ele_num} not divisible by vector width {vector_width}"
+        )
+    access_bits = elem_bits * vector_width
+    if access_bits not in LOAD_OPCODES:
+        raise ValueError(f"unsupported access width {access_bits} bits")
+    iters = ele_num // vector_width
+    mix = InstructionMix()
+    mix.add(LOAD_OPCODES[access_bits], iters * loads_per_iter)
+    mix.add(STORE_OPCODES[access_bits], iters * stores_per_iter)
+    mix.add("ISETP", iters)
+    mix.add("BRA", iters)
+    return mix
+
+
+def vectorization_reduction(ele_num: int, elem_bits: int = 32) -> float:
+    """Memory-instruction reduction factor of ``float4`` vectorization for a
+    copy loop (the paper's headline 4x)."""
+    scalar = compile_copy_loop(ele_num, elem_bits, vector_width=1)
+    vector = compile_copy_loop(ele_num, elem_bits, vector_width=4)
+    return scalar.memory_instructions / vector.memory_instructions

@@ -1,0 +1,204 @@
+"""Analytic kernel cost model: traffic + compute + synchronization -> time.
+
+A GPU kernel in this model is a bag of memory streams (:class:`Access`),
+a compute budget (operations across the grid), and an optional device-level
+synchronization latency (produced by the :mod:`repro.scan` timing models).
+Kernel time is::
+
+    T = launch + max(T_mem, T_compute) + T_sync
+
+``max`` reflects that a well-pipelined kernel overlaps arithmetic with
+outstanding memory transactions (the GPU latency-hiding model of Volkov
+cited by the paper [24]); the synchronization term is additive because the
+device-level prefix sum is a dependency chain that by construction cannot
+overlap with the work that produces its inputs.
+
+The same object also yields the Nsight-style *memory throughput* number
+(DRAM bytes / kernel time) used by Figures 9 and 16, so the e2e-throughput
+and profiler views are two readings of one model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .access import Access
+from .device import DeviceSpec
+
+
+@dataclass
+class KernelCost:
+    """Cost description of one kernel launch."""
+
+    name: str
+    accesses: List[Access] = field(default_factory=list)
+    #: Total arithmetic/logic operations executed across the grid.
+    compute_ops: float = 0.0
+    #: Device-level synchronization latency in seconds (from the scan
+    #: timing models); 0 for kernels without cross-block dependencies.
+    sync_s: float = 0.0
+
+    def read(self, nbytes: float, pattern, label: str = "") -> "KernelCost":
+        self.accesses.append(Access(nbytes, pattern, label or "read"))
+        return self
+
+    def write(self, nbytes: float, pattern, label: str = "") -> "KernelCost":
+        self.accesses.append(Access(nbytes, pattern, label or "write"))
+        return self
+
+    def compute(self, ops: float) -> "KernelCost":
+        self.compute_ops += ops
+        return self
+
+    def sync(self, seconds: float) -> "KernelCost":
+        self.sync_s += seconds
+        return self
+
+    # -- evaluation ---------------------------------------------------------
+
+    def useful_bytes(self) -> float:
+        return sum(a.nbytes for a in self.accesses)
+
+    def dram_bytes(self) -> float:
+        return sum(a.dram_bytes for a in self.accesses)
+
+    def memory_time(self, device: DeviceSpec) -> float:
+        return sum(a.time_on(device) for a in self.accesses)
+
+    def compute_time(self, device: DeviceSpec) -> float:
+        return self.compute_ops / (device.op_rate * 1e9)
+
+    def time(self, device: DeviceSpec) -> float:
+        body = max(self.memory_time(device), self.compute_time(device))
+        return device.kernel_launch_s + body + self.sync_s
+
+    def timing(self, device: DeviceSpec) -> "KernelTiming":
+        return KernelTiming(
+            name=self.name,
+            launch_s=device.kernel_launch_s,
+            memory_s=self.memory_time(device),
+            compute_s=self.compute_time(device),
+            sync_s=self.sync_s,
+            dram_bytes=self.dram_bytes(),
+            useful_bytes=self.useful_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Evaluated timing breakdown of one kernel on one device."""
+
+    name: str
+    launch_s: float
+    memory_s: float
+    compute_s: float
+    sync_s: float
+    dram_bytes: float
+    useful_bytes: float
+
+    @property
+    def total_s(self) -> float:
+        return self.launch_s + max(self.memory_s, self.compute_s) + self.sync_s
+
+    @property
+    def memory_throughput_gbs(self) -> float:
+        """Nsight-style achieved DRAM throughput of this kernel."""
+        return self.dram_bytes / self.total_s / 1e9
+
+    @property
+    def bound(self) -> str:
+        """Which resource dominates the kernel body."""
+        if self.sync_s > max(self.memory_s, self.compute_s):
+            return "sync"
+        return "memory" if self.memory_s >= self.compute_s else "compute"
+
+
+@dataclass
+class PipelineCost:
+    """A sequence of kernels plus host-side stages and PCIe transfers --
+    enough to express both pure-GPU compressors (one kernel, no transfers)
+    and CPU-GPU hybrids (Fig. 1/2)."""
+
+    name: str
+    kernels: List[KernelCost] = field(default_factory=list)
+    #: Bytes crossing PCIe (sum over both directions).
+    pcie_bytes: float = 0.0
+    #: Bytes processed by host-side sequential stages (e.g. Huffman build).
+    host_bytes: float = 0.0
+    #: Fixed host-side overhead (allocations, kernel coordination), seconds.
+    host_fixed_s: float = 0.0
+
+    def add(self, kernel: KernelCost) -> "PipelineCost":
+        self.kernels.append(kernel)
+        return self
+
+    def kernel_time(self, device: DeviceSpec) -> float:
+        """GPU-only time: what 'kernel throughput' measurements report."""
+        return sum(k.time(device) for k in self.kernels)
+
+    def end_to_end_time(self, device: DeviceSpec) -> float:
+        """Everything between input-on-GPU and output-on-GPU (the paper's
+        Definition in Section II)."""
+        t = self.kernel_time(device) + self.host_fixed_s
+        t += self.pcie_bytes / (device.pcie_bw * 1e9)
+        t += self.host_bytes / (device.host_rate * 1e9)
+        return t
+
+    def kernel_throughput(self, device: DeviceSpec, data_bytes: float) -> float:
+        return data_bytes / self.kernel_time(device) / 1e9
+
+    def end_to_end_throughput(self, device: DeviceSpec, data_bytes: float) -> float:
+        return data_bytes / self.end_to_end_time(device) / 1e9
+
+    def memory_throughput(self, device: DeviceSpec) -> float:
+        """Achieved DRAM throughput across the pipeline's kernels, weighted
+        by kernel time (what profiling the compression kernels in Nsight
+        reports for multi-kernel designs)."""
+        total_t = self.kernel_time(device)
+        total_bytes = sum(k.dram_bytes() for k in self.kernels)
+        return total_bytes / total_t / 1e9
+
+
+def merge(name: str, *costs: KernelCost) -> KernelCost:
+    """Fuse several stage costs into one single-kernel cost (cuSZp2's
+    single-kernel design: stage traffic adds up, launch is paid once)."""
+    fused = KernelCost(name)
+    for c in costs:
+        fused.accesses.extend(c.accesses)
+        fused.compute_ops += c.compute_ops
+        fused.sync_s += c.sync_s
+    return fused
+
+
+def ablate_vectorization(cost: KernelCost) -> KernelCost:
+    """Sec. VI-E ablation: demote every vectorized stream to scalar
+    coalesced access *and* inflate the instruction-issue cost.
+
+    Vectorization helps twice (Fig. 10): coalesced 128-bit transactions
+    keep DRAM busy, and 4x fewer LD/ST + loop-control instructions free the
+    issue pipeline for arithmetic.  Undoing it therefore both lowers the
+    achievable bandwidth and raises the compute time by
+    ``VECTORIZATION_ISSUE_FACTOR`` (calibrated in calibration.py so the
+    Sec. VI-E attribution lands near the paper's 56%/41% split).
+    """
+    from .access import Pattern
+    from .calibration import VECTORIZATION_ISSUE_FACTOR
+
+    out = KernelCost(
+        cost.name + "+no-vec",
+        compute_ops=cost.compute_ops * VECTORIZATION_ISSUE_FACTOR,
+        sync_s=cost.sync_s,
+    )
+    for a in cost.accesses:
+        p = Pattern.COALESCED if a.pattern is Pattern.VECTORIZED else a.pattern
+        out.accesses.append(Access(a.nbytes, p, a.label))
+    return out
+
+
+def replace_sync(cost: KernelCost, sync_s: float, suffix: str) -> Optional[KernelCost]:
+    """Sec. VI-E ablation: swap the synchronization latency (e.g. decoupled
+    lookback -> plain chained-scan)."""
+    out = KernelCost(cost.name + suffix, compute_ops=cost.compute_ops, sync_s=sync_s)
+    out.accesses = list(cost.accesses)
+    return out

@@ -1,0 +1,221 @@
+"""The cuSZp2 single-kernel pipeline, executed on the virtual GPU.
+
+The paper's central engineering claim is that *all four stages* -- Lossy
+Conversion, Lossless Encoding, Global Prefix-sum, Block Concatenation --
+run inside one GPU kernel, with the decoupled-lookback scan providing the
+device-level synchronization that lets every thread block scatter its
+compressed bytes to the right slot without a second launch (Sections III
+and IV-C).
+
+This module reproduces that structure literally: each virtual-GPU thread
+block quantizes and encodes its share of data blocks (stages 1-2), takes
+part in the decoupled-lookback scan over compressed lengths (stage 3), and
+scatters its payload into the unified output array (stage 4).  Under any
+random schedule the resulting stream is **byte-identical** to the
+vectorized reference implementation in :mod:`repro.core` -- the
+property the integration tests assert.
+
+The same is done for decompression (offset-byte scan -> per-block decode).
+These kernels are correctness artifacts, not fast paths: they exist to
+validate the concurrent design the performance model assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import fle, predictor, stream
+from ..core.compressor import MODES
+from ..core.quantize import ErrorBound, dequantize, quantize, validate_input
+from ..scan.lookback import FLAG_AGGREGATE, FLAG_INVALID, FLAG_PREFIX
+from .vm import GlobalMemory, VirtualGPU
+
+#: Worst-case payload bytes per data block (signs + 31 planes + offset
+#: byte's outlier bytes); used to size the scatter buffer.
+def _max_block_payload(block: int) -> int:
+    return block // 8 + 4 + 31 * (block // 8)
+
+
+def _lookback_exclusive(tb, mem: GlobalMemory, aggregate: int):
+    """Shared decoupled-lookback participation: publish ``aggregate`` for
+    block ``tb``, walk predecessors, return the exclusive prefix.
+
+    Generator: ``yield`` marks fences / re-polls, exactly like
+    :func:`repro.scan.lookback.lookback_scan_kernel`."""
+    mem["aggregate"][tb] = aggregate
+    yield  # __threadfence() before flipping the flag
+    if tb == 0:
+        mem["inclusive"][0] = aggregate
+        yield
+        mem["flag"][0] = FLAG_PREFIX
+        return 0
+    mem["flag"][tb] = FLAG_AGGREGATE
+
+    running = 0
+    j = tb - 1
+    while True:
+        flag = int(mem["flag"][j])
+        if flag == FLAG_PREFIX:
+            running += int(mem["inclusive"][j])
+            break
+        if flag == FLAG_AGGREGATE:
+            running += int(mem["aggregate"][j])
+            j -= 1
+            continue
+        yield  # predecessor still Waiting (Fig. 13)
+
+    mem["inclusive"][tb] = running + aggregate
+    yield  # __threadfence()
+    mem["flag"][tb] = FLAG_PREFIX
+    return running
+
+
+def _compression_kernel(tb: int, mem: GlobalMemory, ctx: dict):
+    """One thread block of the single-kernel compressor."""
+    block = ctx["block"]
+    per_tb = ctx["blocks_per_tb"]
+    lo = tb * per_tb
+    hi = min(lo + per_tb, ctx["nblocks"])
+
+    # Stage 1+2: lossy conversion + lossless encoding of our data blocks.
+    qblocks = ctx["qblocks"][lo:hi]
+    deltas = predictor.diff_1d(qblocks)
+    yield  # the encode loop body (registers/shared memory only)
+    offsets, payload = fle.encode_blocks(deltas, ctx["use_outlier"])
+
+    # Offset bytes have fixed locations: write immediately (Fig. 5).
+    mem["offsets"][lo:hi] = offsets
+    yield
+
+    # Stage 3: decoupled lookback over compressed payload lengths.
+    start = yield from _lookback_exclusive(tb, mem, int(payload.size))
+
+    # Stage 4: scatter the payload into the unified array.
+    mem["payload"][start : start + payload.size] = payload
+    mem["lengths"][tb] = payload.size
+    yield
+
+
+def compress_on_vm(
+    data: np.ndarray,
+    error_bound,
+    mode: str = "outlier",
+    block: int = 32,
+    blocks_per_tb: int = 4,
+    resident: int = 8,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Compress ``data`` by launching the single-kernel pipeline on the
+    virtual GPU; returns a stream byte-identical to
+    :func:`repro.core.compress`."""
+    if isinstance(error_bound, (int, float)):
+        error_bound = ErrorBound.relative(float(error_bound))
+    flat = validate_input(np.asarray(data))
+    eb_abs = error_bound.resolve(flat)
+    q = quantize(flat, eb_abs)
+    qblocks = predictor.blockize_1d(q, block)
+    nblocks = qblocks.shape[0]
+    n_tb = -(-nblocks // blocks_per_tb)
+
+    mem = GlobalMemory()
+    mem.alloc("offsets", nblocks, np.uint8)
+    mem.alloc("payload", nblocks * _max_block_payload(block), np.uint8)
+    mem.alloc("lengths", n_tb, np.int64)
+    mem.alloc("aggregate", n_tb, np.int64)
+    mem.alloc("inclusive", n_tb, np.int64)
+    mem.alloc("flag", n_tb, np.int64, fill=FLAG_INVALID)
+
+    ctx = {
+        "block": block,
+        "blocks_per_tb": blocks_per_tb,
+        "nblocks": nblocks,
+        "qblocks": qblocks,
+        "use_outlier": mode == "outlier",
+    }
+    VirtualGPU(resident=resident, seed=seed).launch(
+        _compression_kernel, grid=n_tb, mem=mem, args=(ctx,)
+    )
+
+    total = int(mem["inclusive"][n_tb - 1])
+    header = stream.StreamHeader(
+        mode=MODES[mode],
+        dtype=np.dtype(data.dtype),
+        predictor_ndim=1,
+        block=block,
+        nelems=flat.size,
+        eb_abs=eb_abs,
+        dims=tuple(np.asarray(data).shape) if np.asarray(data).ndim <= 3 else (flat.size,),
+    )
+    buf = stream.assemble(header, mem["offsets"], mem["payload"][:total])
+    # Stamp the original-ndim tag like the reference compressor.
+    orig_ndim = np.asarray(data).ndim if np.asarray(data).ndim <= 3 else 0
+    buf[10:12] = np.frombuffer(np.uint16(orig_ndim).tobytes(), dtype=np.uint8)
+    return buf
+
+
+def _decompression_kernel(tb: int, mem: GlobalMemory, ctx: dict):
+    """One thread block of the single-kernel decompressor."""
+    block = ctx["block"]
+    per_tb = ctx["blocks_per_tb"]
+    lo = tb * per_tb
+    hi = min(lo + per_tb, ctx["nblocks"])
+
+    # Read our offset bytes; derive local payload sizes (stage 3 input).
+    offsets = np.asarray(mem["offsets"][lo:hi], dtype=np.uint8)
+    sizes = fle.block_payload_sizes(offsets, block)
+    yield
+
+    start = yield from _lookback_exclusive(tb, mem, int(sizes.sum()))
+
+    # Stages 4 -> 2 -> 1 in reverse: gather payload, decode, reconstruct.
+    payload = np.asarray(mem["payload"][start : start + int(sizes.sum())], dtype=np.uint8)
+    deltas = fle.decode_blocks(offsets, payload, block)
+    q = predictor.undiff_1d(deltas).reshape(-1)
+    yield
+    out_lo = lo * block
+    out_hi = min(hi * block, ctx["nelems"])
+    mem["quant"][out_lo:out_hi] = q[: out_hi - out_lo]
+    yield
+
+
+def decompress_on_vm(
+    buf,
+    blocks_per_tb: int = 4,
+    resident: int = 8,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Decompress a cuSZp2 stream with the single-kernel pipeline on the
+    virtual GPU; matches :func:`repro.core.decompress` exactly."""
+    if not isinstance(buf, np.ndarray):
+        buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+    header, offsets, payload = stream.split(buf)
+    if header.predictor_ndim != 1:
+        raise ValueError("the VM kernel implements the 1-D (default) pipeline")
+    nblocks = offsets.shape[0]
+    n_tb = -(-nblocks // blocks_per_tb)
+
+    mem = GlobalMemory()
+    mem.bind("offsets", np.asarray(offsets, dtype=np.uint8))
+    mem.bind("payload", np.asarray(payload, dtype=np.uint8))
+    mem.alloc("quant", nblocks * header.block, np.int64)
+    mem.alloc("aggregate", n_tb, np.int64)
+    mem.alloc("inclusive", n_tb, np.int64)
+    mem.alloc("flag", n_tb, np.int64, fill=FLAG_INVALID)
+
+    ctx = {
+        "block": header.block,
+        "blocks_per_tb": blocks_per_tb,
+        "nblocks": nblocks,
+        "nelems": header.nelems,
+    }
+    VirtualGPU(resident=resident, seed=seed).launch(
+        _decompression_kernel, grid=n_tb, mem=mem, args=(ctx,)
+    )
+    q = np.asarray(mem["quant"][: header.nelems])
+    out = dequantize(q, header.eb_abs, header.dtype)
+    orig_ndim = int(np.frombuffer(buf[10:12].tobytes(), dtype=np.uint16)[0])
+    if orig_ndim == 0:
+        return out
+    return out.reshape(header.dims[:orig_ndim] if orig_ndim <= len(header.dims) else header.dims)

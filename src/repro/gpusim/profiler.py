@@ -1,0 +1,88 @@
+"""Nsight-Compute-style profiling view of a pipeline (Figures 9 and 16).
+
+`profile()` evaluates a :class:`PipelineCost` on a device and reports the
+numbers the paper reads off Nsight: achieved memory throughput of the
+compression kernels, the utilization fraction against the DRAM peak, and a
+per-kernel breakdown with each kernel's bound resource.
+
+The reported memory throughput applies the per-family
+``PROFILE_DRAM_MULT`` calibration (see :mod:`repro.gpusim.calibration`):
+Nsight counts full memory-hierarchy traffic (sector replays, L2 staging),
+which is larger than useful DRAM bytes for staged single-kernel designs and
+collapses for atomic-serialized ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .calibration import PROFILE_DRAM_MULT
+from .device import DeviceSpec
+from .kernelmodel import KernelTiming, PipelineCost
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    name: str
+    time_s: float
+    memory_throughput_gbs: float
+    bound: str
+
+
+@dataclass(frozen=True)
+class PipelineProfile:
+    """What 'profiling the compression kernels with Nsight Compute' yields."""
+
+    name: str
+    device: str
+    kernels: List[KernelProfile]
+    memory_throughput_gbs: float
+    dram_peak_gbs: float
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        return self.memory_throughput_gbs / self.dram_peak_gbs
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.name} on {self.device} ==",
+            f"memory throughput: {self.memory_throughput_gbs:8.2f} GB/s"
+            f"  ({100 * self.bandwidth_utilization:5.1f}% of {self.dram_peak_gbs:.0f} GB/s peak)",
+        ]
+        for k in self.kernels:
+            lines.append(
+                f"  {k.name:<28} {1e3 * k.time_s:8.3f} ms  "
+                f"{k.memory_throughput_gbs:8.2f} GB/s  [{k.bound}-bound]"
+            )
+        return "\n".join(lines)
+
+
+def profile(pipe: PipelineCost, device: DeviceSpec, family: str) -> PipelineProfile:
+    """Profile ``pipe`` as Nsight would, for a compressor of ``family``
+    (one of the PROFILE_DRAM_MULT keys)."""
+    mult = PROFILE_DRAM_MULT[family]
+    # Nsight never reports DRAM throughput above the sustainable ceiling.
+    cap = 0.93 * device.dram_bw
+    kernel_profiles = []
+    total_bytes = 0.0
+    total_time = 0.0
+    for k in pipe.kernels:
+        t: KernelTiming = k.timing(device)
+        kernel_profiles.append(
+            KernelProfile(
+                name=t.name,
+                time_s=t.total_s,
+                memory_throughput_gbs=min(cap, t.memory_throughput_gbs * mult),
+                bound=t.bound,
+            )
+        )
+        total_bytes += t.dram_bytes
+        total_time += t.total_s
+    return PipelineProfile(
+        name=pipe.name,
+        device=device.name,
+        kernels=kernel_profiles,
+        memory_throughput_gbs=min(cap, total_bytes * mult / total_time / 1e9),
+        dram_peak_gbs=device.dram_bw,
+    )

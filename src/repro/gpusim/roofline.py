@@ -1,0 +1,71 @@
+"""Roofline analysis of kernel costs.
+
+The roofline model places a kernel by its *arithmetic intensity* (ops per
+DRAM byte) against the device's two ceilings -- peak compute and peak
+bandwidth x intensity -- and tells you which bound you are under and how
+close you sit to it.  For this reproduction it makes the paper's Section
+IV-B argument quantitative: existing compressors run far below the memory
+roof (low achieved bandwidth), cuSZp2's vectorized kernels climb to it, and
+compression's extra encode arithmetic pushes it just past the ridge into
+the compute-bound region (which is why its e2e throughput tops out near
+335 GB/s rather than at copy speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .device import DeviceSpec
+from .kernelmodel import KernelCost
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    name: str
+    intensity: float  # ops per DRAM byte
+    achieved_gops: float  # ops per second actually sustained / 1e9
+    roof_gops: float  # min(compute roof, bandwidth * intensity) / 1e9
+    bound: str  # 'memory' or 'compute'
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the applicable roof the kernel reaches."""
+        return self.achieved_gops / self.roof_gops if self.roof_gops else 0.0
+
+
+def ridge_intensity(device: DeviceSpec) -> float:
+    """Ops/byte at which the two roofs meet."""
+    return device.op_rate / device.dram_bw
+
+
+def place(kernel: KernelCost, device: DeviceSpec) -> RooflinePoint:
+    """Place a kernel cost on the device's roofline."""
+    dram = kernel.dram_bytes()
+    ops = kernel.compute_ops
+    intensity = ops / dram if dram else float("inf")
+    time_s = kernel.time(device)
+    achieved = ops / time_s / 1e9 if time_s > 0 else 0.0
+    roof = min(device.op_rate, device.dram_bw * intensity)
+    bound = "compute" if intensity >= ridge_intensity(device) else "memory"
+    return RooflinePoint(kernel.name, intensity, achieved, roof, bound)
+
+
+def render(points: List[RooflinePoint], device: DeviceSpec, width: int = 40) -> str:
+    """Text rendering of kernels against the device roofline."""
+    lines = [
+        f"== roofline on {device.name} "
+        f"(compute roof {device.op_rate:.0f} Gop/s, "
+        f"bandwidth roof {device.dram_bw:.0f} GB/s, "
+        f"ridge at {ridge_intensity(device):.2f} ops/B) ==",
+        f"{'kernel':<26} {'ops/B':>8} {'achieved':>10} {'roof':>10} {'eff':>6}  bound",
+    ]
+    for p in sorted(points, key=lambda p: p.intensity):
+        bar = "#" * max(1, int(width * min(p.efficiency, 1.0)))
+        lines.append(
+            f"{p.name:<26} {p.intensity:>8.2f} {p.achieved_gops:>9.0f}G {p.roof_gops:>9.0f}G "
+            f"{100 * p.efficiency:>5.1f}%  {p.bound:<8} {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""A cooperative virtual GPU for concurrent kernel *protocols*.
+
+The decoupled-lookback scan is a lock-free concurrent algorithm whose
+correctness depends on the order in which thread blocks publish and observe
+status flags.  To verify our implementation the way one would verify the
+CUDA original, this module provides a tiny virtual GPU:
+
+* **thread blocks are Python generators** -- every ``yield`` is a
+  preemption point (the analogue of an arbitrary warp scheduler decision);
+* **global memory** is a set of named NumPy arrays with sequentially
+  consistent loads/stores and atomics (single-threaded execution gives us
+  the memory model for free; what we randomize is the *interleaving*);
+* the **scheduler** keeps at most ``resident`` blocks in flight, admits
+  blocks in launch order (real GPUs dispatch CTAs in roughly increasing id,
+  the forward-progress assumption decoupled lookback relies on), and picks
+  the next block to advance uniformly at random from a seeded RNG.
+
+Property tests drive thousands of random schedules through the scan
+protocols and require exact results under every interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class DeadlockError(RuntimeError):
+    """All resident blocks spun for too long without any retiring -- the
+    protocol under test lost its forward-progress guarantee."""
+
+
+class GlobalMemory:
+    """Named arrays with atomics.
+
+    All operations complete immediately and are visible to every block (the
+    VM is single-threaded); ``yield`` points in kernels determine what a
+    block may have observed *before* another block's update.
+    """
+
+    def __init__(self):
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def alloc(self, name: str, shape, dtype=np.int64, fill=0) -> np.ndarray:
+        arr = np.full(shape, fill, dtype=dtype)
+        self._arrays[name] = arr
+        return arr
+
+    def bind(self, name: str, arr: np.ndarray) -> np.ndarray:
+        self._arrays[name] = arr
+        return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def atomic_add(self, name: str, idx: int, value) -> int:
+        arr = self._arrays[name]
+        old = arr[idx]
+        arr[idx] = old + value
+        return int(old)
+
+    def atomic_cas(self, name: str, idx: int, expected, desired) -> int:
+        arr = self._arrays[name]
+        old = int(arr[idx])
+        if old == int(expected):
+            arr[idx] = desired
+        return old
+
+    def atomic_max(self, name: str, idx: int, value) -> int:
+        arr = self._arrays[name]
+        old = int(arr[idx])
+        arr[idx] = max(old, int(value))
+        return old
+
+
+@dataclass
+class BlockStats:
+    """Per-block execution counters collected by the scheduler."""
+
+    steps: int = 0
+    retired_at_step: int = -1
+
+
+@dataclass
+class RunReport:
+    """What a :meth:`VirtualGPU.launch` returns."""
+
+    total_steps: int
+    block_stats: List[BlockStats] = field(default_factory=list)
+
+    @property
+    def max_block_steps(self) -> int:
+        return max((s.steps for s in self.block_stats), default=0)
+
+
+class VirtualGPU:
+    """Cooperative scheduler over generator thread blocks."""
+
+    def __init__(self, resident: int = 8, seed: Optional[int] = None):
+        if resident < 1:
+            raise ValueError("resident must be >= 1")
+        self.resident = resident
+        self._rng = random.Random(seed)
+
+    def launch(
+        self,
+        kernel: Callable[..., Iterable],
+        grid: int,
+        mem: GlobalMemory,
+        args: tuple = (),
+        max_steps: int = 5_000_000,
+        spin_limit: int = 200_000,
+    ) -> RunReport:
+        """Run ``grid`` instances of ``kernel(block_id, mem, *args)``.
+
+        ``kernel`` must be a generator function; it is advanced one segment
+        (up to its next ``yield``) per scheduling step.  Raises
+        :class:`DeadlockError` if ``spin_limit`` consecutive steps pass with
+        no block retiring while every resident block keeps yielding.
+        """
+        stats = [BlockStats() for _ in range(grid)]
+        next_block = 0
+        active: Dict[int, Iterable] = {}
+        total_steps = 0
+        steps_since_retire = 0
+
+        def admit():
+            nonlocal next_block
+            while len(active) < self.resident and next_block < grid:
+                active[next_block] = kernel(next_block, mem, *args)
+                next_block += 1
+
+        admit()
+        while active:
+            if total_steps >= max_steps:
+                raise DeadlockError(
+                    f"exceeded {max_steps} scheduling steps with "
+                    f"{len(active)} blocks still active"
+                )
+            bid = self._rng.choice(list(active))
+            gen = active[bid]
+            total_steps += 1
+            stats[bid].steps += 1
+            steps_since_retire += 1
+            try:
+                next(gen)
+            except StopIteration:
+                del active[bid]
+                stats[bid].retired_at_step = total_steps
+                steps_since_retire = 0
+                admit()
+                continue
+            if steps_since_retire > spin_limit:
+                raise DeadlockError(
+                    f"no block retired in {spin_limit} steps; "
+                    f"active blocks: {sorted(active)}"
+                )
+        return RunReport(total_steps=total_steps, block_stats=stats)

@@ -1,0 +1,25 @@
+"""Experiment harness: runners, table/figure renderers, per-experiment
+entry points for every table and figure of the paper's evaluation."""
+
+from . import experiments, tables
+from .runner import (
+    Run,
+    dataset_runs,
+    field_data_cached,
+    paper_field_bytes,
+    run_field,
+    scale_artifacts,
+    simulate,
+)
+
+__all__ = [
+    "experiments",
+    "tables",
+    "Run",
+    "run_field",
+    "dataset_runs",
+    "simulate",
+    "scale_artifacts",
+    "paper_field_bytes",
+    "field_data_cached",
+]

@@ -1,0 +1,167 @@
+"""Experiment execution engine.
+
+Runs the *functional* codecs over the synthetic dataset registry, caches
+the resulting fields/streams (the full evaluation sweeps reuse them many
+times), and pairs each run's measured :class:`Artifacts` with the
+performance-model pipelines to obtain simulated device throughput.
+
+Scaling: synthetic fields hold a few hundred thousand elements, but the
+paper's throughput numbers are for GB-class fields where kernel-launch
+overhead vanishes and the scan chain is long.  ``scale_artifacts`` grows an
+artifact to its dataset's published per-field size while preserving every
+measured ratio (compression ratio, zero-block fraction), which is exactly
+the information the cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..baselines import FZGPU, FZGPULaunchError, CuZFP
+from ..core import compress as cuszp2_compress
+from ..core.quantize import ErrorBound
+from ..datasets import get_dataset
+from ..gpusim import Artifacts, DeviceSpec
+from ..gpusim import pipelines as P
+from ..metrics import ratio_for
+
+
+# ---------------------------------------------------------------------------
+# Cached functional runs
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=256)
+def field_data_cached(dataset: str, field: str, scale: int = 1) -> np.ndarray:
+    ds = get_dataset(dataset)
+    return ds.field(field).generate(ds.dtype, scale)
+
+
+@dataclass(frozen=True)
+class Run:
+    """One (compressor, field, bound) functional result."""
+
+    dataset: str
+    field: str
+    compressor: str  # cuszp2-p | cuszp2-o | cuszp | fzgpu | cuzfp-<rate>
+    bound: float  # REL bound, or bits/value for cuzfp
+    ratio: float
+    artifacts: Artifacts
+    failed: Optional[str] = None  # e.g. FZ-GPU's launch bug
+
+    @property
+    def ok(self) -> bool:
+        return self.failed is None
+
+
+@lru_cache(maxsize=4096)
+def run_field(dataset: str, field: str, compressor: str, bound: float) -> Run:
+    """Compress one field functionally and collect artifacts."""
+    data = field_data_cached(dataset, field)
+    n, esz = data.size, data.dtype.itemsize
+
+    if compressor in ("cuszp2-p", "cuszp2-o", "cuszp"):
+        mode = "outlier" if compressor == "cuszp2-o" else "plain"
+        buf = cuszp2_compress(data, rel=bound, mode=mode)
+        art = Artifacts.from_cuszp2_stream(data, buf)
+        return Run(dataset, field, compressor, bound, ratio_for(data, buf), art)
+
+    if compressor == "fzgpu":
+        codec = FZGPU(ErrorBound.relative(bound), strict_paper_bugs=True)
+        try:
+            buf = codec.compress(data, dataset=dataset)
+        except FZGPULaunchError as exc:
+            placeholder = Artifacts(n, esz, n * esz)
+            return Run(dataset, field, compressor, bound, float("nan"), placeholder, failed=str(exc))
+        return Run(
+            dataset, field, compressor, bound, ratio_for(data, buf),
+            Artifacts(n, esz, int(buf.size)),
+        )
+
+    if compressor.startswith("cuzfp-"):
+        rate = float(compressor.split("-", 1)[1])
+        # Fixed-rate size is analytic: no need to run the (slow) coder to
+        # know the stream size the throughput model needs.
+        size = cuzfp_stream_size(data.shape, rate)
+        return Run(dataset, field, compressor, rate, data.size * esz / size, Artifacts(n, esz, size))
+
+    raise ValueError(f"unknown compressor {compressor!r}")
+
+
+def cuzfp_stream_size(shape: Tuple[int, ...], rate: float) -> int:
+    """Exact stream size of our cuZFP container for a field shape."""
+    from ..baselines.zfp import codec as zc
+    from ..baselines.zfp import fixedpoint
+
+    ndim = len(shape)
+    maxbits = CuZFP(rate).maxbits(ndim)
+    payload_bytes = -(-(maxbits - 16) // 8)
+    nblocks = 1
+    for s in shape:
+        nblocks *= (s + 3) // 4
+    return zc.HEADER_SIZE + nblocks * (2 + payload_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Paper-scale throughput simulation
+# ---------------------------------------------------------------------------
+
+def paper_field_bytes(dataset: str) -> float:
+    """Published per-field size (Tables II/IV): total size over field count."""
+    ds = get_dataset(dataset)
+    return ds.paper_size_gb * 1e9 / ds.paper_fields
+
+
+def scale_artifacts(art: Artifacts, target_bytes: float) -> Artifacts:
+    """Grow artifacts to ``target_bytes`` of input, preserving ratios."""
+    factor = target_bytes / art.input_bytes
+    scaled = replace(
+        art,
+        nelems=int(art.nelems * factor),
+        compressed_bytes=max(1, int(art.compressed_bytes * factor)),
+        payload_bytes=None if art.payload_bytes is None else max(0, int(art.payload_bytes * factor)),
+        offsets_bytes=None if art.offsets_bytes is None else max(1, int(art.offsets_bytes * factor)),
+    )
+    return scaled
+
+
+_PIPELINES = {
+    "cuszp2-p": (P.cuszp2_compression, P.cuszp2_decompression),
+    "cuszp2-o": (P.cuszp2_compression, P.cuszp2_decompression),
+    "cuszp": (P.cuszp_compression, P.cuszp_decompression),
+    "fzgpu": (P.fzgpu_compression, P.fzgpu_decompression),
+}
+
+
+def simulate(run: Run, device: DeviceSpec, direction: str, **kw) -> float:
+    """Simulated end-to-end throughput (GB/s) of ``run`` at paper scale."""
+    if not run.ok:
+        return float("nan")
+    art = scale_artifacts(run.artifacts, paper_field_bytes(run.dataset))
+    if run.compressor.startswith("cuzfp"):
+        builder = P.cuzfp_compression if direction == "compress" else P.cuzfp_decompression
+    else:
+        comp, dec = _PIPELINES[run.compressor]
+        builder = comp if direction == "compress" else dec
+    pipe = builder(art, device, **kw)
+    return pipe.end_to_end_throughput(device, art.input_bytes)
+
+
+def family_of(compressor: str) -> str:
+    """Profiler-family key for a compressor id."""
+    if compressor.startswith("cuszp2"):
+        return "cuszp2"
+    if compressor.startswith("cuzfp"):
+        return "cuzfp"
+    return compressor
+
+
+def dataset_runs(
+    dataset: str, compressor: str, bound: float
+) -> Dict[str, Run]:
+    """Run every field of a dataset; returns field -> Run."""
+    ds = get_dataset(dataset)
+    return {f.name: run_field(dataset, f.name, compressor, bound) for f in ds.fields}

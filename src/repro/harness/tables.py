@@ -1,0 +1,80 @@
+"""Paper-style text rendering: bar series, cell tables, feature matrices."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def bar_chart(title: str, series: Dict[str, float], unit: str = "GB/s", width: int = 46) -> str:
+    """Render a labeled horizontal bar chart (one figure panel)."""
+    lines = [f"-- {title} --"]
+    finite = [v for v in series.values() if np.isfinite(v)]
+    peak = max(finite) if finite else 1.0
+    for name, value in series.items():
+        if not np.isfinite(value):
+            lines.append(f"  {name:<22} {'N.A.':>9}")
+            continue
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"  {name:<22} {value:9.2f} {unit}  {bar}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    title: str,
+    groups: Dict[str, Dict[str, float]],
+    unit: str = "GB/s",
+) -> str:
+    """Render grouped bars: one block per group (e.g. per dataset)."""
+    out = [f"== {title} =="]
+    for group, series in groups.items():
+        out.append(bar_chart(group, series, unit=unit))
+    return "\n".join(out)
+
+
+def cell_table(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Dict[tuple, str],
+    col_width: int = 24,
+) -> str:
+    """Render a Table-III-style grid of preformatted cells."""
+    header = " " * 18 + "".join(f"{c:<{col_width}}" for c in col_labels)
+    lines = [f"== {title} ==", header]
+    for r in row_labels:
+        row = f"{str(r):<18}"
+        for c in col_labels:
+            row += f"{cells.get((r, c), ''):<{col_width}}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def feature_matrix(title: str, rows: Dict[str, Dict[str, bool]], columns: Sequence[str]) -> str:
+    """Render Table I's check/cross design matrix."""
+    header = f"{'Compressor':<14}" + "".join(f"{c:<24}" for c in columns)
+    lines = [f"== {title} ==", header]
+    for name, feats in rows.items():
+        row = f"{name:<14}"
+        for c in columns:
+            v = feats.get(c)
+            mark = "yes" if v else ("-" if v is None else "no")
+            row += f"{mark:<24}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def series_table(title: str, rows: Iterable[tuple], headers: Sequence[str]) -> str:
+    """Simple aligned column table."""
+    widths = [max(len(h), 12) for h in headers]
+    lines = [f"== {title} ==", "  ".join(f"{h:<{w}}" for h, w in zip(headers, widths))]
+    for row in rows:
+        cells: List[str] = []
+        for v, w in zip(row, widths):
+            if isinstance(v, float):
+                cells.append(f"{v:<{w}.2f}" if np.isfinite(v) else f"{'N.A.':<{w}}")
+            else:
+                cells.append(f"{str(v):<{w}}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

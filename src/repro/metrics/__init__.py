@@ -1,0 +1,35 @@
+"""Quality and size metrics (PSNR, SSIM, isosurface preservation, ratios)."""
+
+from .error import check_error_bound, max_abs_error, mse, nrmse, psnr, value_range
+from .isosurface import (
+    boundary_displacement,
+    default_levels,
+    isosurface_preservation,
+    level_set_iou,
+)
+from .rate_distortion import RDPoint, curve, dominates
+from .ratio import bit_rate, compression_ratio, rate_to_ratio, ratio_for, summarize
+from .ssim import ssim, ssim_slices
+
+__all__ = [
+    "max_abs_error",
+    "check_error_bound",
+    "mse",
+    "nrmse",
+    "psnr",
+    "value_range",
+    "ssim",
+    "ssim_slices",
+    "level_set_iou",
+    "default_levels",
+    "isosurface_preservation",
+    "boundary_displacement",
+    "compression_ratio",
+    "ratio_for",
+    "bit_rate",
+    "rate_to_ratio",
+    "summarize",
+    "RDPoint",
+    "curve",
+    "dominates",
+]

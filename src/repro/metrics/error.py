@@ -1,0 +1,56 @@
+"""Pointwise error metrics: the error-bound contract, NRMSE and PSNR."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest pointwise absolute error (the quantity REL/ABS bounds cap)."""
+    a = np.asarray(original, dtype=np.float64).reshape(-1)
+    b = np.asarray(reconstructed, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).max())
+
+
+def check_error_bound(original, reconstructed, eb_abs: float, ulp_slack: bool = True) -> bool:
+    """The paper's 'Pass error check!': is every pointwise error within the
+    bound?  ``ulp_slack`` allows the half-ULP the final float cast of the
+    reconstruction may add (see repro.core.quantize)."""
+    err = max_abs_error(original, reconstructed)
+    slack = 0.0
+    if ulp_slack:
+        r = np.asarray(reconstructed)
+        slack = 0.5 * float(np.spacing(np.abs(r).max()))
+    return err <= eb_abs + slack
+
+
+def value_range(data: np.ndarray) -> float:
+    return float(np.max(data) - np.min(data))
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    a = np.asarray(original, dtype=np.float64).reshape(-1)
+    b = np.asarray(reconstructed, dtype=np.float64).reshape(-1)
+    return float(np.mean((a - b) ** 2))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root mean squared error normalized by the value range."""
+    rng = value_range(original)
+    if rng == 0.0:
+        return 0.0 if max_abs_error(original, reconstructed) == 0 else float("inf")
+    return float(np.sqrt(mse(original, reconstructed)) / rng)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB against the value range (the metric
+    of the paper's rate-distortion discussion, Section V-D)."""
+    m = mse(original, reconstructed)
+    rng = value_range(original)
+    if m == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return float("-inf")
+    return float(10.0 * np.log10(rng * rng / m))

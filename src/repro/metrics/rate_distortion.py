@@ -1,0 +1,57 @@
+"""Rate-distortion curves: PSNR (or SSIM) as a function of bit rate.
+
+Section V-D argues cuSZp2 "should have the best rate-distortion curves
+among all error-bounded GPU lossy compressors" because the FLE compressors
+share one lossy step -- identical distortion -- while cuSZp2 emits the
+fewest bits.  This module computes the curves that verify that argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from .error import psnr
+from .ratio import bit_rate
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    error_bound: float
+    bits_per_value: float
+    psnr_db: float
+
+
+def curve(
+    data: np.ndarray,
+    compress_fn: Callable[[np.ndarray, float], np.ndarray],
+    decompress_fn: Callable[[np.ndarray], np.ndarray],
+    rel_bounds: Sequence[float] = (1e-1, 1e-2, 1e-3, 1e-4),
+) -> List[RDPoint]:
+    """Sweep REL bounds, returning (rate, PSNR) points sorted by rate."""
+    points = []
+    for rel in rel_bounds:
+        stream = compress_fn(data, rel)
+        recon = decompress_fn(stream)
+        points.append(RDPoint(rel, bit_rate(data, stream), psnr(data, recon.reshape(data.shape))))
+    return sorted(points, key=lambda p: p.bits_per_value)
+
+
+def dominates(a: List[RDPoint], b: List[RDPoint]) -> bool:
+    """Does curve ``a`` dominate ``b``: at every rate of ``b``, does ``a``
+    offer at least that PSNR at no more bits?  (Interpolated comparison on
+    the overlapping rate range.)"""
+    if not a or not b:
+        return False
+    ra = [p.bits_per_value for p in a]
+    pa = [p.psnr_db for p in a]
+    lo, hi = max(min(ra), min(p.bits_per_value for p in b)), min(max(ra), max(p.bits_per_value for p in b))
+    ok = True
+    for p in b:
+        if lo <= p.bits_per_value <= hi:
+            interp = np.interp(p.bits_per_value, ra, pa)
+            if interp < p.psnr_db - 1e-9:
+                ok = False
+    return ok

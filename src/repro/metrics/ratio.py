@@ -1,0 +1,36 @@
+"""Compression-ratio and bit-rate helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def compression_ratio(original_bytes: float, compressed_bytes: float) -> float:
+    """Original size over compressed size (Table III's metric)."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return float(original_bytes) / float(compressed_bytes)
+
+
+def ratio_for(data: np.ndarray, stream) -> float:
+    """Ratio for a dataset/stream pair."""
+    stream = np.asarray(stream)
+    return compression_ratio(data.size * data.dtype.itemsize, stream.size)
+
+
+def bit_rate(data: np.ndarray, stream) -> float:
+    """Compressed bits per value (cuZFP's 'rate'; the x-axis of
+    rate-distortion curves)."""
+    stream = np.asarray(stream)
+    return 8.0 * stream.size / data.size
+
+
+def rate_to_ratio(rate_bits: float, elem_bits: int = 32) -> float:
+    """Fixed-rate bits/value -> compression ratio."""
+    return elem_bits / rate_bits
+
+
+def summarize(values) -> str:
+    """Table III cell format: 'min~max (avg: X)'."""
+    values = list(values)
+    return f"{min(values):.2f}~{max(values):.2f} (avg: {np.mean(values):.2f})"

@@ -1,0 +1,46 @@
+"""Device-level prefix-sum substrate (the paper's Section IV-C).
+
+Functional layer (:func:`exclusive_scan`, :func:`reduce_then_scan`),
+protocol layer (virtual-GPU kernels for chained scan and decoupled
+lookback), and timing layer (discrete-event models producing the
+synchronization latencies the kernel cost model consumes).
+"""
+
+from .blocked import local_reduce, local_scan, reduce_then_scan, tile_values
+from .chained import ScanTimeline, chained_global_scan, chained_scan_kernel, chained_timeline
+from .lookback import (
+    FLAG_AGGREGATE,
+    FLAG_INVALID,
+    FLAG_PREFIX,
+    LookbackTimeline,
+    lookback_global_scan,
+    lookback_scan_kernel,
+    lookback_schedule,
+    lookback_timeline,
+)
+from .trace import ScanTrace, trace_lookback
+from .sequential import exclusive_scan, inclusive_scan, total
+
+__all__ = [
+    "exclusive_scan",
+    "inclusive_scan",
+    "total",
+    "reduce_then_scan",
+    "tile_values",
+    "local_reduce",
+    "local_scan",
+    "chained_global_scan",
+    "chained_scan_kernel",
+    "chained_timeline",
+    "ScanTimeline",
+    "lookback_global_scan",
+    "lookback_scan_kernel",
+    "lookback_timeline",
+    "lookback_schedule",
+    "ScanTrace",
+    "trace_lookback",
+    "LookbackTimeline",
+    "FLAG_INVALID",
+    "FLAG_AGGREGATE",
+    "FLAG_PREFIX",
+]

@@ -1,0 +1,64 @@
+"""Reduce-then-scan: the three-step blockwise strategy (Section IV-C).
+
+All device-level scans in GPU compressors follow this skeleton:
+
+1. **Reduce** -- each thread block sums the compressed lengths of the data
+   blocks it owns;
+2. **Global synchronization** -- an exclusive scan over the per-thread-block
+   sums (this is the step chained-scan and decoupled lookback implement
+   differently);
+3. **Scan** -- each thread block re-scans its own values locally and adds
+   its global offset, giving every data block its final byte index.
+
+This module provides the skeleton with a pluggable step 2, plus the
+tiling helper shared by the chained and lookback implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .sequential import exclusive_scan
+
+#: Values each thread block owns in the timing models.  cuSZp2 launches
+#: blocks of 128 threads, each thread handling one 32-element data block
+#: per iteration; one tile is one iteration's worth of lengths.
+DEFAULT_TILE = 128
+
+
+def tile_values(values: np.ndarray, tile: int = DEFAULT_TILE) -> Tuple[np.ndarray, int]:
+    """Pad ``values`` with zeros to a multiple of ``tile`` and reshape to
+    ``(ntiles, tile)``; zero padding does not change any prefix."""
+    values = np.asarray(values, dtype=np.int64)
+    ntiles = max(1, -(-values.size // tile))
+    padded = np.zeros(ntiles * tile, dtype=np.int64)
+    padded[: values.size] = values
+    return padded.reshape(ntiles, tile), ntiles
+
+
+def local_reduce(tiles: np.ndarray) -> np.ndarray:
+    """Step 1: per-thread-block sums."""
+    return tiles.sum(axis=1, dtype=np.int64)
+
+
+def local_scan(tiles: np.ndarray, block_offsets: np.ndarray) -> np.ndarray:
+    """Step 3: per-thread-block exclusive scans shifted by global offsets."""
+    incl = np.cumsum(tiles, axis=1, dtype=np.int64)
+    excl = np.concatenate([np.zeros((tiles.shape[0], 1), np.int64), incl[:, :-1]], axis=1)
+    return excl + block_offsets[:, None]
+
+
+def reduce_then_scan(
+    values: np.ndarray,
+    global_scan: Callable[[np.ndarray], np.ndarray] = exclusive_scan,
+    tile: int = DEFAULT_TILE,
+) -> np.ndarray:
+    """Full three-step scan; ``global_scan`` is the device-level policy
+    (sequential reference, chained, or decoupled lookback)."""
+    values = np.asarray(values, dtype=np.int64)
+    tiles, _ = tile_values(values, tile)
+    sums = local_reduce(tiles)
+    offsets = global_scan(sums)
+    return local_scan(tiles, offsets).reshape(-1)[: values.size]

@@ -1,0 +1,133 @@
+"""Plain chained-scan: the state-of-the-art baseline cuSZp2 improves on.
+
+Chained-scan (StreamScan [52] / cuSZp [23]) serializes the device-level
+step: thread block ``b`` spins until block ``b-1`` publishes its inclusive
+prefix, adds its own aggregate, and publishes in turn.  "Each thread block
+must wait for its predecessors to complete before proceeding.  This design
+unavoidably leads to high latency, especially for large HPC datasets"
+(Section IV-C, Fig. 12 left).
+
+Three views of the algorithm live here:
+
+* :func:`chained_global_scan` -- functional result (equals the reference);
+* :func:`chained_scan_kernel` -- the spin-wait protocol for the virtual GPU;
+* :func:`chained_timeline` -- a discrete-event timing model whose total is
+  dominated by the ``nblocks * t_pass`` dependency chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.vm import GlobalMemory
+from .sequential import exclusive_scan
+
+FLAG_INVALID = 0
+FLAG_PREFIX = 2
+
+
+def chained_global_scan(sums: np.ndarray) -> np.ndarray:
+    """Functionally, a chained scan is an exclusive scan."""
+    return exclusive_scan(sums)
+
+
+# ---------------------------------------------------------------------------
+# Virtual-GPU protocol
+# ---------------------------------------------------------------------------
+
+def setup_memory(sums: np.ndarray) -> GlobalMemory:
+    mem = GlobalMemory()
+    mem.bind("sums", np.asarray(sums, dtype=np.int64))
+    n = len(sums)
+    mem.alloc("inclusive", n, np.int64)
+    mem.alloc("exclusive", n, np.int64)
+    mem.alloc("flag", n, np.int64, fill=FLAG_INVALID)
+    return mem
+
+
+def chained_scan_kernel(block_id: int, mem: GlobalMemory, local_work: int = 3):
+    """One thread block of the chained scan (generator for the VM).
+
+    ``local_work`` yields stand in for the local reduce of real kernels so
+    schedules interleave local work with the waiting chain.
+    """
+    for _ in range(local_work):
+        yield  # local reduce of this block's tile
+
+    aggregate = int(mem["sums"][block_id])
+
+    if block_id == 0:
+        exclusive = 0
+    else:
+        # Spin on the predecessor's flag -- the serial chain of Fig. 12 (left).
+        while mem["flag"][block_id - 1] != FLAG_PREFIX:
+            yield
+        exclusive = int(mem["inclusive"][block_id - 1])
+
+    mem["exclusive"][block_id] = exclusive
+    mem["inclusive"][block_id] = exclusive + aggregate
+    yield  # __threadfence() before publishing
+    mem["flag"][block_id] = FLAG_PREFIX
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event timing model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScanTimeline:
+    """Timing summary of one device-level scan execution."""
+
+    #: When the last thread block finished its local (parallel) work.
+    local_finish_s: float
+    #: When the last inclusive prefix became available.
+    scan_finish_s: float
+    nblocks: int
+
+    @property
+    def sync_latency_s(self) -> float:
+        """Extra latency the device-level step adds beyond local work."""
+        return max(0.0, self.scan_finish_s - self.local_finish_s)
+
+    def throughput_gbs(self, data_bytes: float) -> float:
+        """The paper's Fig. 17 metric: data volume over the whole
+        synchronization stage."""
+        return data_bytes / self.scan_finish_s / 1e9
+
+
+def chained_timeline(
+    work_s: np.ndarray,
+    t_pass_s: float,
+    resident: int,
+) -> ScanTimeline:
+    """Discrete-event model of the chained scan.
+
+    ``work_s[b]`` is thread block ``b``'s local reduce time.  Blocks are
+    admitted in id order with ``resident`` in flight (CTA dispatch model);
+    the prefix handoff costs ``t_pass_s`` per link (one L2 round trip to
+    poll the flag + publish).
+    """
+    work_s = np.asarray(work_s, dtype=np.float64)
+    n = work_s.size
+    start = np.zeros(n)
+    local_done = np.zeros(n)
+    prefix_done = np.zeros(n)
+    for b in range(n):
+        if b >= resident:
+            # The slot frees when the (b - resident)-th block fully retires;
+            # under chained scan a block retires once its prefix is known.
+            start[b] = prefix_done[b - resident]
+        local_done[b] = start[b] + work_s[b]
+        if b == 0:
+            prefix_done[b] = local_done[b]
+        else:
+            # One flag round trip per link, paid after both the local work
+            # and the predecessor's prefix are available.
+            prefix_done[b] = max(local_done[b], prefix_done[b - 1]) + t_pass_s
+    return ScanTimeline(
+        local_finish_s=float(local_done.max()),
+        scan_finish_s=float(prefix_done.max()),
+        nblocks=n,
+    )

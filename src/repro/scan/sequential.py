@@ -1,0 +1,35 @@
+"""Reference prefix-sum implementations.
+
+These are the ground truth every parallel scan in this package is tested
+against, and the "straightforward loop" a CPU compressor like cuSZx uses
+for block concatenation (paper Section IV-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def exclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: ``out[i] = sum(values[:i])``.
+
+    This is exactly the quantity cuSZp2's Global Prefix-sum step computes:
+    each compressed block must know the total length of all its
+    predecessors to find its slot in the unified byte array.
+    """
+    values = np.asarray(values)
+    out = np.empty(values.shape[0], dtype=np.int64)
+    if out.size == 0:
+        return out
+    out[0] = 0
+    np.cumsum(values[:-1], dtype=np.int64, out=out[1:])
+    return out
+
+
+def inclusive_scan(values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum: ``out[i] = sum(values[:i+1])``."""
+    return np.cumsum(np.asarray(values), dtype=np.int64)
+
+
+def total(values: np.ndarray) -> int:
+    return int(np.asarray(values, dtype=np.int64).sum())

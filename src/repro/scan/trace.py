@@ -1,0 +1,103 @@
+"""Thread-block state traces of the decoupled-lookback scan (Fig. 13).
+
+Figure 13 of the paper "captures a moment" of the scan and labels every
+thread block *Finished*, *Looking Back*, or *Waiting*.  This module renders
+exactly that view from the discrete-event schedule: per-block state
+intervals, a snapshot at any instant, and an ASCII timeline.
+
+States (paper's definitions, Section IV-C):
+
+``WAITING``
+    compression / local scan not finished (aggregate unpublished);
+``LOOKING_BACK``
+    local scan complete, walking predecessors' descriptors;
+``FINISHED``
+    inclusive prefix known (the block proceeds to store its bytes);
+``IDLE``
+    not yet admitted to an SM (finite residency) or already retired --
+    a VM-level state the paper's figure does not need to distinguish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .lookback import WARP_WINDOW, lookback_schedule
+
+WAITING = "Waiting"
+LOOKING_BACK = "Looking Back"
+FINISHED = "Finished"
+IDLE = "Idle"
+
+
+@dataclass(frozen=True)
+class ScanTrace:
+    """Per-block state intervals of one lookback-scan execution."""
+
+    start: np.ndarray  # admission times
+    agg_done: np.ndarray  # local work complete (aggregate published)
+    prefix_done: np.ndarray  # inclusive prefix known
+
+    @property
+    def nblocks(self) -> int:
+        return self.start.size
+
+    def state_at(self, t: float, block: int) -> str:
+        if t < self.start[block]:
+            return IDLE
+        if t < self.agg_done[block]:
+            return WAITING
+        if t < self.prefix_done[block]:
+            return LOOKING_BACK
+        return FINISHED
+
+    def snapshot(self, t: float) -> List[str]:
+        """The Fig. 13 moment: every thread block's state at time ``t``."""
+        return [self.state_at(t, b) for b in range(self.nblocks)]
+
+    def interesting_moment(self) -> float:
+        """A time at which all three paper states coexist (when possible):
+        the median of the agg_done times tends to catch blocks in every
+        phase."""
+        return float(np.median(self.agg_done))
+
+    def counts_at(self, t: float) -> dict:
+        snap = self.snapshot(t)
+        return {s: snap.count(s) for s in (WAITING, LOOKING_BACK, FINISHED, IDLE)}
+
+    def render_snapshot(self, t: float) -> str:
+        """Fig. 13-style rendering of a captured moment."""
+        marks = {WAITING: "W", LOOKING_BACK: "L", FINISHED: "F", IDLE: "."}
+        snap = self.snapshot(t)
+        row = "".join(marks[s] for s in snap)
+        counts = self.counts_at(t)
+        legend = "  ".join(f"{marks[s]}={s}:{counts[s]}" for s in (FINISHED, LOOKING_BACK, WAITING, IDLE))
+        return (
+            f"t = {1e6 * t:.2f} us   TB0..TB{self.nblocks - 1}\n"
+            f"  [{row}]\n  {legend}"
+        )
+
+    def render_timeline(self, samples: int = 12) -> str:
+        """State counts over the whole execution."""
+        times = np.linspace(0, float(self.prefix_done.max()), samples)
+        lines = [f"{'time (us)':>10}  {WAITING:>8} {LOOKING_BACK:>13} {FINISHED:>9}"]
+        for t in times:
+            c = self.counts_at(float(t))
+            lines.append(
+                f"{1e6 * t:>10.2f}  {c[WAITING]:>8} {c[LOOKING_BACK]:>13} {c[FINISHED]:>9}"
+            )
+        return "\n".join(lines)
+
+
+def trace_lookback(
+    work_s: Sequence[float],
+    t_poll_s: float,
+    resident: int,
+    window: int = WARP_WINDOW,
+) -> ScanTrace:
+    """Run the discrete-event lookback model and keep the full schedule."""
+    start, agg, prefix, _ = lookback_schedule(np.asarray(work_s, dtype=np.float64), t_poll_s, resident, window)
+    return ScanTrace(start=start, agg_done=agg, prefix_done=prefix)

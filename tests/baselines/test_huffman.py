@@ -1,0 +1,96 @@
+"""Unit tests for the canonical Huffman coder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import huffman
+from repro.core.errors import StreamFormatError
+
+
+def roundtrip(symbols, alphabet):
+    freqs = np.bincount(symbols, minlength=alphabet)
+    table = huffman.HuffmanTable.from_frequencies(freqs)
+    packed, nbits = huffman.encode(symbols, table)
+    return huffman.decode(packed, nbits, table, len(symbols)), table, nbits
+
+
+class TestCodeConstruction:
+    def test_kraft_equality(self, rng):
+        # A full Huffman tree satisfies sum(2^-l) == 1.
+        freqs = rng.integers(1, 1000, size=32)
+        lengths = huffman.code_lengths(freqs)
+        assert sum(2.0 ** -int(l) for l in lengths if l) == pytest.approx(1.0)
+
+    def test_frequent_symbols_get_short_codes(self):
+        freqs = np.array([1000, 10, 10, 10])
+        lengths = huffman.code_lengths(freqs)
+        assert lengths[0] == min(l for l in lengths if l)
+
+    def test_absent_symbols_get_no_code(self):
+        lengths = huffman.code_lengths(np.array([5, 0, 5]))
+        assert lengths[1] == 0
+
+    def test_single_symbol_alphabet(self):
+        lengths = huffman.code_lengths(np.array([0, 7, 0]))
+        assert lengths[1] == 1
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            huffman.code_lengths(np.zeros(4, dtype=np.int64))
+
+    def test_canonical_codes_are_prefix_free(self, rng):
+        freqs = rng.integers(0, 100, size=64)
+        freqs[0] = 1  # ensure nonempty
+        lengths = huffman.code_lengths(freqs)
+        codes = huffman.canonical_codes(lengths)
+        entries = [(int(codes[s]), int(l)) for s, l in enumerate(lengths) if l]
+        strings = [format(c, f"0{l}b") for c, l in entries]
+        for i, a in enumerate(strings):
+            for j, b in enumerate(strings):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+class TestEncodeDecode:
+    def test_round_trip_skewed(self, rng):
+        syms = rng.choice(8, size=5000, p=[0.5, 0.2, 0.1, 0.08, 0.05, 0.04, 0.02, 0.01])
+        back, _, _ = roundtrip(syms, 8)
+        assert np.array_equal(back, syms)
+
+    def test_round_trip_uniform(self, rng):
+        syms = rng.integers(0, 256, size=3000)
+        back, _, _ = roundtrip(syms, 256)
+        assert np.array_equal(back, syms)
+
+    def test_compression_near_entropy(self, rng):
+        p = np.array([0.6, 0.2, 0.1, 0.1])
+        syms = rng.choice(4, size=50_000, p=p)
+        _, _, nbits = roundtrip(syms, 4)
+        entropy = -(p * np.log2(p)).sum()
+        assert nbits / len(syms) < entropy + 0.15
+
+    def test_single_symbol_stream(self):
+        syms = np.zeros(500, dtype=np.int64)
+        back, _, nbits = roundtrip(syms, 4)
+        assert np.array_equal(back, syms)
+        assert nbits == 500  # one bit per symbol
+
+    def test_unknown_symbol_rejected_at_encode(self):
+        table = huffman.HuffmanTable.from_frequencies(np.array([5, 5, 0]))
+        with pytest.raises(ValueError):
+            huffman.encode(np.array([2]), table)
+
+    def test_truncated_stream_detected(self, rng):
+        syms = rng.integers(0, 16, size=200)
+        freqs = np.bincount(syms, minlength=16)
+        table = huffman.HuffmanTable.from_frequencies(freqs)
+        packed, nbits = huffman.encode(syms, table)
+        with pytest.raises(StreamFormatError):
+            huffman.decode(packed, nbits // 2, table, len(syms))
+
+    def test_expected_bits_matches_encode(self, rng):
+        syms = rng.integers(0, 10, size=1000)
+        freqs = np.bincount(syms, minlength=10)
+        table = huffman.HuffmanTable.from_frequencies(freqs)
+        _, nbits = huffman.encode(syms, table)
+        assert nbits == int(table.expected_bits(freqs))

@@ -1,0 +1,119 @@
+"""Unit tests for the hybrid codecs (cuSZ/cuSZx/MGARD) and the cuSZp
+baseline wrapper."""
+
+import numpy as np
+import pytest
+
+from repro import compress as c2_compress
+from repro.baselines import HYBRIDS, CuSZ, CuSZp, CuSZx, MGARDLike
+from repro.core.errors import StreamFormatError
+from repro.core.quantize import ErrorBound
+
+from tests.helpers import assert_error_bounded, value_range
+
+
+@pytest.mark.parametrize("cls", [CuSZ, CuSZx, MGARDLike])
+class TestHybridCodecs:
+    @pytest.mark.parametrize("rel", [1e-2, 1e-3])
+    def test_error_bound(self, smooth_f32, cls, rel):
+        codec = cls(ErrorBound.relative(rel))
+        recon = codec.decompress(codec.compress(smooth_f32))
+        assert recon.shape == smooth_f32.shape
+        assert_error_bounded(smooth_f32, recon, rel * value_range(smooth_f32))
+
+    def test_compresses(self, smooth_f32, cls):
+        buf = cls(ErrorBound.relative(1e-3)).compress(smooth_f32)
+        assert smooth_f32.nbytes / len(buf) > 1.5
+
+    def test_rough_data(self, rough_f32, cls):
+        codec = cls(ErrorBound.relative(1e-2))
+        recon = codec.decompress(codec.compress(rough_f32))
+        assert_error_bounded(rough_f32, recon, 1e-2 * value_range(rough_f32))
+
+    def test_awkward_length(self, rng, cls):
+        data = np.cumsum(rng.normal(size=1013)).astype(np.float32)
+        codec = cls(ErrorBound.relative(1e-3))
+        recon = codec.decompress(codec.compress(data))
+        assert recon.shape == (1013,)
+        assert_error_bounded(data, recon, 1e-3 * value_range(data))
+
+    def test_f64(self, smooth_f64, cls):
+        codec = cls(ErrorBound.relative(1e-3))
+        recon = codec.decompress(codec.compress(smooth_f64))
+        assert recon.dtype == np.float64
+        assert_error_bounded(smooth_f64, recon, 1e-3 * value_range(smooth_f64))
+
+    def test_bad_magic_rejected(self, smooth_f32, cls):
+        codec = cls(ErrorBound.relative(1e-3))
+        buf = np.array(codec.compress(smooth_f32), dtype=np.uint8).copy()
+        buf[0] = ord("X")
+        with pytest.raises(StreamFormatError):
+            codec.decompress(buf)
+
+
+class TestCuSZSpecifics:
+    def test_huffman_beats_fle_on_very_smooth_data(self, rng):
+        # Entropy coding exploits the delta distribution more than FLE can;
+        # this is why cuSZ gets good ratios despite being slow end-to-end.
+        data = np.cumsum(rng.normal(size=50_000) * 0.1).astype(np.float32)
+        csz = CuSZ(ErrorBound.relative(1e-3)).compress(data)
+        fle = c2_compress(data, rel=1e-3, mode="plain")
+        assert len(csz) < fle.size
+
+    def test_outlier_escape_path(self, rng):
+        # Huge jumps force deltas outside the 256-bin table.
+        data = np.zeros(4000, dtype=np.float32)
+        data[::100] = rng.normal(size=40) * 1e6
+        codec = CuSZ(ErrorBound.absolute(0.5))
+        recon = codec.decompress(codec.compress(data))
+        assert_error_bounded(data, recon, 0.5)
+
+
+class TestCuSZxSpecifics:
+    def test_constant_blocks_stored_as_means(self, sparse_f32):
+        codec = CuSZx(ErrorBound.relative(1e-2))
+        buf = codec.compress(sparse_f32)
+        # The 200 scattered nonzeros touch a minority of the 128-element
+        # blocks; the constant majority costs ~4 bytes each.
+        assert sparse_f32.nbytes / len(buf) > 8
+
+    def test_exactly_constant_data(self):
+        data = np.full(10_000, 2.5, dtype=np.float32)
+        codec = CuSZx(ErrorBound.relative(1e-3))
+        recon = codec.decompress(codec.compress(data))
+        assert np.abs(recon - data).max() <= 1e-3 * 2.5 * 1.001
+
+
+class TestMGARDSpecifics:
+    def test_multilevel_structure(self, rng):
+        # Level count grows logarithmically with input size.
+        codec = MGARDLike(ErrorBound.relative(1e-3))
+        assert codec._levels(4) == 0
+        assert codec._levels(8) == 1
+        assert codec._levels(1024) == 8
+
+    def test_tiny_input(self, rng):
+        data = rng.normal(size=3).astype(np.float32)
+        codec = MGARDLike(ErrorBound.relative(1e-2))
+        recon = codec.decompress(codec.compress(data))
+        assert_error_bounded(data, recon, 1e-2 * max(value_range(data), 1e-30))
+
+
+class TestCuSZpBaseline:
+    def test_stream_identical_to_cuszp2_plain(self, smooth_f32):
+        # Table III's footnote ("<0.01% differences") is byte-exact here.
+        ours = c2_compress(smooth_f32, rel=1e-3, mode="plain")
+        theirs = CuSZp(ErrorBound.relative(1e-3)).compress(smooth_f32)
+        assert np.array_equal(ours, theirs)
+
+    def test_round_trip(self, smooth_f32):
+        codec = CuSZp(ErrorBound.relative(1e-3))
+        recon = codec.decompress(codec.compress(smooth_f32))
+        assert_error_bounded(smooth_f32, recon, 1e-3 * value_range(smooth_f32))
+
+    def test_float_shorthand(self, smooth_f32):
+        codec = CuSZp(1e-3)
+        assert codec.error_bound.kind == "rel"
+
+    def test_registry_complete(self):
+        assert set(HYBRIDS) == {"cusz", "cuszx", "mgard"}

@@ -1,0 +1,223 @@
+"""Unit tests for the fixed-rate ZFP (cuZFP) implementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.zfp import CuZFP, embedded, fixedpoint, negabinary, transform
+from repro.core.errors import InvalidInputError
+
+
+@pytest.fixture
+def smooth_3d(rng):
+    f = rng.normal(size=(16, 16, 16))
+    return (np.cumsum(np.cumsum(np.cumsum(f, 0), 1), 2) / 30).astype(np.float32)
+
+
+class TestFixedPoint:
+    def test_round_trip_near_exact(self, rng):
+        blocks = rng.uniform(-100, 100, size=(20, 64)).astype(np.float32)
+        emax = fixedpoint.block_exponents(blocks)
+        back = fixedpoint.from_fixed(fixedpoint.to_fixed(blocks, emax), emax)
+        assert np.abs(back - blocks).max() < 1e-4  # 30-bit fraction
+
+    def test_magnitude_bounded_by_2_30(self, rng):
+        blocks = rng.uniform(-1e9, 1e9, size=(20, 64)).astype(np.float32)
+        i = fixedpoint.to_fixed(blocks, fixedpoint.block_exponents(blocks))
+        assert np.abs(i).max() <= 2**30
+
+    def test_zero_block_sentinel(self):
+        blocks = np.zeros((1, 64), dtype=np.float32)
+        code = fixedpoint.encode_emax(fixedpoint.block_exponents(blocks))
+        assert code[0] == 0
+        _, is_zero = fixedpoint.decode_emax(code)
+        assert is_zero[0]
+
+    def test_emax_round_trip(self, rng):
+        blocks = (rng.uniform(-1, 1, size=(50, 16)) * 10.0 ** rng.integers(-20, 20, size=(50, 1))).astype(np.float32)
+        emax = fixedpoint.block_exponents(blocks)
+        dec, is_zero = fixedpoint.decode_emax(fixedpoint.encode_emax(emax))
+        assert np.array_equal(dec[~is_zero], emax[~is_zero])
+
+
+class TestTransform:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_inverse_nearly_undoes_forward(self, rng, ndim):
+        # ZFP's lifting is near-invertible: the shifts discard only the
+        # lowest bits, so |roundtrip - original| is tiny vs 2**30 inputs.
+        ib = rng.integers(-(2**29), 2**29, size=(50, 4**ndim)).astype(np.int64)
+        back = transform.inverse(transform.forward(ib, ndim), ndim)
+        assert np.abs(back - ib).max() <= 64
+
+    def test_constant_block_concentrates_energy(self):
+        # A constant block transforms to a single DC coefficient.
+        ib = np.full((1, 64), 1 << 20, dtype=np.int64)
+        co = transform.forward(ib, 3)
+        assert co[0, 0] != 0
+        assert np.abs(co[0, 1:]).max() <= 1  # numerical dust only
+
+    def test_smooth_block_decays_in_sequency_order(self, rng):
+        ramp = np.arange(64, dtype=np.int64).reshape(4, 4, 4) * (1 << 18)
+        co = transform.forward(ramp.reshape(1, 64), 3)[0]
+        head = np.abs(co[:8]).max()
+        tail = np.abs(co[32:]).max()
+        assert head > 10 * max(tail, 1)
+
+    def test_order_is_permutation(self):
+        for ndim in (1, 2, 3):
+            order = transform.coef_order(ndim)
+            assert sorted(order) == list(range(4**ndim))
+
+    def test_order_starts_with_dc(self):
+        assert transform.coef_order(3)[0] == 0
+
+
+class TestNegabinary:
+    def test_round_trip(self, rng):
+        x = rng.integers(-(2**30), 2**30, size=5000)
+        assert np.array_equal(
+            negabinary.negabinary_to_int(negabinary.int_to_negabinary(x)), x
+        )
+
+    def test_small_magnitudes_have_small_codes(self):
+        codes = negabinary.int_to_negabinary(np.array([0, 1, -1, 2, -2]))
+        assert codes.max() < 8
+
+
+class TestEmbedded:
+    def test_full_budget_exact(self, rng):
+        coeffs = [int(c) for c in rng.integers(0, 2**31, size=64, dtype=np.int64)]
+        budget = 64 * 40
+        s = embedded.encode_block(coeffs, budget, 32)
+        assert embedded.decode_block(s, budget, 64, 32) == coeffs
+
+    def test_truncation_keeps_high_planes(self, rng):
+        coeffs = [int(c) for c in rng.integers(0, 2**20, size=16, dtype=np.int64)]
+        full = embedded.encode_block(coeffs, 16 * 40, 32)
+        exact = embedded.decode_block(full, 16 * 40, 16, 32)
+        tight = embedded.encode_block(coeffs, 160, 32)
+        approx = embedded.decode_block(tight, 160, 16, 32)
+        err_full = max(abs(a - b) for a, b in zip(exact, coeffs))
+        err_tight = max(abs(a - b) for a, b in zip(approx, coeffs))
+        assert err_full == 0
+        # Truncated reconstruction is approximate but bounded: only planes
+        # below the cut can differ.
+        assert err_tight < 2**20
+
+    def test_fixed_rate_is_exact_length(self, rng):
+        coeffs = [int(c) for c in rng.integers(0, 2**31, size=64, dtype=np.int64)]
+        s = embedded.encode_block(coeffs, 333, 32)
+        assert s.length == 333
+
+    def test_zero_block_encodes_cheaply(self):
+        s = embedded.encode_block([0] * 64, 512, 32)
+        # All planes emit a single 'no one-bits' test bit; everything else
+        # is fixed-rate padding.
+        assert s.bits == 0
+
+    def test_bitstream_round_trip(self):
+        s = embedded.BitStream()
+        s.write_bits(0b1011, 4)
+        s.write_bit(1)
+        raw = s.to_bytes(5)
+        t = embedded.BitStream.from_bytes(raw, 5)
+        assert t.read_bits(4) == 0b1011
+        assert t.read_bit() == 1
+        assert t.read_bit() == 0  # past the end of a truncated stream
+
+
+class TestCuZFPCodec:
+    @pytest.mark.parametrize("rate", [4, 8, 16])
+    def test_rate_controls_size(self, smooth_3d, rate):
+        buf = CuZFP(rate).compress(smooth_3d)
+        cr = smooth_3d.size * 4 / buf.size
+        assert 0.8 * 32 / rate < cr < 1.3 * 32 / rate
+
+    def test_quality_improves_with_rate(self, smooth_3d):
+        errs = []
+        for rate in (4, 8, 16):
+            z = CuZFP(rate)
+            recon = z.decompress(z.compress(smooth_3d))
+            errs.append(float(np.abs(recon - smooth_3d).max()))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_high_rate_near_lossless(self, smooth_3d):
+        z = CuZFP(24)
+        recon = z.decompress(z.compress(smooth_3d))
+        rng_ = smooth_3d.max() - smooth_3d.min()
+        assert np.abs(recon - smooth_3d).max() < 1e-4 * rng_
+
+    @pytest.mark.parametrize("shape", [(64,), (24, 24), (9, 10, 11)])
+    def test_all_dimensionalities(self, rng, shape):
+        field = np.cumsum(rng.normal(size=shape), axis=0).astype(np.float32)
+        z = CuZFP(16)
+        recon = z.decompress(z.compress(field))
+        assert recon.shape == shape
+        rng_ = field.max() - field.min()
+        assert np.abs(recon - field).max() < 0.05 * rng_
+
+    def test_zero_field(self):
+        field = np.zeros((8, 8, 8), dtype=np.float32)
+        z = CuZFP(8)
+        assert np.array_equal(z.decompress(z.compress(field)), field)
+
+    def test_fixed_rate_independent_of_content(self, rng):
+        a = CuZFP(8).compress(np.zeros((16, 16, 16), dtype=np.float32))
+        b = CuZFP(8).compress(rng.normal(size=(16, 16, 16)).astype(np.float32))
+        assert a.size == b.size  # "fixed-rate mode ... a fixed number"
+
+    def test_rejects_f16(self):
+        with pytest.raises(InvalidInputError):
+            CuZFP(8).compress(np.zeros((4, 4), dtype=np.float16))
+
+    def test_rejects_nonfinite(self):
+        bad = np.full((4, 4), np.nan, dtype=np.float32)
+        with pytest.raises(InvalidInputError):
+            CuZFP(8).compress(bad)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(InvalidInputError):
+            CuZFP(0)
+
+
+class TestFloat64Pipeline:
+    """The 64-bit intprec path (an extension: real cuZFP lacks f64 in the
+    paper's comparison)."""
+
+    @pytest.fixture
+    def smooth_f64_3d(self, rng):
+        f = rng.normal(size=(12, 12, 12))
+        return (np.cumsum(np.cumsum(np.cumsum(f, 0), 1), 2) / 20).astype(np.float64)
+
+    def test_round_trip_quality_scales_with_rate(self, smooth_f64_3d):
+        errs = []
+        for rate in (8, 16, 32):
+            z = CuZFP(rate)
+            recon = z.decompress(z.compress(smooth_f64_3d))
+            assert recon.dtype == np.float64
+            errs.append(float(np.abs(recon - smooth_f64_3d).max()))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_high_rate_is_very_accurate(self, smooth_f64_3d):
+        z = CuZFP(32)
+        recon = z.decompress(z.compress(smooth_f64_3d))
+        rng_ = smooth_f64_3d.max() - smooth_f64_3d.min()
+        assert np.abs(recon - smooth_f64_3d).max() < 1e-9 * rng_
+
+    def test_same_rate_doubles_f64_ratio(self, rng, smooth_f64_3d):
+        # rate = bits/value, so the ratio doubles against 64-bit elements.
+        f32 = smooth_f64_3d.astype(np.float32)
+        r64 = CuZFP(8).ratio(smooth_f64_3d)
+        r32 = CuZFP(8).ratio(f32)
+        assert r64 / r32 == pytest.approx(2.0, rel=0.05)
+
+    def test_negabinary_64bit_round_trip(self, rng):
+        from repro.baselines.zfp import negabinary
+
+        x = rng.integers(-(2**62), 2**62, size=1000)
+        back = negabinary.negabinary_to_int(negabinary.int_to_negabinary(x, 64), 64)
+        assert np.array_equal(back, x)
+
+    def test_zero_f64_field(self):
+        z = CuZFP(8)
+        field = np.zeros((8, 8), dtype=np.float64)
+        assert np.array_equal(z.decompress(z.compress(field)), field)

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_f32(rng):
+    """A smooth 1-D field (random walk), the regime where Outlier-FLE wins."""
+    return np.cumsum(rng.normal(size=20_000)).astype(np.float32)
+
+
+@pytest.fixture
+def rough_f32(rng):
+    """White noise: no smoothness, Plain- and Outlier-FLE nearly tie."""
+    return rng.normal(size=20_000).astype(np.float32)
+
+
+@pytest.fixture
+def sparse_f32(rng):
+    """Mostly-zero field (JetIn-like): exercises the zero-block fast path."""
+    data = np.zeros(50_000, dtype=np.float32)
+    idx = rng.choice(data.size, size=200, replace=False)
+    data[idx] = rng.normal(size=200).astype(np.float32)
+    return data
+
+
+@pytest.fixture
+def smooth_f64(rng):
+    return np.cumsum(rng.normal(size=20_000)).astype(np.float64)
+
+
+def value_range(data: np.ndarray) -> float:
+    return float(data.max() - data.min())
+
+
+def assert_error_bounded(original: np.ndarray, recon: np.ndarray, eb_abs: float):
+    """Max pointwise error must not exceed the bound (tiny slack for the
+    final float32 cast of the reconstruction)."""
+    err = np.abs(recon.astype(np.float64) - original.astype(np.float64)).max()
+    assert err <= eb_abs * (1 + 1e-6), f"error {err} exceeds bound {eb_abs}"

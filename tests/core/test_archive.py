@@ -1,0 +1,108 @@
+"""Unit tests for the multi-field dataset archive."""
+
+import numpy as np
+import pytest
+
+from repro import compress
+from repro.core.archive import MAGIC, DatasetArchive, pack, pack_dataset
+from repro.core.errors import StreamFormatError
+
+from tests.helpers import assert_error_bounded, value_range
+
+
+@pytest.fixture
+def fields(rng):
+    return {
+        "temperature": np.cumsum(rng.normal(size=4000)).astype(np.float32),
+        "pressure": rng.normal(size=2000).astype(np.float32),
+        "humidity": np.zeros(3000, dtype=np.float32),
+    }
+
+
+class TestPackExtract:
+    def test_round_trip_all_fields(self, fields):
+        buf = pack(fields, 1e-3)
+        ar = DatasetArchive(buf)
+        assert set(ar.names) == set(fields)
+        out = ar.extract_all()
+        for name, data in fields.items():
+            eb = 1e-3 * max(value_range(data), 1.0 if data.max() == data.min() else value_range(data))
+            if value_range(data) > 0:
+                assert_error_bounded(data, out[name], 1e-3 * value_range(data))
+            assert out[name].shape == data.shape
+
+    def test_streams_identical_to_standalone(self, fields):
+        buf = pack(fields, 1e-3, mode="outlier")
+        ar = DatasetArchive(buf)
+        for name, data in fields.items():
+            standalone = compress(data, rel=1e-3, mode="outlier")
+            assert np.array_equal(ar.stream(name), standalone), name
+
+    def test_random_access_inside_archive(self, fields):
+        ar = DatasetArchive(pack(fields, 1e-3))
+        ra = ar.accessor("temperature")
+        full = ar.extract("temperature")
+        assert np.array_equal(ra.decode_block(3), full[96:128])
+
+    def test_unknown_field(self, fields):
+        ar = DatasetArchive(pack(fields, 1e-3))
+        with pytest.raises(KeyError):
+            ar.stream("vorticity")
+
+    def test_absolute_bound_and_plain_mode(self, fields):
+        ar = DatasetArchive(pack(fields, 0.25, mode="plain"))
+        assert len(ar.names) == 3
+        # per-field absolute bound? pack() treats a float as REL; use
+        # ErrorBound for ABS:
+        from repro.core.quantize import ErrorBound
+
+        ar2 = DatasetArchive(pack(fields, ErrorBound.absolute(0.25)))
+        for name, data in fields.items():
+            assert_error_bounded(data, ar2.extract(name), 0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pack({}, 1e-3)
+
+    def test_unicode_names(self, rng):
+        data = {"champ-énergie": rng.normal(size=100).astype(np.float32)}
+        ar = DatasetArchive(pack(data, 1e-2))
+        assert ar.names == ["champ-énergie"]
+        ar.extract("champ-énergie")
+
+
+class TestFormatSafety:
+    def test_bad_magic(self):
+        with pytest.raises(StreamFormatError):
+            DatasetArchive(np.zeros(100, dtype=np.uint8))
+
+    def test_truncated_toc(self, fields):
+        buf = pack(fields, 1e-3)
+        with pytest.raises(StreamFormatError):
+            DatasetArchive(buf[: len(MAGIC) + 5])
+
+    def test_truncated_stream(self, fields):
+        buf = pack(fields, 1e-3)
+        with pytest.raises(StreamFormatError):
+            DatasetArchive(buf[:-50])
+
+    def test_accepts_bytes(self, fields):
+        buf = pack(fields, 1e-3)
+        ar = DatasetArchive(buf.tobytes())
+        assert set(ar.names) == set(fields)
+
+
+class TestDatasetPacking:
+    def test_pack_registry_dataset(self):
+        buf = pack_dataset("QMCPack", 1e-3)
+        ar = DatasetArchive(buf)
+        assert set(ar.names) == {"einspline", "einspline-2"}
+        out = ar.extract("einspline")
+        assert out.dtype == np.float32
+        assert out.size == 48 * 48 * 256
+
+    def test_archive_overhead_is_small(self):
+        buf = pack_dataset("QMCPack", 1e-3)
+        ar = DatasetArchive(buf)
+        streams = sum(ar.entries[n].length for n in ar.names)
+        assert buf.size - streams < 128  # TOC bytes only

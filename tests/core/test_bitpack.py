@@ -1,0 +1,92 @@
+"""Unit tests for the bit-plane packing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import bitpack
+
+
+class TestBitLength:
+    def test_known_values(self):
+        mags = np.array([0, 1, 2, 3, 4, 7, 8, 255, 256, 2**31 - 1], dtype=np.int64)
+        expected = np.array([0, 1, 2, 2, 3, 3, 4, 8, 9, 31])
+        assert np.array_equal(bitpack.bit_length(mags), expected)
+
+    def test_exact_powers_of_two(self):
+        # log2-based implementations go wrong exactly here; frexp does not.
+        powers = np.int64(1) << np.arange(31, dtype=np.int64)
+        assert np.array_equal(bitpack.bit_length(powers), np.arange(1, 32))
+
+    def test_powers_of_two_minus_one(self):
+        vals = (np.int64(1) << np.arange(1, 32, dtype=np.int64)) - 1
+        assert np.array_equal(bitpack.bit_length(vals), np.arange(1, 32))
+
+
+class TestPackBits:
+    def test_lsb_first_within_byte(self):
+        bits = np.array([1, 0, 0, 0, 0, 0, 0, 1], dtype=np.uint8)
+        assert bitpack.pack_bits(bits).tolist() == [0x81]
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(5, 64)).astype(np.uint8)
+        packed = bitpack.pack_bits(bits)
+        assert packed.shape == (5, 8)
+        assert np.array_equal(bitpack.unpack_bits(packed, 64), bits)
+
+    def test_unpack_truncates_to_nbits(self):
+        packed = np.array([0xFF], dtype=np.uint8)
+        assert bitpack.unpack_bits(packed, 5).tolist() == [1, 1, 1, 1, 1]
+
+
+class TestSigns:
+    def test_negative_marks_bit(self):
+        deltas = np.array([[1, -1, 0, -5, 2, 2, -2, 0]], dtype=np.int64)
+        sign_bytes = bitpack.pack_signs(deltas)
+        assert sign_bytes.shape == (1, 1)
+        assert sign_bytes[0, 0] == 0b01001010
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        deltas = rng.integers(-100, 100, size=(9, 32)).astype(np.int64)
+        neg = bitpack.unpack_signs(bitpack.pack_signs(deltas), 32)
+        assert np.array_equal(neg, deltas < 0)
+
+    def test_apply_signs(self):
+        mag = np.array([[3, 0, 7]], dtype=np.int64)
+        neg = np.array([[True, False, True]])
+        assert np.array_equal(bitpack.apply_signs(mag, neg), [[-3, 0, -7]])
+
+
+class TestPlanes:
+    def test_zero_fl_is_empty(self):
+        mag = np.zeros((4, 32), dtype=np.int64)
+        assert bitpack.pack_planes(mag, 0).shape == (4, 0)
+        assert np.array_equal(bitpack.unpack_planes(np.empty((4, 0), np.uint8), 0, 32), mag)
+
+    def test_single_plane_paper_example(self):
+        # Fig. 7: magnitudes [_,1,1,0,1,1,0,1] with fl=1 occupy 1 byte total.
+        mag = np.array([[0, 1, 1, 0, 1, 1, 0, 1]], dtype=np.int64)
+        payload = bitpack.pack_planes(mag, 1)
+        assert payload.shape == (1, 1)
+        assert np.array_equal(bitpack.unpack_planes(payload, 1, 8), mag)
+
+    @pytest.mark.parametrize("fl", [1, 2, 5, 8, 16, 31])
+    def test_round_trip_all_widths(self, fl):
+        rng = np.random.default_rng(fl)
+        mag = rng.integers(0, 2**fl, size=(7, 32)).astype(np.int64)
+        payload = bitpack.pack_planes(mag, fl)
+        assert payload.shape == (7, fl * 4)
+        assert np.array_equal(bitpack.unpack_planes(payload, fl, 32), mag)
+
+    def test_payload_size_matches_formula(self):
+        # fl bit-planes of an L-element block occupy fl * L / 8 bytes.
+        for L in (8, 32, 64):
+            mag = np.ones((3, L), dtype=np.int64)
+            assert bitpack.pack_planes(mag, 4).shape == (3, 4 * L // 8)
+
+    def test_plane_order_lsb_first(self):
+        mag = np.array([[2, 0, 0, 0, 0, 0, 0, 0]], dtype=np.int64)  # binary 10
+        payload = bitpack.pack_planes(mag, 2)
+        assert payload[0, 0] == 0  # LSB plane: all zero
+        assert payload[0, 1] == 1  # second plane: element 0 set

@@ -1,0 +1,82 @@
+"""Unit tests for the offset-byte format (Fig. 8) and size arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core import blockfmt
+
+
+class TestOffsetByte:
+    def test_plain_block_stores_fl_only(self):
+        off = blockfmt.encode_offset_bytes(
+            np.array([0]), np.array([1]), np.array([13])
+        )
+        assert off[0] == 13  # high bits clear
+
+    def test_outlier_mode_sets_top_bit(self):
+        off = blockfmt.encode_offset_bytes(
+            np.array([1]), np.array([1]), np.array([0])
+        )
+        assert off[0] & 0x80
+
+    @pytest.mark.parametrize("nbytes,bits", [(1, 0b00), (2, 0b01), (3, 0b10), (4, 0b11)])
+    def test_outlier_size_encoding(self, nbytes, bits):
+        # Fig. 8: "00, 01, 10, or 11 denote outlier sizes of 1, 2, 3, or 4 bytes"
+        off = blockfmt.encode_offset_bytes(
+            np.array([1]), np.array([nbytes]), np.array([7])
+        )
+        assert (off[0] >> 5) & 0x3 == bits
+        mode, onb, fl = blockfmt.decode_offset_bytes(off)
+        assert mode[0] == 1 and onb[0] == nbytes and fl[0] == 7
+
+    def test_round_trip_all_fields(self):
+        rng = np.random.default_rng(0)
+        mode = rng.integers(0, 2, size=256).astype(np.uint8)
+        onb = rng.integers(1, 5, size=256)
+        fl = rng.integers(0, 32, size=256)
+        off = blockfmt.encode_offset_bytes(mode, onb, fl)
+        m2, o2, f2 = blockfmt.decode_offset_bytes(off)
+        assert np.array_equal(m2, mode)
+        assert np.array_equal(f2, fl)
+        assert np.array_equal(o2[mode == 1], onb[mode == 1])
+        assert np.all(o2[mode == 0] == 0)
+
+    def test_fl_over_31_rejected(self):
+        with pytest.raises(ValueError):
+            blockfmt.encode_offset_bytes(np.array([0]), np.array([1]), np.array([32]))
+
+
+class TestPayloadSizes:
+    def test_zero_block_costs_nothing(self):
+        # Paper Section V-C: one byte total for a zero block (the offset byte).
+        sizes = blockfmt.payload_sizes(
+            np.array([0]), np.array([0]), np.array([0]), block=32
+        )
+        assert sizes[0] == 0
+
+    def test_plain_formula(self):
+        # L=32, fl=4 -> 4 sign bytes + 16 plane bytes.
+        sizes = blockfmt.payload_sizes(np.array([0]), np.array([0]), np.array([4]), 32)
+        assert sizes[0] == 4 + 16
+
+    def test_paper_running_example(self):
+        # Fig. 5: block size 8, plain fl=4 -> 5 payload bytes.
+        sizes = blockfmt.payload_sizes(np.array([0]), np.array([0]), np.array([4]), 8)
+        assert sizes[0] == 5
+
+    def test_paper_outlier_example(self):
+        # Fig. 7: block size 8, outlier in 1 byte, fl_rest=1 -> 3 bytes total
+        # (1 sign byte + 1 outlier byte + 1 plane byte).
+        sizes = blockfmt.payload_sizes(np.array([1]), np.array([1]), np.array([1]), 8)
+        assert sizes[0] == 3
+
+    def test_outlier_zero_fl_keeps_signs_and_outlier(self):
+        sizes = blockfmt.payload_sizes(np.array([1]), np.array([2]), np.array([0]), 32)
+        assert sizes[0] == 4 + 2
+
+
+class TestOutlierByteCount:
+    def test_boundaries(self):
+        mags = np.array([0, 1, 0xFF, 0x100, 0xFFFF, 0x10000, 0xFFFFFF, 0x1000000, 2**31 - 1])
+        expected = np.array([1, 1, 1, 2, 2, 3, 3, 4, 4])
+        assert np.array_equal(blockfmt.outlier_byte_count(mags), expected)

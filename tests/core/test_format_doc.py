@@ -1,0 +1,87 @@
+"""Executable version of docs/FORMAT.md's worked examples.
+
+Every byte value claimed in the format document is asserted here, so the
+documentation cannot drift from the implementation.
+"""
+
+import numpy as np
+
+from repro import compress
+from repro.core import fle, stream
+from repro.core.blockfmt import decode_offset_bytes
+from repro.core.quantize import quantize
+
+
+class TestFig5WorkedExample:
+    DATA = np.array([1.12, 0.21, -0.34, 0.23, 1.83, 0.22, 0.42, 0.51])
+
+    def quantize_and_diff(self):
+        q = quantize(self.DATA, 0.1)
+        deltas = np.diff(q, prepend=np.int64(0))
+        return q, deltas
+
+    def test_quantization(self):
+        q, _ = self.quantize_and_diff()
+        assert q.tolist() == [6, 1, -2, 1, 9, 1, 2, 3]
+
+    def test_deltas(self):
+        _, d = self.quantize_and_diff()
+        assert d.tolist() == [6, -5, -3, 3, 8, -8, 1, 1]
+
+    def test_encoded_bytes(self):
+        _, d = self.quantize_and_diff()
+        offsets, payload = fle.encode_blocks(d.reshape(1, 8), use_outlier=False)
+        assert offsets[0] == 0x04  # mode 0, fl 4
+        assert payload.size == 5  # "5 bytes in this block"
+        assert payload[0] == 0b00100110  # signs at positions 1, 2, 5
+        assert payload[1] == 0b11001110  # plane 0 of [6,5,3,3,8,8,1,1]
+        assert payload[2] == 0b00001101  # plane 1
+        assert payload[3] == 0b00000011  # plane 2
+        assert payload[4] == 0b00110000  # plane 3
+
+
+class TestFig7WorkedExample:
+    DELTAS = np.array([[8, 1, -1, 0, 1, -1, 0, 1]], dtype=np.int64)
+
+    def test_plain_costs_five_bytes(self):
+        _, payload = fle.encode_blocks(self.DELTAS, use_outlier=False)
+        assert payload.size == 5  # ratio 32/5 = 6.4
+
+    def test_outlier_costs_three_bytes(self):
+        offsets, payload = fle.encode_blocks(self.DELTAS, use_outlier=True)
+        assert payload.size == 3  # ratio 32/3 = 10.7
+        assert offsets[0] == 0b10000001  # mode 1, outlier size 00, fl 1
+        mode, onb, fl = decode_offset_bytes(offsets)
+        assert (mode[0], onb[0], fl[0]) == (1, 1, 1)
+
+    def test_payload_layout(self):
+        _, payload = fle.encode_blocks(self.DELTAS, use_outlier=True)
+        assert payload[0] == 0b00100100  # signs: negatives at 2 and 5
+        assert payload[1] == 8  # outlier magnitude byte
+        assert payload[2] == 0b10110110  # fl=1 plane of [0,1,1,0,1,1,0,1]
+
+
+class TestContainerLayout:
+    def test_header_field_offsets(self, rng):
+        data = rng.normal(size=100).astype(np.float32)
+        buf = compress(data, rel=1e-3, mode="outlier")
+        assert bytes(buf[0:4]) == b"CSZ2"
+        assert buf[4] == 1  # version
+        assert buf[5] == 1  # mode outlier
+        assert buf[6] == 0  # float32
+        assert buf[7] == 1  # 1-D predictor
+        assert int.from_bytes(bytes(buf[8:10]), "little") == 32  # block L
+        assert int.from_bytes(bytes(buf[10:12]), "little") == 1  # orig ndim
+        assert int.from_bytes(bytes(buf[12:20]), "little") == 100  # N
+        eb = np.frombuffer(bytes(buf[20:28]), dtype="<f8")[0]
+        assert eb > 0
+        assert int.from_bytes(bytes(buf[28:36]), "little") == 100  # d0
+        assert stream.HEADER_SIZE == 52
+
+    def test_offset_section_location(self, rng):
+        data = rng.normal(size=100).astype(np.float32)
+        buf = compress(data, rel=1e-3)
+        header, offsets, payload = stream.split(buf)
+        nblocks = -(-100 // 32)
+        assert offsets.size == nblocks
+        assert np.array_equal(offsets, buf[52 : 52 + nblocks])

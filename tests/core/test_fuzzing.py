@@ -1,0 +1,169 @@
+"""Failure injection: corrupted, truncated, and hostile streams.
+
+The decoder's contract: for any byte sequence it either returns an array or
+raises a typed :class:`CuSZp2Error` -- never an uncontrolled IndexError /
+ValueError from deep inside NumPy.  (A corrupted stream whose sizes happen
+to stay self-consistent may decode to garbage values; lossy-compressed
+science data carries no integrity checksums, exactly like the original.)
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compress, decompress
+from repro.core.errors import CuSZp2Error
+from repro.core.random_access import RandomAccessor
+
+
+def make_stream(seed=0, n=3000):
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(rng.normal(size=n)).astype(np.float32)
+    return compress(data, rel=1e-3, mode="outlier")
+
+
+BASE_STREAM = make_stream()
+
+
+def _decode_or_typed_error(buf):
+    try:
+        out = decompress(buf)
+        assert isinstance(out, np.ndarray)
+    except CuSZp2Error:
+        pass  # typed failure is the other acceptable outcome
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("keep", [0, 1, 10, 51, 52, 100, 500])
+    def test_truncated_prefixes(self, keep):
+        with pytest.raises(CuSZp2Error):
+            decompress(BASE_STREAM[:keep])
+
+    def test_every_truncation_point_is_safe(self):
+        # Sweep a stride of truncation lengths over the whole stream.
+        for keep in range(0, BASE_STREAM.size, 97):
+            _decode_or_typed_error(BASE_STREAM[:keep])
+
+    def test_extra_garbage_after_payload(self):
+        # Trailing bytes beyond the described payload: tolerated or typed.
+        extended = np.concatenate([BASE_STREAM, np.full(64, 0xAB, dtype=np.uint8)])
+        _decode_or_typed_error(extended)
+
+
+class TestCorruption:
+    @given(st.integers(0, int(BASE_STREAM.size) - 1), st.integers(1, 255))
+    @settings(max_examples=200, deadline=None)
+    def test_single_byte_flip_never_crashes(self, pos, delta):
+        buf = BASE_STREAM.copy()
+        buf[pos] = (int(buf[pos]) + delta) % 256
+        _decode_or_typed_error(buf)
+
+    @given(st.lists(st.integers(0, int(BASE_STREAM.size) - 1), min_size=1, max_size=16), st.randoms())
+    @settings(max_examples=100, deadline=None)
+    def test_multi_byte_corruption(self, positions, pyrandom):
+        buf = BASE_STREAM.copy()
+        for p in positions:
+            buf[p] = pyrandom.randrange(256)
+        _decode_or_typed_error(buf)
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_bytes(self, raw):
+        _decode_or_typed_error(np.frombuffer(raw, dtype=np.uint8))
+
+    def test_all_zero_buffer(self):
+        with pytest.raises(CuSZp2Error):
+            decompress(np.zeros(1000, dtype=np.uint8))
+
+    def test_all_ff_buffer(self):
+        with pytest.raises(CuSZp2Error):
+            decompress(np.full(1000, 0xFF, dtype=np.uint8))
+
+
+class TestRandomAccessorHostility:
+    @given(st.integers(0, int(BASE_STREAM.size) - 1), st.integers(1, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_accessor_construction_and_reads(self, pos, delta):
+        buf = BASE_STREAM.copy()
+        buf[pos] = (int(buf[pos]) + delta) % 256
+        try:
+            ra = RandomAccessor(buf)
+            ra.decode_block(min(5, ra.nblocks - 1))
+        except CuSZp2Error:
+            pass
+
+    def test_offsets_claiming_huge_payload(self):
+        # Force every offset byte to the maximum-size pattern: the payload
+        # section cannot satisfy it -> typed error.
+        buf = BASE_STREAM.copy()
+        from repro.core import stream as stream_mod
+
+        header, offsets, _ = stream_mod.split(buf)
+        buf[stream_mod.HEADER_SIZE : stream_mod.HEADER_SIZE + offsets.size] = 0xFF
+        with pytest.raises(CuSZp2Error):
+            decompress(buf)
+
+
+class TestBaselineDecoderSafety:
+    @given(st.integers(0, 2000), st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_fzgpu_corruption(self, pos, delta):
+        from repro.baselines import FZGPU
+        from repro.core.quantize import ErrorBound
+
+        codec = FZGPU(ErrorBound.relative(1e-3))
+        rng = np.random.default_rng(1)
+        buf = codec.compress(np.cumsum(rng.normal(size=2000)).astype(np.float32)).copy()
+        buf[pos % buf.size] = (int(buf[pos % buf.size]) + delta) % 256
+        try:
+            out = codec.decompress(buf)
+            assert isinstance(out, np.ndarray)
+        except CuSZp2Error:
+            pass
+
+    @given(st.binary(min_size=0, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_cuzfp_arbitrary_bytes(self, raw):
+        from repro.baselines import CuZFP
+
+        try:
+            CuZFP(8).decompress(np.frombuffer(raw, dtype=np.uint8))
+        except CuSZp2Error:
+            pass
+
+
+class TestArchiveAndTileHostility:
+    @given(st.integers(0, 5000), st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_archive_corruption(self, pos, delta):
+        from repro.core.archive import DatasetArchive, pack
+
+        rng = np.random.default_rng(2)
+        buf = pack(
+            {"a": rng.normal(size=1500).astype(np.float32),
+             "b": rng.normal(size=800).astype(np.float32)},
+            1e-2,
+        ).copy()
+        buf[pos % buf.size] = (int(buf[pos % buf.size]) + delta) % 256
+        try:
+            ar = DatasetArchive(buf)
+            for name in ar.names:
+                ar.extract(name)
+        except (CuSZp2Error, KeyError, UnicodeDecodeError):
+            pass  # typed/structured failures only
+
+    @given(st.integers(0, 3000), st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_tile_accessor_corruption(self, pos, delta):
+        from repro.core.tile_access import TileAccessor
+
+        rng = np.random.default_rng(3)
+        vol = np.cumsum(rng.normal(size=(16, 16, 16)), axis=0).astype(np.float32)
+        buf = compress(vol, rel=1e-2, predictor_ndim=3, block=64).copy()
+        buf[pos % buf.size] = (int(buf[pos % buf.size]) + delta) % 256
+        try:
+            ta = TileAccessor(buf)
+            ta.decode_tile((0, 0, 0))
+        except CuSZp2Error:
+            pass

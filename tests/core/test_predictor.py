@@ -1,0 +1,128 @@
+"""Unit tests for the 1-D/2-D/3-D blockwise difference predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core import predictor
+
+
+class TestBlockize1D:
+    def test_exact_multiple(self):
+        q = np.arange(64, dtype=np.int64)
+        blocks = predictor.blockize_1d(q, 32)
+        assert blocks.shape == (2, 32)
+        assert np.array_equal(blocks.reshape(-1), q)
+
+    def test_tail_padded_with_last_value(self):
+        q = np.array([5, 6, 7], dtype=np.int64)
+        blocks = predictor.blockize_1d(q, 8)
+        assert blocks.shape == (1, 8)
+        assert np.array_equal(blocks[0], [5, 6, 7, 7, 7, 7, 7, 7])
+
+    def test_padding_makes_trailing_deltas_zero(self):
+        q = np.array([5, 6, 7], dtype=np.int64)
+        d = predictor.diff_1d(predictor.blockize_1d(q, 8))
+        assert np.array_equal(d[0], [5, 1, 1, 0, 0, 0, 0, 0])
+
+
+class TestDiff1D:
+    def test_first_element_diffs_against_zero(self):
+        blocks = np.array([[10, 12, 11]], dtype=np.int64)
+        d = predictor.diff_1d(blocks)
+        assert np.array_equal(d, [[10, 2, -1]])
+
+    def test_blocks_are_independent(self):
+        blocks = np.array([[1, 2], [100, 101]], dtype=np.int64)
+        d = predictor.diff_1d(blocks)
+        # second block's first delta must not reference the first block
+        assert d[1, 0] == 100
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(-1000, 1000, size=(17, 32)).astype(np.int64)
+        assert np.array_equal(predictor.undiff_1d(predictor.diff_1d(blocks)), blocks)
+
+    def test_smooth_block_yields_outlier_shape(self):
+        # Fig. 6: a smooth block's deltas are tiny except the first.
+        blocks = np.array([[1000, 1001, 1002, 1001, 1000, 999, 1000, 1001]], dtype=np.int64)
+        d = predictor.diff_1d(blocks)
+        assert abs(d[0, 0]) == 1000
+        assert np.abs(d[0, 1:]).max() == 1
+
+
+class TestLorenzo2D:
+    def test_matches_explicit_stencil(self):
+        rng = np.random.default_rng(3)
+        tiles = rng.integers(-50, 50, size=(4, 8, 8)).astype(np.int64)
+        d = predictor.lorenzo_diff_2d(tiles)
+        padded = np.pad(tiles, ((0, 0), (1, 0), (1, 0)))
+        expected = (
+            tiles - padded[:, :-1, 1:] - padded[:, 1:, :-1] + padded[:, :-1, :-1]
+        )
+        assert np.array_equal(d, expected)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(4)
+        tiles = rng.integers(-9, 9, size=(5, 8, 8)).astype(np.int64)
+        assert np.array_equal(
+            predictor.lorenzo_undiff_2d(predictor.lorenzo_diff_2d(tiles)), tiles
+        )
+
+
+class TestLorenzo3D:
+    def test_matches_explicit_stencil(self):
+        rng = np.random.default_rng(5)
+        t = rng.integers(-50, 50, size=(3, 4, 4, 4)).astype(np.int64)
+        d = predictor.lorenzo_diff_3d(t)
+        p = np.pad(t, ((0, 0), (1, 0), (1, 0), (1, 0)))
+        expected = (
+            t
+            - p[:, :-1, 1:, 1:] - p[:, 1:, :-1, 1:] - p[:, 1:, 1:, :-1]
+            + p[:, :-1, :-1, 1:] + p[:, :-1, 1:, :-1] + p[:, 1:, :-1, :-1]
+            - p[:, :-1, :-1, :-1]
+        )
+        assert np.array_equal(d, expected)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(6)
+        t = rng.integers(-9, 9, size=(7, 4, 4, 4)).astype(np.int64)
+        assert np.array_equal(
+            predictor.lorenzo_undiff_3d(predictor.lorenzo_diff_3d(t)), t
+        )
+
+
+class TestUnifiedInterface:
+    @pytest.mark.parametrize(
+        "ndim,dims,block",
+        [
+            (1, (1000,), 32),
+            (2, (40, 56), 64),
+            (2, (41, 53), 64),  # needs edge padding
+            (3, (12, 16, 8), 64),
+            (3, (13, 15, 9), 64),  # needs edge padding
+        ],
+    )
+    def test_forward_inverse_round_trip(self, ndim, dims, block):
+        rng = np.random.default_rng(7)
+        n = int(np.prod(dims))
+        q = rng.integers(-500, 500, size=n).astype(np.int64)
+        d = predictor.forward(q, dims, ndim, block)
+        back = predictor.inverse(d, dims, ndim, block, n)
+        assert np.array_equal(back, q)
+
+    def test_non_perfect_tile_rejected(self):
+        with pytest.raises(ValueError):
+            predictor.forward(np.zeros(64, dtype=np.int64), (8, 8), 2, 32)
+
+    def test_bad_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            predictor.forward(np.zeros(64, dtype=np.int64), (64,), 4, 16)
+
+    def test_2d_smoothness_shrinks_deltas(self):
+        # A bilinear ramp is exactly predicted by 2-D Lorenzo (zero residual
+        # away from tile borders) but not by raw values.
+        x = np.arange(16)
+        field = (x[:, None] * 3 + x[None, :] * 2).astype(np.int64)
+        d = predictor.forward(field.reshape(-1), (16, 16), 2, 64)
+        interior = d.reshape(-1, 8, 8)[:, 1:, 1:]
+        assert np.abs(interior).max() == 0

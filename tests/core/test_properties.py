@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on codec invariants.
+
+These encode the guarantees the paper relies on:
+
+* the reconstruction error never exceeds the bound (the compressor's
+  contract),
+* compression is lossless downstream of quantization (exact round trip of
+  quantization integers),
+* Outlier mode never produces a larger stream than Plain mode,
+* random access agrees with full decompression everywhere.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import RandomAccessor, compress, decompress
+from repro.core import fle, predictor
+from repro.core.errors import QuantizationOverflowError
+
+finite_f32 = hnp.arrays(
+    dtype=np.float32,
+    shape=st.integers(1, 400),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+    ),
+)
+
+delta_blocks = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 20), st.just(32)),
+    elements=st.integers(-(2**31) + 1, 2**31 - 1),
+)
+
+
+@st.composite
+def data_and_bound(draw):
+    data = draw(finite_f32)
+    rel = draw(st.sampled_from([1e-1, 1e-2, 1e-3, 1e-4]))
+    return data, rel
+
+
+@given(data_and_bound())
+@settings(max_examples=150, deadline=None)
+def test_error_bound_always_respected(case):
+    data, rel = case
+    try:
+        buf = compress(data, rel=rel)
+    except QuantizationOverflowError:
+        # Legal outcome for extreme range/eb combinations; never corrupt output.
+        return
+    recon = decompress(buf)
+    rng = float(data.max() - data.min())
+    eb = rel * rng if rng else rel * max(abs(float(data.max())), 1.0)
+    assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= eb * (1 + 1e-6)
+
+
+@given(data_and_bound(), st.sampled_from(["plain", "outlier"]))
+@settings(max_examples=100, deadline=None)
+def test_decompress_is_exact_inverse_of_lossy_step(case, mode):
+    data, rel = case
+    try:
+        buf = compress(data, rel=rel, mode=mode)
+    except QuantizationOverflowError:
+        return
+    # Re-compressing the reconstruction must reproduce it exactly: the
+    # reconstruction is already on the quantization lattice.
+    recon = decompress(buf)
+    buf2 = compress(recon, abs=_stored_eb(buf), mode=mode)
+    recon2 = decompress(buf2)
+    assert np.array_equal(recon, recon2)
+
+
+def _stored_eb(buf):
+    from repro.core import stream
+
+    return stream.split(buf)[0].eb_abs
+
+
+@given(delta_blocks, st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_fle_round_trip_arbitrary_deltas(dblocks, use_outlier):
+    offsets, payload = fle.encode_blocks(dblocks, use_outlier)
+    assert np.array_equal(fle.decode_blocks(offsets, payload, 32), dblocks)
+
+
+@given(delta_blocks)
+@settings(max_examples=100, deadline=None)
+def test_outlier_stream_never_larger(dblocks):
+    _, pay_p = fle.encode_blocks(dblocks, False)
+    _, pay_o = fle.encode_blocks(dblocks, True)
+    assert pay_o.size <= pay_p.size
+
+
+@given(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(1, 300),
+        elements=st.integers(-(2**24), 2**24),
+    ),
+    st.sampled_from([8, 32, 64]),
+)
+@settings(max_examples=100, deadline=None)
+def test_predictor_round_trip(q, block):
+    blocks = predictor.blockize_1d(q, block)
+    back = predictor.undiff_1d(predictor.diff_1d(blocks)).reshape(-1)[: q.size]
+    assert np.array_equal(back, q)
+
+
+@given(data_and_bound(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_access_agrees_with_full_decode(case, data_strategy):
+    data, rel = case
+    try:
+        buf = compress(data, rel=rel, mode="outlier")
+    except QuantizationOverflowError:
+        return
+    full = decompress(buf)
+    ra = RandomAccessor(buf)
+    lo = data_strategy.draw(st.integers(0, data.size - 1))
+    hi = data_strategy.draw(st.integers(lo, data.size))
+    assert np.array_equal(ra.decode_range(lo, hi), full[lo:hi])
+
+
+@given(finite_f32)
+@settings(max_examples=60, deadline=None)
+def test_idempotent_on_lattice_data(data):
+    # Once data sits on the quantization lattice, compression is lossless.
+    try:
+        recon = decompress(compress(data, rel=1e-2))
+        buf = compress(recon, abs=_stored_eb(compress(data, rel=1e-2)))
+    except QuantizationOverflowError:
+        return
+    assert np.array_equal(decompress(buf), recon)
+
+
+@st.composite
+def small_volume(draw):
+    d0 = draw(st.integers(2, 10))
+    d1 = draw(st.integers(2, 10))
+    d2 = draw(st.integers(2, 12))
+    data = draw(
+        hnp.arrays(
+            dtype=np.float32,
+            shape=(d0, d1, d2),
+            elements=st.floats(
+                min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False, width=32
+            ),
+        )
+    )
+    return data
+
+
+@given(small_volume(), st.sampled_from([2, 3]))
+@settings(max_examples=60, deadline=None)
+def test_multidim_predictor_error_bound(volume, ndim):
+    arr = volume if ndim == 3 else volume.reshape(volume.shape[0] * volume.shape[1], -1)
+    try:
+        buf = compress(arr, rel=1e-2, mode="outlier", predictor_ndim=ndim, block=64)
+    except QuantizationOverflowError:
+        return
+    recon = decompress(buf)
+    assert recon.shape == arr.shape
+    rng = float(arr.max() - arr.min())
+    eb = 1e-2 * (rng if rng else max(abs(float(arr.max())), 1.0))
+    slack = 0.5 * float(np.spacing(np.abs(recon).max())) if recon.size else 0.0
+    err = np.abs(recon.astype(np.float64) - arr.astype(np.float64)).max()
+    assert err <= eb * (1 + 1e-9) + slack
+
+
+@given(small_volume())
+@settings(max_examples=40, deadline=None)
+def test_predictors_agree_within_two_bounds(volume):
+    # Different predictors quantize the same lattice, so reconstructions
+    # can differ by at most 2eb pointwise.
+    try:
+        r1 = decompress(compress(volume, rel=1e-2, mode="plain")).reshape(volume.shape)
+        r3 = decompress(compress(volume, rel=1e-2, mode="plain", predictor_ndim=3, block=64))
+    except QuantizationOverflowError:
+        return
+    rng = float(volume.max() - volume.min())
+    eb = 1e-2 * (rng if rng else max(abs(float(volume.max())), 1.0))
+    slack = float(np.spacing(max(np.abs(r1).max(), np.abs(r3).max(), 1e-30)))
+    assert np.abs(r1.astype(np.float64) - r3.astype(np.float64)).max() <= 2 * eb * (1 + 1e-9) + 2 * slack

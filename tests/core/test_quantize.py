@@ -1,0 +1,120 @@
+"""Unit tests for the lossy conversion stage (the only lossy step)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ErrorBoundError, InvalidInputError, QuantizationOverflowError
+from repro.core.quantize import (
+    MAX_QUANT_MAGNITUDE,
+    ErrorBound,
+    dequantize,
+    max_quantized_error,
+    quantize,
+    validate_input,
+)
+
+
+class TestErrorBound:
+    def test_absolute_resolves_to_itself(self):
+        eb = ErrorBound.absolute(0.25)
+        assert eb.resolve(np.array([0.0, 100.0])) == 0.25
+
+    def test_relative_scales_by_value_range(self):
+        data = np.array([-2.0, 8.0])  # range 10
+        assert ErrorBound.relative(1e-3).resolve(data) == pytest.approx(1e-2)
+
+    def test_relative_on_constant_data_falls_back_to_magnitude(self):
+        data = np.full(10, 7.0)
+        assert ErrorBound.relative(1e-2).resolve(data) == pytest.approx(7e-2)
+
+    def test_relative_on_constant_zero_data_uses_unit_scale(self):
+        data = np.zeros(10)
+        assert ErrorBound.relative(1e-2).resolve(data) == pytest.approx(1e-2)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_nonpositive_or_nonfinite(self, bad):
+        with pytest.raises(ErrorBoundError):
+            ErrorBound.relative(bad).resolve(np.array([0.0, 1.0]))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ErrorBoundError):
+            ErrorBound("weird", 0.1).resolve(np.array([0.0, 1.0]))
+
+
+class TestValidateInput:
+    def test_accepts_f32_and_f64(self):
+        for dt in (np.float32, np.float64):
+            out = validate_input(np.ones(4, dtype=dt))
+            assert out.dtype == dt and out.ndim == 1
+
+    def test_flattens_multidimensional(self):
+        out = validate_input(np.ones((2, 3, 4), dtype=np.float32))
+        assert out.shape == (24,)
+
+    def test_rejects_non_array(self):
+        with pytest.raises(InvalidInputError):
+            validate_input([1.0, 2.0])
+
+    def test_rejects_integer_dtype(self):
+        with pytest.raises(InvalidInputError):
+            validate_input(np.arange(10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            validate_input(np.empty(0, dtype=np.float32))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_nonfinite(self, bad):
+        data = np.ones(10, dtype=np.float64)
+        data[3] = bad
+        with pytest.raises(InvalidInputError):
+            validate_input(data)
+
+
+class TestQuantize:
+    def test_paper_running_example(self):
+        # Fig. 5: eb = 0.1, 1.12 -> 6, reconstructed 6 * 0.2 = 1.2.
+        q = quantize(np.array([1.12]), 0.1)
+        assert q[0] == 6
+        recon = dequantize(q, 0.1, np.dtype(np.float64))
+        assert recon[0] == pytest.approx(1.2)
+        assert abs(recon[0] - 1.12) < 0.1
+
+    def test_round_trip_respects_bound(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-100, 100, size=10_000)
+        eb = 0.05
+        recon = dequantize(quantize(data, eb), eb, np.dtype(np.float64))
+        assert max_quantized_error(data, recon) <= eb
+
+    def test_negative_values_round_symmetrically_within_bound(self):
+        data = np.array([-1.12, -0.31, 0.31, 1.12])
+        eb = 0.1
+        recon = dequantize(quantize(data, eb), eb, np.dtype(np.float64))
+        assert np.all(np.abs(recon - data) <= eb)
+
+    def test_zero_maps_to_zero(self):
+        assert quantize(np.array([0.0]), 1e-5)[0] == 0
+
+    def test_overflow_raises(self):
+        with pytest.raises(QuantizationOverflowError):
+            quantize(np.array([1e30]), 1e-9)
+
+    def test_magnitude_just_inside_limit_ok(self):
+        eb = 0.5  # step 1.0: quant equals round(value)
+        val = float(MAX_QUANT_MAGNITUDE) - 1.0
+        q = quantize(np.array([val]), eb)
+        assert q[0] == MAX_QUANT_MAGNITUDE - 1
+
+    def test_bad_eb_raises(self):
+        with pytest.raises(ErrorBoundError):
+            quantize(np.zeros(3), 0.0)
+
+    def test_f32_input_quantizes_in_double(self):
+        data = np.array([1.12], dtype=np.float32)
+        assert quantize(data, 0.1)[0] == 6
+
+    def test_dequantize_preserves_requested_dtype(self):
+        q = np.array([1, 2, 3], dtype=np.int64)
+        assert dequantize(q, 0.1, np.dtype(np.float32)).dtype == np.float32
+        assert dequantize(q, 0.1, np.dtype(np.float64)).dtype == np.float64

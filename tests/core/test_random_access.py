@@ -1,0 +1,107 @@
+"""Unit tests for random access into compressed streams (Section VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro import RandomAccessor, compress, decompress
+from repro.core.errors import RandomAccessError
+
+
+@pytest.fixture
+def stream_and_recon(rng):
+    data = np.cumsum(rng.normal(size=10_000)).astype(np.float32)
+    buf = compress(data, rel=1e-3, mode="outlier")
+    return buf, decompress(buf)
+
+
+class TestDecodeBlock:
+    def test_matches_full_decompression(self, stream_and_recon):
+        buf, full = stream_and_recon
+        ra = RandomAccessor(buf)
+        for idx in (0, 1, 17, ra.nblocks - 1):
+            blk = ra.decode_block(idx)
+            lo = idx * ra.block
+            assert np.array_equal(blk, full[lo : lo + ra.block])
+
+    def test_partial_final_block(self, rng):
+        data = rng.normal(size=100).astype(np.float32)  # 100 = 3*32 + 4
+        buf = compress(data, rel=1e-3)
+        ra = RandomAccessor(buf)
+        last = ra.decode_block(3)
+        assert last.shape == (4,)
+        assert np.array_equal(last, decompress(buf)[96:])
+
+    def test_negative_index_wraps(self, stream_and_recon):
+        buf, full = stream_and_recon
+        ra = RandomAccessor(buf)
+        assert np.array_equal(ra.decode_block(-1), ra.decode_block(ra.nblocks - 1))
+
+    def test_out_of_range_raises(self, stream_and_recon):
+        ra = RandomAccessor(stream_and_recon[0])
+        with pytest.raises(RandomAccessError):
+            ra.decode_block(ra.nblocks)
+
+
+class TestDecodeBlocks:
+    def test_batch_matches_full(self, stream_and_recon, rng):
+        buf, full = stream_and_recon
+        ra = RandomAccessor(buf)
+        idx = rng.choice(ra.nblocks, size=40, replace=False)
+        rows = ra.decode_blocks(idx)
+        for k, i in enumerate(idx):
+            assert np.array_equal(rows[k], full[i * 32 : (i + 1) * 32])
+
+    def test_duplicate_indices_allowed(self, stream_and_recon):
+        ra = RandomAccessor(stream_and_recon[0])
+        rows = ra.decode_blocks(np.array([5, 5, 5]))
+        assert np.array_equal(rows[0], rows[1])
+
+    def test_bad_indices_raise(self, stream_and_recon):
+        ra = RandomAccessor(stream_and_recon[0])
+        with pytest.raises(RandomAccessError):
+            ra.decode_blocks(np.array([0, ra.nblocks]))
+
+
+class TestDecodeRange:
+    @pytest.mark.parametrize("lo,hi", [(0, 10), (30, 35), (31, 33), (0, 10_000), (9_990, 10_000), (100, 100)])
+    def test_ranges(self, stream_and_recon, lo, hi):
+        buf, full = stream_and_recon
+        ra = RandomAccessor(buf)
+        assert np.array_equal(ra.decode_range(lo, hi), full[lo:hi])
+
+    def test_invalid_range_raises(self, stream_and_recon):
+        ra = RandomAccessor(stream_and_recon[0])
+        with pytest.raises(RandomAccessError):
+            ra.decode_range(-1, 5)
+        with pytest.raises(RandomAccessError):
+            ra.decode_range(0, 10_001)
+
+
+class TestMisc:
+    def test_block_for_element(self, stream_and_recon):
+        ra = RandomAccessor(stream_and_recon[0])
+        assert ra.block_for_element(0) == (0, 0)
+        assert ra.block_for_element(33) == (1, 1)
+        with pytest.raises(RandomAccessError):
+            ra.block_for_element(10_000)
+
+    def test_payload_bytes_touched_is_small(self, stream_and_recon):
+        # The point of Fig. 20: accessing one block touches a tiny fraction
+        # of the stream, which is why normalized throughput is TB-level.
+        buf, _ = stream_and_recon
+        ra = RandomAccessor(buf)
+        touched = ra.payload_bytes_touched(np.array([7]))
+        assert touched < buf.size / 50
+
+    def test_multi_dim_stream_rejected(self, rng):
+        data = np.cumsum(rng.normal(size=(32, 32)), axis=0).astype(np.float32)
+        buf = compress(data, rel=1e-3, predictor_ndim=2, block=64)
+        with pytest.raises(RandomAccessError):
+            RandomAccessor(buf)
+
+    def test_zero_blocks_random_access(self, sparse_f32):
+        buf = compress(sparse_f32, rel=1e-2)
+        full = decompress(buf)
+        ra = RandomAccessor(buf)
+        rows = ra.decode_blocks(np.arange(ra.nblocks))
+        assert np.array_equal(rows.reshape(-1)[: sparse_f32.size], full)

@@ -1,0 +1,94 @@
+"""Unit tests for random-access *write* (Section VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro import RandomAccessor, compress, decompress
+from repro.core.errors import RandomAccessError
+
+
+@pytest.fixture
+def setup(rng):
+    data = np.cumsum(rng.normal(size=5_000)).astype(np.float32)
+    buf = compress(data, rel=1e-3, mode="outlier")
+    return data, buf, RandomAccessor(buf)
+
+
+class TestRewriteBlock:
+    def test_target_block_updated(self, setup, rng):
+        data, buf, ra = setup
+        new_vals = rng.normal(size=32).astype(np.float32) * 0.1
+        new_buf = ra.rewrite_block(10, new_vals)
+        recon = decompress(new_buf)
+        eb = ra.header.eb_abs
+        assert np.abs(recon[320:352] - new_vals).max() <= eb * (1 + 1e-6)
+
+    def test_other_blocks_untouched(self, setup, rng):
+        data, buf, ra = setup
+        before = decompress(buf)
+        new_buf = ra.rewrite_block(10, rng.normal(size=32).astype(np.float32))
+        after = decompress(new_buf)
+        assert np.array_equal(after[:320], before[:320])
+        assert np.array_equal(after[352:], before[352:])
+
+    def test_stream_stays_valid_for_random_access(self, setup, rng):
+        data, buf, ra = setup
+        ra2 = ra.updated(5, rng.normal(size=32).astype(np.float32))
+        assert ra2.nblocks == ra.nblocks
+        # every block decodes without error
+        ra2.decode_blocks(np.arange(ra2.nblocks))
+
+    def test_identity_rewrite_is_byte_stable(self, setup):
+        data, buf, ra = setup
+        # Writing back a block's own reconstruction reproduces its encoding
+        # exactly (values already on the quantization lattice).
+        block = ra.decode_block(7)
+        new_buf = ra.rewrite_block(7, block)
+        assert np.array_equal(new_buf, np.asarray(buf))
+
+    def test_partial_final_block(self, rng):
+        data = rng.normal(size=100).astype(np.float32)  # final block holds 4
+        buf = compress(data, rel=1e-2, mode="outlier")
+        ra = RandomAccessor(buf)
+        new_vals = np.array([1.0, 2.0, -1.0, 0.5], dtype=np.float32)
+        recon = decompress(ra.rewrite_block(3, new_vals))
+        assert recon.shape == (100,)
+        assert np.abs(recon[96:] - new_vals).max() <= ra.header.eb_abs * (1 + 1e-6)
+
+    def test_growing_and_shrinking_payloads(self, setup, rng):
+        data, buf, ra = setup
+        # A rough block (needs more bits) and a zero block (needs none).
+        grown = ra.rewrite_block(3, (rng.normal(size=32) * 50).astype(np.float32))
+        shrunk = ra.rewrite_block(3, np.zeros(32, dtype=np.float32))
+        assert grown.size > np.asarray(buf).size - 64  # sanity
+        assert shrunk.size < grown.size
+        # Both decode fine end to end.
+        decompress(grown)
+        r = decompress(shrunk)
+        assert np.all(r[96:128] == 0)
+
+    def test_wrong_length_rejected(self, setup):
+        _, _, ra = setup
+        with pytest.raises(RandomAccessError):
+            ra.rewrite_block(0, np.zeros(31, dtype=np.float32))
+
+    def test_out_of_range_rejected(self, setup):
+        _, _, ra = setup
+        with pytest.raises(RandomAccessError):
+            ra.rewrite_block(ra.nblocks, np.zeros(32, dtype=np.float32))
+
+    def test_mode_preserved(self, setup, rng):
+        _, buf, ra = setup
+        new_buf = ra.rewrite_block(0, rng.normal(size=32).astype(np.float32))
+        from repro.core import stream as stream_mod
+
+        header, _, _ = stream_mod.split(new_buf)
+        assert header.mode == 1  # still outlier mode
+
+    def test_f64_stream(self, rng):
+        data = np.cumsum(rng.normal(size=1_000))
+        buf = compress(data, rel=1e-3, mode="plain")
+        ra = RandomAccessor(buf)
+        recon = decompress(ra.rewrite_block(2, np.ones(32)))
+        assert recon.dtype == np.float64
+        assert np.abs(recon[64:96] - 1.0).max() <= ra.header.eb_abs * (1 + 1e-6)

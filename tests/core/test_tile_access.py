@@ -1,0 +1,104 @@
+"""Unit tests for 2-D/3-D Lorenzo tile random access."""
+
+import numpy as np
+import pytest
+
+from repro import compress, decompress
+from repro.core.errors import RandomAccessError
+from repro.core.tile_access import TileAccessor
+
+
+@pytest.fixture
+def field_2d(rng):
+    f = np.cumsum(np.cumsum(rng.normal(size=(40, 56)), 0), 1).astype(np.float32)
+    buf = compress(f, rel=1e-3, predictor_ndim=2, block=64)
+    return f, buf, decompress(buf)
+
+
+@pytest.fixture
+def field_3d(rng):
+    f = np.cumsum(rng.normal(size=(12, 16, 20)), axis=0).astype(np.float32)
+    buf = compress(f, rel=1e-3, predictor_ndim=3, block=64)
+    return f, buf, decompress(buf)
+
+
+class TestTileDecode2D:
+    def test_every_tile_matches_full_decode(self, field_2d):
+        f, buf, full = field_2d
+        ta = TileAccessor(buf)
+        assert ta.grid == (5, 7)
+        for r in range(ta.grid[0]):
+            for c in range(ta.grid[1]):
+                tile = ta.decode_tile((r, c))
+                valid = ta.valid_extent((r, c))
+                expect = full[r * 8 : r * 8 + 8, c * 8 : c * 8 + 8]
+                assert np.array_equal(tile[valid][: expect.shape[0], : expect.shape[1]], expect)
+
+    def test_voxel_read(self, field_2d):
+        f, buf, full = field_2d
+        ta = TileAccessor(buf)
+        for voxel in ((0, 0), (39, 55), (17, 23)):
+            assert ta.read_voxel(voxel) == full[voxel]
+
+    def test_region_decode(self, field_2d):
+        f, buf, full = field_2d
+        ta = TileAccessor(buf)
+        region = ta.decode_region((5, 10), (23, 41))
+        assert np.array_equal(region, full[5:23, 10:41])
+
+    def test_full_field_region(self, field_2d):
+        f, buf, full = field_2d
+        ta = TileAccessor(buf)
+        assert np.array_equal(ta.decode_region((0, 0), (40, 56)), full)
+
+
+class TestTileDecode3D:
+    def test_tiles_match_full_decode(self, field_3d, rng):
+        f, buf, full = field_3d
+        ta = TileAccessor(buf)
+        assert ta.grid == (3, 4, 5)
+        for _ in range(10):
+            coords = tuple(int(rng.integers(0, g)) for g in ta.grid)
+            tile = ta.decode_tile(coords)
+            sl = tuple(
+                slice(c * 4, min((c + 1) * 4, d)) for c, d in zip(coords, ta.dims)
+            )
+            valid = ta.valid_extent(coords)
+            assert np.array_equal(tile[valid], full[sl])
+
+    def test_region_crossing_tiles(self, field_3d):
+        f, buf, full = field_3d
+        ta = TileAccessor(buf)
+        assert np.array_equal(ta.decode_region((1, 2, 3), (9, 14, 17)), full[1:9, 2:14, 3:17])
+
+    def test_voxel_mapping(self, field_3d):
+        _, buf, full = field_3d
+        ta = TileAccessor(buf)
+        coords, offset = ta.tile_for_voxel((5, 6, 7))
+        assert coords == (1, 1, 1)
+        assert offset == (1, 2, 3)
+        assert ta.read_voxel((5, 6, 7)) == full[5, 6, 7]
+
+
+class TestValidation:
+    def test_1d_stream_rejected(self, rng):
+        buf = compress(rng.normal(size=100).astype(np.float32), rel=1e-2)
+        with pytest.raises(RandomAccessError):
+            TileAccessor(buf)
+
+    def test_bad_coords(self, field_2d):
+        _, buf, _ = field_2d
+        ta = TileAccessor(buf)
+        with pytest.raises(RandomAccessError):
+            ta.decode_tile((99, 0))
+        with pytest.raises(RandomAccessError):
+            ta.decode_tile((0,))
+        with pytest.raises(RandomAccessError):
+            ta.read_voxel((40, 0))
+        with pytest.raises(RandomAccessError):
+            ta.decode_region((0, 0), (41, 1))
+
+    def test_ntiles(self, field_3d):
+        _, buf, _ = field_3d
+        ta = TileAccessor(buf)
+        assert ta.ntiles == 3 * 4 * 5

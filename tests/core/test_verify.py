@@ -1,0 +1,51 @@
+"""Unit tests for the stream verification API."""
+
+import numpy as np
+import pytest
+
+from repro import compress
+from repro.core.verify import verify
+
+
+@pytest.fixture
+def case(rng):
+    data = np.cumsum(rng.normal(size=10_000)).astype(np.float32)
+    return data, compress(data, rel=1e-3, mode="outlier")
+
+
+class TestVerify:
+    def test_valid_stream_passes(self, case):
+        data, buf = case
+        report = verify(data, buf)
+        assert report.passed
+        assert report.max_error <= report.eb_abs * (1 + 1e-6)
+        assert report.compression_ratio > 1
+        assert report.nelems == data.size
+        assert "Pass error check!" in str(report)
+
+    def test_mismatched_original_fails(self, case, rng):
+        data, buf = case
+        other = data + 10 * report_eb(buf)
+        report = verify(other.astype(np.float32), buf)
+        assert not report.passed
+        assert "FAILED" in str(report)
+
+    def test_wrong_size_rejected(self, case):
+        data, buf = case
+        with pytest.raises(ValueError):
+            verify(data[:-1], buf)
+
+    def test_accepts_bytes(self, case):
+        data, buf = case
+        assert verify(data, buf.tobytes()).passed
+
+    def test_psnr_finite_and_high(self, case):
+        data, buf = case
+        report = verify(data, buf)
+        assert 40 < report.psnr_db < 200
+
+
+def report_eb(buf):
+    from repro.core import stream as stream_mod
+
+    return stream_mod.split(np.asarray(buf))[0].eb_abs

@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic field generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generators as G
+from repro.datasets.spectral import band_limited_noise, power_law_field
+
+
+class TestSpectral:
+    def test_normalized(self):
+        f = power_law_field((64, 64), 3.0, seed=1)
+        assert abs(float(f.mean())) < 1e-6
+        assert float(f.std()) == pytest.approx(1.0, abs=1e-3)
+
+    def test_deterministic_in_seed(self):
+        a = power_law_field((32, 32), 2.0, seed=5)
+        b = power_law_field((32, 32), 2.0, seed=5)
+        c = power_law_field((32, 32), 2.0, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_higher_beta_is_smoother(self):
+        rough = power_law_field((256, 256), 1.0, seed=2, dtype=np.float64)
+        smooth = power_law_field((256, 256), 4.0, seed=2, dtype=np.float64)
+        assert np.abs(np.diff(smooth, axis=1)).mean() < np.abs(np.diff(rough, axis=1)).mean()
+
+    def test_k_cut_limits_gradients(self):
+        wide = power_law_field((64, 256), 3.0, seed=3, dtype=np.float64)
+        cut = power_law_field((64, 256), 3.0, seed=3, dtype=np.float64, k_cut=0.01)
+        assert np.abs(np.diff(cut, axis=1)).std() < 0.3 * np.abs(np.diff(wide, axis=1)).std()
+
+    def test_band_limited_noise_oscillates(self):
+        f = band_limited_noise((64, 256), 0.05, 0.15, seed=4, dtype=np.float64)
+        # Energy concentrated in the band: autocorrelation changes sign
+        # within ~1/k samples, unlike a low-pass field.
+        assert float(f.std()) == pytest.approx(1.0, abs=1e-3)
+
+    @pytest.mark.parametrize("shape", [(128,), (32, 32), (16, 16, 16)])
+    def test_all_dimensionalities(self, shape):
+        f = power_law_field(shape, 2.5, seed=7)
+        assert f.shape == shape
+        assert np.isfinite(f).all()
+
+
+class TestGenerators:
+    def test_sparse_wavefield_zero_fraction(self):
+        f = G.sparse_wavefield((32, 32, 32), active_fraction=0.1, beta=3.0, seed=1)
+        assert 0.85 <= float(np.mean(f == 0)) <= 0.95
+
+    def test_particle_smoothness_monotone_in_compressibility(self):
+        smooth = G.particle_field(100_000, smoothness=0.99, seed=2)
+        rough = G.particle_field(100_000, smoothness=0.1, seed=2)
+        rel = lambda f: np.abs(np.diff(f.astype(np.float64))).mean() / (f.max() - f.min())
+        assert rel(smooth) < rel(rough)
+
+    def test_lattice_voids_are_exact_zero(self):
+        f = G.lattice_field((16, 16, 64), period=16, noise=0.2, seed=3)
+        assert np.mean(f == 0) > 0.2
+
+    def test_turbulence_is_positive_heavy_tailed(self):
+        f = G.turbulence_field((32, 32, 32), beta=3.0, seed=4).astype(np.float64)
+        assert (f > 0).all()
+        assert f.max() / np.median(f) > 3
+
+    def test_hpc_field_zero_fraction(self):
+        f = G.hpc_field((16, 16, 128), seed=5, zero_fraction=0.8, zero_envelope_kcut=0.05)
+        assert 0.75 <= float(np.mean(f == 0)) <= 0.85
+
+    def test_hpc_field_inflation_extends_range(self):
+        base = G.hpc_field((16, 16, 128), seed=6, k_cut=0.02)
+        inflated = G.hpc_field((16, 16, 128), seed=6, k_cut=0.02, inflate_range=50.0)
+        assert np.abs(inflated).max() > 5 * np.abs(base).max()
+
+    def test_hpc_field_body_power_concentrates(self):
+        flat = G.hpc_field((16, 16, 128), seed=7, body_power=1.0).astype(np.float64)
+        peaked = G.hpc_field((16, 16, 128), seed=7, body_power=4.0).astype(np.float64)
+        # Higher power -> more mass near zero relative to the std.
+        assert np.median(np.abs(peaked)) < np.median(np.abs(flat))
+
+    def test_all_generators_finite_f32(self):
+        for name, fn in G.GENERATORS.items():
+            if name == "particle":
+                f = fn(10_000, smoothness=0.5, seed=1)
+            elif name == "oscillatory":
+                f = fn((8, 8, 64), k_center=0.05, seed=1)
+            elif name == "lattice":
+                f = fn((8, 8, 64), period=16, noise=0.1, seed=1)
+            elif name == "sparse_wavefield":
+                f = fn((8, 8, 64), active_fraction=0.3, beta=3.0, seed=1)
+            elif name == "turbulence":
+                f = fn((8, 8, 64), beta=3.0, seed=1)
+            elif name == "smooth":
+                f = fn((8, 8, 64), beta=3.0, noise=0.01, seed=1)
+            else:
+                f = fn((8, 8, 64), seed=1)
+            assert f.dtype == np.float32, name
+            assert np.isfinite(f).all(), name

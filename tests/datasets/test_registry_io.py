@@ -1,0 +1,135 @@
+"""Unit tests for the dataset registry and raw I/O."""
+
+import numpy as np
+import pytest
+
+from repro import compress, compression_ratio
+from repro.datasets import (
+    ALL_DATASETS,
+    DOUBLE_PRECISION,
+    SINGLE_PRECISION,
+    get_dataset,
+    read_field,
+    write_field,
+)
+
+
+class TestRegistryMetadata:
+    def test_table2_datasets_present(self):
+        names = {d.name for d in SINGLE_PRECISION}
+        assert names == {
+            "CESM-ATM", "HACC", "RTM", "SCALE", "QMCPack", "NYX",
+            "JetIn", "Miranda", "SynTruss",
+        }
+
+    def test_table4_datasets_present(self):
+        assert {d.name for d in DOUBLE_PRECISION} == {"S3D", "NWChem"}
+
+    def test_paper_metadata_matches_table2(self):
+        cesm = get_dataset("CESM-ATM")
+        assert cesm.paper_dims == "3600x1800x26"
+        assert cesm.paper_fields == 33
+        assert cesm.paper_size_gb == pytest.approx(20.71)
+        assert get_dataset("HACC").paper_fields == 6
+        assert get_dataset("RTM").paper_size_gb == pytest.approx(3.99)
+
+    def test_dtypes(self):
+        for d in SINGLE_PRECISION:
+            assert d.dtype == np.float32
+        for d in DOUBLE_PRECISION:
+            assert d.dtype == np.float64
+
+    def test_hacc_has_six_fields(self):
+        assert [f.name for f in get_dataset("HACC").fields] == ["xx", "yy", "zz", "vx", "vy", "vz"]
+
+    def test_rtm_has_three_pressure_fields(self):
+        assert [f.name for f in get_dataset("RTM").fields] == ["P1000", "P2000", "P3000"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("nope")
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            get_dataset("RTM").field("P9000")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        f = get_dataset("Miranda").fields[0]
+        assert np.array_equal(f.generate(), f.generate())
+
+    def test_dtype_honored(self):
+        f = get_dataset("S3D").fields[0]
+        assert f.generate(np.float64).dtype == np.float64
+
+    def test_scale_grows_first_axis(self):
+        f = get_dataset("JetIn").fields[0]
+        a = f.generate(scale=1)
+        b = f.generate(scale=2)
+        assert b.size == 2 * a.size
+
+    def test_all_fields_generate_finite(self):
+        for ds in ALL_DATASETS:
+            for f in ds.fields:
+                data = f.generate(ds.dtype)
+                assert np.isfinite(data).all(), f"{ds.name}/{f.name}"
+                assert data.size > 100_000, f"{ds.name}/{f.name}"
+
+
+class TestTableIIIShape:
+    """The qualitative Table III relationships the registry was tuned for."""
+
+    @staticmethod
+    def dataset_cr(name, mode, rel=1e-3):
+        ds = get_dataset(name)
+        crs = []
+        for f in ds.fields:
+            data = f.generate(ds.dtype)
+            crs.append(compression_ratio(data, compress(data, rel=rel, mode=mode)))
+        return float(np.mean(crs))
+
+    def test_jetin_is_the_most_compressible(self):
+        jet = self.dataset_cr("JetIn", "outlier")
+        for other in ("Miranda", "QMCPack", "HACC", "SynTruss"):
+            assert jet > 5 * self.dataset_cr(other, "outlier")
+
+    def test_outlier_gain_large_on_smooth_datasets(self):
+        for name in ("HACC", "Miranda"):
+            gain = self.dataset_cr(name, "outlier") / self.dataset_cr(name, "plain")
+            assert gain > 1.4, name
+
+    def test_outlier_gain_small_on_unsmooth_datasets(self):
+        for name in ("SynTruss", "JetIn", "RTM"):
+            gain = self.dataset_cr(name, "outlier") / self.dataset_cr(name, "plain")
+            assert gain < 1.15, name
+
+    def test_smaller_bound_lower_ratio(self):
+        a = self.dataset_cr("Miranda", "outlier", rel=1e-2)
+        b = self.dataset_cr("Miranda", "outlier", rel=1e-4)
+        assert a > b
+
+
+class TestIO:
+    def test_round_trip_f32(self, tmp_path, rng):
+        data = rng.normal(size=(8, 16)).astype(np.float32)
+        path = tmp_path / "field.f32"
+        write_field(path, data)
+        back = read_field(path, dims=(8, 16))
+        assert np.array_equal(back, data)
+
+    def test_round_trip_f64(self, tmp_path, rng):
+        data = rng.normal(size=100)
+        path = tmp_path / "field.f64"
+        write_field(path, data)
+        assert np.array_equal(read_field(path), data)
+
+    def test_dim_mismatch_rejected(self, tmp_path, rng):
+        path = tmp_path / "x.f32"
+        write_field(path, rng.normal(size=10).astype(np.float32))
+        with pytest.raises(ValueError):
+            read_field(path, dims=(5, 5))
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            read_field(tmp_path / "x.dat")

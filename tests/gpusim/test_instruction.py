@@ -1,0 +1,47 @@
+"""Unit tests for SASS instruction accounting (Fig. 10)."""
+
+import pytest
+
+from repro.gpusim import compile_copy_loop, vectorization_reduction
+
+
+class TestCompileCopyLoop:
+    def test_scalar_loop_matches_fig10_left(self):
+        # for (i < ele_num) { tmp = ori[i]; dst[i] = tmp; } -> LD.E/ST.E x N
+        mix = compile_copy_loop(1024, elem_bits=32, vector_width=1)
+        assert mix["LD.E"] == 1024
+        assert mix["ST.E"] == 1024
+        assert mix.memory_instructions == 2048
+
+    def test_vectorized_loop_matches_fig10_right(self):
+        # float4 version -> LD.E.128/ST.E.128 x N/4
+        mix = compile_copy_loop(1024, elem_bits=32, vector_width=4)
+        assert mix["LD.E.128"] == 256
+        assert mix["ST.E.128"] == 256
+        assert mix["LD.E"] == 0
+        assert mix.memory_instructions == 512
+
+    def test_four_times_reduction(self):
+        assert vectorization_reduction(4096) == pytest.approx(4.0)
+
+    def test_control_flow_also_shrinks(self):
+        scalar = compile_copy_loop(1024, vector_width=1)
+        vector = compile_copy_loop(1024, vector_width=4)
+        assert scalar.control_instructions == 4 * vector.control_instructions
+
+    def test_double2_uses_128bit_ops(self):
+        mix = compile_copy_loop(512, elem_bits=64, vector_width=2)
+        assert mix["LD.E.128"] == 256
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            compile_copy_loop(100, vector_width=3)
+        with pytest.raises(ValueError):
+            compile_copy_loop(101, vector_width=4)
+        with pytest.raises(ValueError):
+            compile_copy_loop(100, elem_bits=64, vector_width=4)  # 256-bit
+
+    def test_multiple_streams_per_iteration(self):
+        mix = compile_copy_loop(128, vector_width=4, loads_per_iter=2, stores_per_iter=1)
+        assert mix["LD.E.128"] == 64
+        assert mix["ST.E.128"] == 32

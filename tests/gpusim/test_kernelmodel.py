@@ -1,0 +1,111 @@
+"""Unit tests for the kernel/pipeline cost model."""
+
+import pytest
+
+from repro.gpusim import (
+    A100_40GB,
+    KernelCost,
+    Pattern,
+    PipelineCost,
+    ablate_vectorization,
+    merge,
+    replace_sync,
+)
+
+
+def make_kernel(n=1e9):
+    k = KernelCost("k")
+    k.read(n, Pattern.VECTORIZED, "in")
+    k.write(n / 8, Pattern.BLOCK_SCATTER, "out")
+    k.compute(50 * n / 4)
+    return k
+
+
+class TestKernelCost:
+    def test_memory_time_sums_streams(self):
+        k = make_kernel()
+        assert k.memory_time(A100_40GB) == pytest.approx(
+            sum(a.time_on(A100_40GB) for a in k.accesses)
+        )
+
+    def test_body_is_max_of_memory_and_compute(self):
+        k = KernelCost("x").read(1e9, Pattern.VECTORIZED)
+        k.compute(1e15)  # clearly compute bound
+        t = k.timing(A100_40GB)
+        assert t.bound == "compute"
+        assert t.total_s == pytest.approx(A100_40GB.kernel_launch_s + t.compute_s)
+
+    def test_memory_bound_kernel(self):
+        k = KernelCost("x").read(10e9, Pattern.STRIDED)
+        k.compute(1.0)
+        assert k.timing(A100_40GB).bound == "memory"
+
+    def test_sync_adds_latency(self):
+        base = make_kernel()
+        with_sync = make_kernel().sync(1e-3)
+        assert with_sync.time(A100_40GB) == pytest.approx(base.time(A100_40GB) + 1e-3)
+
+    def test_launch_overhead_included(self):
+        k = KernelCost("empty")
+        assert k.time(A100_40GB) == A100_40GB.kernel_launch_s
+
+    def test_timing_breakdown_consistent(self):
+        t = make_kernel().timing(A100_40GB)
+        assert t.total_s == pytest.approx(t.launch_s + max(t.memory_s, t.compute_s) + t.sync_s)
+        assert t.memory_throughput_gbs == pytest.approx(t.dram_bytes / t.total_s / 1e9)
+
+
+class TestPipelineCost:
+    def test_end_to_end_adds_host_and_pcie(self):
+        pipe = PipelineCost("p", [make_kernel()])
+        gpu_only = pipe.end_to_end_time(A100_40GB)
+        pipe.pcie_bytes = 12e9  # exactly 1 second at 12 GB/s
+        pipe.host_bytes = 1.2e9  # exactly 1 second at 1.2 GB/s
+        pipe.host_fixed_s = 0.5
+        assert pipe.end_to_end_time(A100_40GB) == pytest.approx(gpu_only + 2.5)
+
+    def test_kernel_vs_e2e_gap(self):
+        # The Fig. 2 phenomenon in miniature: PCIe + host stages crush e2e
+        # throughput while kernel throughput stays high.
+        pipe = PipelineCost("hybrid", [make_kernel(1e9)])
+        pipe.pcie_bytes = 1e9
+        pipe.host_bytes = 1e9
+        kt = pipe.kernel_throughput(A100_40GB, 1e9)
+        et = pipe.end_to_end_throughput(A100_40GB, 1e9)
+        assert kt / et > 50
+
+    def test_multiple_kernels_sum(self):
+        k = make_kernel()
+        one = PipelineCost("one", [k]).kernel_time(A100_40GB)
+        two = PipelineCost("two", [k, k]).kernel_time(A100_40GB)
+        assert two == pytest.approx(2 * one)
+
+
+class TestAblations:
+    def test_merge_fuses_stages(self):
+        a = KernelCost("a").read(1e9, Pattern.VECTORIZED).compute(5e9)
+        b = KernelCost("b").write(1e8, Pattern.COALESCED).compute(1e9)
+        fused = merge("fused", a, b)
+        assert fused.useful_bytes() == pytest.approx(1.1e9)
+        assert fused.compute_ops == pytest.approx(6e9)
+        # Fusing saves one launch relative to running a and b separately.
+        separate = a.time(A100_40GB) + b.time(A100_40GB)
+        assert fused.time(A100_40GB) < separate
+
+    def test_ablate_vectorization_slows_memory_and_issue(self):
+        from repro.gpusim.calibration import VECTORIZATION_ISSUE_FACTOR
+
+        k = make_kernel()
+        slow = ablate_vectorization(k)
+        assert slow.memory_time(A100_40GB) > k.memory_time(A100_40GB)
+        # Scalar code also pays 4x the LD/ST + control instructions (Fig. 10).
+        assert slow.compute_ops == k.compute_ops * VECTORIZATION_ISSUE_FACTOR
+        # Non-vectorized patterns are untouched.
+        assert slow.accesses[1].pattern is Pattern.BLOCK_SCATTER
+
+    def test_replace_sync(self):
+        k = make_kernel().sync(1e-5)
+        swapped = replace_sync(k, 3e-3, "+chained")
+        assert swapped.sync_s == 3e-3
+        assert swapped.useful_bytes() == k.useful_bytes()
+        assert swapped.time(A100_40GB) > k.time(A100_40GB)

@@ -1,0 +1,98 @@
+"""Integration tests: the single-kernel pipeline on the virtual GPU.
+
+These validate the paper's central structural claim -- the whole
+compression pipeline, including the decoupled-lookback synchronization and
+block concatenation, runs as one concurrent kernel -- by requiring the VM
+execution to produce *byte-identical* streams to the vectorized reference
+codec under arbitrary schedules.
+"""
+
+import numpy as np
+import pytest
+
+from repro import compress, decompress
+from repro.gpusim.kernels import compress_on_vm, decompress_on_vm
+
+
+@pytest.fixture
+def field(rng):
+    return np.cumsum(rng.normal(size=2_000)).astype(np.float32)
+
+
+class TestSingleKernelCompression:
+    @pytest.mark.parametrize("mode", ["plain", "outlier"])
+    def test_byte_identical_to_reference(self, field, mode):
+        ref = compress(field, rel=1e-3, mode=mode)
+        vm = compress_on_vm(field, 1e-3, mode=mode, seed=0)
+        assert np.array_equal(vm, ref)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_any_schedule_same_stream(self, field, seed):
+        ref = compress(field, rel=1e-3, mode="outlier")
+        vm = compress_on_vm(field, 1e-3, mode="outlier", resident=5, seed=seed)
+        assert np.array_equal(vm, ref)
+
+    @pytest.mark.parametrize("resident", [1, 2, 16])
+    def test_any_occupancy(self, field, resident):
+        ref = compress(field, rel=1e-3, mode="outlier")
+        vm = compress_on_vm(field, 1e-3, mode="outlier", resident=resident, seed=3)
+        assert np.array_equal(vm, ref)
+
+    @pytest.mark.parametrize("blocks_per_tb", [1, 3, 7])
+    def test_any_tb_granularity(self, field, blocks_per_tb):
+        ref = compress(field, rel=1e-3, mode="plain")
+        vm = compress_on_vm(field, 1e-3, mode="plain", blocks_per_tb=blocks_per_tb, seed=1)
+        assert np.array_equal(vm, ref)
+
+    def test_awkward_length(self, rng):
+        data = rng.normal(size=333).astype(np.float32)
+        assert np.array_equal(
+            compress_on_vm(data, 1e-2, seed=2), compress(data, rel=1e-2, mode="outlier")
+        )
+
+    def test_sparse_field_zero_blocks(self, sparse_f32):
+        data = sparse_f32[:5_000]
+        assert np.array_equal(
+            compress_on_vm(data, 1e-2, seed=4), compress(data, rel=1e-2, mode="outlier")
+        )
+
+    def test_f64(self, rng):
+        data = np.cumsum(rng.normal(size=1_000))
+        assert np.array_equal(
+            compress_on_vm(data, 1e-3, seed=5), compress(data, rel=1e-3, mode="outlier")
+        )
+
+    def test_absolute_bound(self, field):
+        from repro.core.quantize import ErrorBound
+
+        ref = compress(field, abs=0.25, mode="outlier")
+        vm = compress_on_vm(field, ErrorBound.absolute(0.25), seed=6)
+        assert np.array_equal(vm, ref)
+
+
+class TestSingleKernelDecompression:
+    def test_matches_reference_decode(self, field):
+        buf = compress(field, rel=1e-3, mode="outlier")
+        assert np.array_equal(decompress_on_vm(buf, seed=0), decompress(buf))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_any_schedule(self, field, seed):
+        buf = compress(field, rel=1e-3, mode="plain")
+        assert np.array_equal(decompress_on_vm(buf, resident=4, seed=seed), decompress(buf))
+
+    def test_full_vm_round_trip(self, field):
+        stream = compress_on_vm(field, 1e-3, mode="outlier", seed=7)
+        recon = decompress_on_vm(stream, seed=8)
+        eb = 1e-3 * (field.max() - field.min())
+        assert np.abs(recon - field).max() <= eb * (1 + 1e-6)
+
+    def test_shape_restored(self, rng):
+        data = rng.normal(size=(20, 40)).astype(np.float32)
+        buf = compress_on_vm(data, 1e-2, seed=9)
+        assert decompress_on_vm(buf, seed=10).shape == (20, 40)
+
+    def test_multidim_stream_rejected(self, rng):
+        data = np.cumsum(rng.normal(size=(16, 16)), axis=0).astype(np.float32)
+        buf = compress(data, rel=1e-3, predictor_ndim=2, block=64)
+        with pytest.raises(ValueError):
+            decompress_on_vm(buf)

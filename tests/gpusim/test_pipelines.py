@@ -1,0 +1,232 @@
+"""Tests of the calibrated pipeline builders against the paper's shape.
+
+These assert the *relationships* the paper reports (who wins, by roughly
+what factor) at paper scale -- 1 GB-class fields -- using synthetic
+artifacts, so they run in milliseconds without allocating gigabytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100_40GB, RTX_3080, RTX_3090, Artifacts, profile
+from repro.gpusim import pipelines as P
+
+NELEMS = 268_435_456  # 1 GiB of float32
+
+
+def art(cr, z=0.0, mode="plain", esz=4, ne=NELEMS):
+    ib = ne * esz
+    payload = int(ib / cr)
+    offs = ne // 32
+    return Artifacts(ne, esz, payload + offs + 52, payload, offs, z, mode)
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return art(8.0)
+
+
+class TestArtifacts:
+    def test_from_real_stream(self):
+        from repro import compress
+
+        data = np.cumsum(np.random.default_rng(0).normal(size=50_000)).astype(np.float32)
+        buf = compress(data, rel=1e-3, mode="outlier")
+        a = Artifacts.from_cuszp2_stream(data, buf)
+        assert a.nelems == 50_000
+        assert a.elem_size == 4
+        assert a.compressed_bytes == buf.size
+        assert a.payload_bytes + a.offsets_bytes + 52 == buf.size
+        assert a.mode == "outlier"
+        assert 0.0 <= a.zero_block_fraction < 1.0
+        assert a.ratio == pytest.approx(200_000 / buf.size)
+
+    def test_zero_fraction_detected(self):
+        from repro import compress
+
+        data = np.zeros(10_000, dtype=np.float32)
+        data[:32] = 1.0
+        a = Artifacts.from_cuszp2_stream(data, compress(data, rel=1e-3))
+        assert a.zero_block_fraction > 0.9
+
+
+class TestCuSZp2Throughput:
+    def test_compression_near_paper_average(self, plain):
+        # Fig. 14: CUSZP2-P averages ~335 GB/s compression on the A100.
+        t = P.cuszp2_compression(plain, A100_40GB).end_to_end_throughput(
+            A100_40GB, plain.input_bytes
+        )
+        assert 280 < t < 420
+
+    def test_decompression_faster_than_compression(self, plain):
+        # Section V-B: decompression skips the sizing loop.
+        c = P.cuszp2_compression(plain, A100_40GB).end_to_end_throughput(
+            A100_40GB, plain.input_bytes
+        )
+        d = P.cuszp2_decompression(plain, A100_40GB).end_to_end_throughput(
+            A100_40GB, plain.input_bytes
+        )
+        assert d > c
+        assert 430 < d < 700
+
+    def test_higher_ratio_raises_throughput(self):
+        # Fig. 15's mechanism: fewer compressed bytes -> less work + traffic.
+        slow = art(4.0, mode="outlier")
+        fast = art(16.0, mode="outlier")
+        f = lambda a: P.cuszp2_compression(a, A100_40GB).end_to_end_throughput(
+            A100_40GB, a.input_bytes
+        )
+        assert f(fast) > f(slow)
+
+    def test_sparse_decompression_exceeds_1tb(self):
+        # Fig. 14 JetIn: zero blocks flush at memset speed -> ~1 TB/s.
+        jet = art(126.0, z=0.98, mode="outlier")
+        d = P.cuszp2_decompression(jet, A100_40GB).end_to_end_throughput(
+            A100_40GB, jet.input_bytes
+        )
+        assert d > 900
+
+    def test_double_precision_roughly_2x(self):
+        # Fig. 19: f64 compression ~613-628 GB/s = ~2x single precision.
+        f32 = art(8.0)
+        f64 = art(13.7, esz=8, ne=NELEMS // 2)
+        t32 = P.cuszp2_compression(f32, A100_40GB).end_to_end_throughput(
+            A100_40GB, f32.input_bytes
+        )
+        t64 = P.cuszp2_compression(f64, A100_40GB).end_to_end_throughput(
+            A100_40GB, f64.input_bytes
+        )
+        assert 1.5 < t64 / t32 < 2.4
+
+    def test_chained_sync_ablation_hurts(self, plain):
+        fast = P.cuszp2_compression(plain, A100_40GB, sync="lookback")
+        slow = P.cuszp2_compression(plain, A100_40GB, sync="chained")
+        r = slow.end_to_end_time(A100_40GB) / fast.end_to_end_time(A100_40GB)
+        assert r > 1.5
+
+    def test_unknown_sync_rejected(self, plain):
+        with pytest.raises(ValueError):
+            P.cuszp2_compression(plain, A100_40GB, sync="magic")
+
+
+class TestBaselineOrdering:
+    def test_cuszp2_beats_all_pure_gpu_baselines(self, plain):
+        n = plain.input_bytes
+        ours = P.cuszp2_compression(plain, A100_40GB).end_to_end_throughput(A100_40GB, n)
+        cuszp = P.cuszp_compression(plain, A100_40GB).end_to_end_throughput(A100_40GB, n)
+        fz = P.fzgpu_compression(plain, A100_40GB).end_to_end_throughput(A100_40GB, n)
+        zfp = P.cuzfp_compression(plain, A100_40GB).end_to_end_throughput(A100_40GB, n)
+        # Observation I: ~2.03x cuSZp, ~2.11x FZ-GPU, ~2.85x cuZFP.
+        assert 1.5 < ours / cuszp < 3.0
+        assert 1.5 < ours / fz < 3.0
+        assert 2.0 < ours / zfp < 4.0
+
+    def test_hybrid_e2e_collapses(self, plain):
+        # Fig. 2: kernel up to ~177 GB/s, e2e 0.32..1.79 GB/s.
+        n = plain.input_bytes
+        for fam in ("cusz", "cuszx", "mgard"):
+            pipe = P.hybrid_compression(plain, A100_40GB, fam)
+            kt = pipe.kernel_throughput(A100_40GB, n)
+            et = pipe.end_to_end_throughput(A100_40GB, n)
+            assert et < 2.5, fam
+            assert kt / et > 20, fam
+
+    def test_hybrid_unknown_family(self, plain):
+        with pytest.raises(ValueError):
+            P.hybrid_compression(plain, A100_40GB, "zstd")
+
+    def test_200x_of_hybrids(self, plain):
+        n = plain.input_bytes
+        ours = P.cuszp2_compression(plain, A100_40GB).end_to_end_throughput(A100_40GB, n)
+        hybrid = P.hybrid_compression(plain, A100_40GB, "cusz").end_to_end_throughput(
+            A100_40GB, n
+        )
+        assert ours / hybrid > 100  # "approximately 200x"
+
+
+class TestMemoryThroughput:
+    def test_fig16_ordering(self, plain):
+        # CUSZP2 ~1175 >> cuSZp ~410 > cuZFP ~300 > FZ-GPU ~134 GB/s.
+        ours = profile(P.cuszp2_compression(plain, A100_40GB), A100_40GB, "cuszp2")
+        cuszp = profile(P.cuszp_compression(plain, A100_40GB), A100_40GB, "cuszp")
+        fz = profile(P.fzgpu_compression(plain, A100_40GB), A100_40GB, "fzgpu")
+        zfp = profile(P.cuzfp_compression(plain, A100_40GB), A100_40GB, "cuzfp")
+        assert (
+            ours.memory_throughput_gbs
+            > cuszp.memory_throughput_gbs
+            > zfp.memory_throughput_gbs
+            > fz.memory_throughput_gbs
+        )
+        assert ours.bandwidth_utilization > 0.6
+        assert fz.bandwidth_utilization < 0.15
+
+    def test_report_renders(self, plain):
+        text = profile(P.cuszp2_compression(plain, A100_40GB), A100_40GB, "cuszp2").render()
+        assert "memory throughput" in text
+        assert "A100" in text
+
+    def test_never_reports_above_peak(self):
+        jet = art(126.0, z=0.98, mode="outlier")
+        prof = profile(P.cuszp2_decompression(jet, A100_40GB), A100_40GB, "cuszp2")
+        assert prof.memory_throughput_gbs <= A100_40GB.dram_bw
+
+
+class TestOtherGPUs:
+    def test_fig21_scaling(self):
+        # Fig. 21: RTM P3000, averaged bounds: A100 > 3090 > 3080, with the
+        # 3090/3080 in the ~180-410 GB/s range.
+        a = art(6.0)
+        results = {}
+        for dev in (A100_40GB, RTX_3090, RTX_3080):
+            c = P.cuszp2_compression(a, dev).end_to_end_throughput(dev, a.input_bytes)
+            d = P.cuszp2_decompression(a, dev).end_to_end_throughput(dev, a.input_bytes)
+            results[dev.name] = (c, d)
+        assert results["A100-40GB"][0] > results["RTX-3090"][0] > results["RTX-3080"][0]
+        assert 150 < results["RTX-3080"][0] < 260
+        assert 180 < results["RTX-3090"][1] < 500
+
+    def test_advantage_is_generic_across_devices(self):
+        # Section VI-C: ~2x over baselines on every device.
+        a = art(6.0)
+        for dev in (RTX_3090, RTX_3080):
+            ours = P.cuszp2_compression(a, dev).end_to_end_throughput(dev, a.input_bytes)
+            theirs = P.cuszp_compression(a, dev).end_to_end_throughput(dev, a.input_bytes)
+            assert ours / theirs > 1.5
+
+
+class TestRandomAccess:
+    def test_tb_level_throughput(self):
+        a = art(29.0, z=0.1)
+        t = P.cuszp2_random_access(a, A100_40GB).end_to_end_throughput(
+            A100_40GB, a.input_bytes
+        )
+        assert t > 1000  # "TB-level throughput" (Fig. 20 claim)
+
+    def test_sparser_streams_access_faster(self):
+        dense = art(6.0, z=0.0)
+        sparse = art(120.0, z=0.95)
+        f = lambda a: P.cuszp2_random_access(a, A100_40GB).end_to_end_throughput(
+            A100_40GB, a.input_bytes
+        )
+        assert f(sparse) > f(dense)
+
+
+class TestSyncTimelines:
+    def test_fig17_standalone_ratio(self):
+        # 846.85 GB/s lookback vs ~351 chained: ratio 2.41x.
+        n = NELEMS
+        look = P.standalone_scan_timeline(n, 4, A100_40GB, "lookback")
+        chain = P.standalone_scan_timeline(n, 4, A100_40GB, "chained")
+        lt = look.throughput_gbs(n * 4)
+        ct = chain.throughput_gbs(n * 4)
+        assert 700 < lt < 1000
+        assert 280 < ct < 430
+        assert 2.0 < lt / ct < 3.0
+
+    def test_inkernel_sync_latency_small_for_lookback(self):
+        n_tb = NELEMS // 4096
+        look = P.inkernel_sync_s(n_tb, A100_40GB, "lookback")
+        chain = P.inkernel_sync_s(n_tb, A100_40GB, "chained")
+        assert look < 5e-4  # sub-millisecond
+        assert chain > 2e-3  # the serial chain is milliseconds
+        assert chain / look > 10

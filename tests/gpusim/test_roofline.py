@@ -1,0 +1,68 @@
+"""Unit tests for the roofline analysis."""
+
+import pytest
+
+from repro.gpusim import A100_40GB, KernelCost, Pattern
+from repro.gpusim.roofline import place, render, ridge_intensity
+
+
+def make(name, nbytes, ops):
+    k = KernelCost(name)
+    k.read(nbytes, Pattern.VECTORIZED)
+    k.compute(ops)
+    return k
+
+
+class TestPlacement:
+    def test_ridge_value(self):
+        # A100: 9700 Gop/s over 1555 GB/s ~= 6.2 ops per byte.
+        assert ridge_intensity(A100_40GB) == pytest.approx(9700 / 1555)
+
+    def test_low_intensity_is_memory_bound(self):
+        p = place(make("copy", 1e9, 1e8), A100_40GB)  # 0.1 ops/B
+        assert p.bound == "memory"
+        assert p.roof_gops == pytest.approx(A100_40GB.dram_bw * 0.1)
+
+    def test_high_intensity_is_compute_bound(self):
+        p = place(make("gemm", 1e9, 1e12), A100_40GB)  # 1000 ops/B
+        assert p.bound == "compute"
+        assert p.roof_gops == pytest.approx(A100_40GB.op_rate)
+
+    def test_efficiency_bounded(self):
+        for ops in (1e8, 1e10, 1e12):
+            p = place(make("k", 1e9, ops), A100_40GB)
+            assert 0 < p.efficiency <= 1.0 + 1e-6
+
+    def test_pure_compute_kernel(self):
+        k = KernelCost("alu").compute(1e12)
+        p = place(k, A100_40GB)
+        assert p.intensity == float("inf")
+        assert p.bound == "compute"
+
+    def test_cuszp2_compression_sits_near_the_ridge(self):
+        # The Section IV-B story quantified: after vectorization the
+        # compression kernel's intensity lands just past the ridge
+        # (compute-bound), which caps e2e throughput below copy speed.
+        from repro.gpusim import Artifacts
+        from repro.gpusim import pipelines as P
+
+        art = Artifacts(268_435_456, 4, 134_217_728, 125_829_120, 8_388_608, 0.0, "plain")
+        pipe = P.cuszp2_compression(art, A100_40GB)
+        p = place(pipe.kernels[0], A100_40GB)
+        ridge = ridge_intensity(A100_40GB)
+        assert p.bound == "compute"
+        assert ridge < p.intensity < 4 * ridge  # near, not far past
+
+
+class TestRender:
+    def test_render_contains_kernels_and_ridge(self):
+        pts = [place(make("a", 1e9, 1e8), A100_40GB), place(make("b", 1e9, 1e12), A100_40GB)]
+        text = render(pts, A100_40GB)
+        assert "ridge" in text
+        assert "a" in text and "b" in text
+        assert "memory" in text and "compute" in text
+
+    def test_sorted_by_intensity(self):
+        pts = [place(make("high", 1e9, 1e12), A100_40GB), place(make("low", 1e9, 1e8), A100_40GB)]
+        text = render(pts, A100_40GB)
+        assert text.index("low") < text.index("high")

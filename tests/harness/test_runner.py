@@ -1,0 +1,109 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100_40GB, Artifacts
+from repro.harness import (
+    dataset_runs,
+    field_data_cached,
+    paper_field_bytes,
+    run_field,
+    scale_artifacts,
+    simulate,
+)
+from repro.harness.runner import cuzfp_stream_size, family_of
+
+
+class TestFieldCache:
+    def test_cached_identity(self):
+        a = field_data_cached("Miranda", "density")
+        b = field_data_cached("Miranda", "density")
+        assert a is b  # lru_cache returns the same array object
+
+    def test_dtype_follows_dataset(self):
+        assert field_data_cached("S3D", "T").dtype == np.float64
+        assert field_data_cached("RTM", "P3000").dtype == np.float32
+
+
+class TestRunField:
+    def test_cuszp2_artifacts_consistent(self):
+        run = run_field("Miranda", "density", "cuszp2-o", 1e-3)
+        assert run.ok
+        assert run.ratio > 1
+        art = run.artifacts
+        assert art.input_bytes == pytest.approx(art.ratio * art.compressed_bytes)
+        assert art.mode == "outlier"
+
+    def test_cuszp_matches_cuszp2_plain(self):
+        a = run_field("Miranda", "density", "cuszp", 1e-3)
+        b = run_field("Miranda", "density", "cuszp2-p", 1e-3)
+        assert a.ratio == b.ratio  # byte-identical streams
+
+    def test_fzgpu_bug_reproduced(self):
+        run = run_field("HACC", "xx", "fzgpu", 1e-3)
+        assert not run.ok
+        assert "N.A." in run.failed or "Lorenzo" in run.failed
+        assert np.isnan(run.ratio)
+
+    def test_fzgpu_ok_elsewhere(self):
+        run = run_field("RTM", "P3000", "fzgpu", 1e-3)
+        assert run.ok
+
+    def test_cuzfp_fixed_rate_ratio(self):
+        run = run_field("Miranda", "density", "cuzfp-8", 8)
+        # rate 8 on f32: ratio near 4 (container overhead shifts it a bit).
+        assert 3.0 < run.ratio < 4.6
+
+    def test_unknown_compressor(self):
+        with pytest.raises(ValueError):
+            run_field("Miranda", "density", "zstd", 1e-3)
+
+    def test_dataset_runs_covers_all_fields(self):
+        runs = dataset_runs("RTM", "cuszp2-p", 1e-2)
+        assert set(runs) == {"P1000", "P2000", "P3000"}
+
+
+class TestCuzfpStreamSize:
+    def test_matches_real_encoder(self):
+        from repro.baselines import CuZFP
+
+        field = field_data_cached("Miranda", "density").reshape(-1)[: 16 * 16 * 64].reshape(16, 16, 64)
+        real = CuZFP(8).compress(field).size
+        assert cuzfp_stream_size(field.shape, 8) == real
+
+
+class TestScaling:
+    def test_scale_preserves_ratios(self):
+        run = run_field("Miranda", "density", "cuszp2-o", 1e-3)
+        big = scale_artifacts(run.artifacts, 4e9)
+        assert big.input_bytes == pytest.approx(4e9, rel=1e-6)
+        assert big.ratio == pytest.approx(run.artifacts.ratio, rel=1e-3)
+        assert big.zero_block_fraction == run.artifacts.zero_block_fraction
+
+    def test_paper_field_bytes(self):
+        # HACC: 23.99 GB over 6 fields.
+        assert paper_field_bytes("HACC") == pytest.approx(23.99e9 / 6)
+
+    def test_scale_handles_none_fields(self):
+        art = Artifacts(1000, 4, 500)  # baseline-style, no payload split
+        big = scale_artifacts(art, 4e6)
+        assert big.payload_bytes is None
+        assert big.compressed_bytes == 500 * 1000
+
+
+class TestSimulate:
+    def test_directions_differ(self):
+        run = run_field("Miranda", "density", "cuszp2-o", 1e-3)
+        c = simulate(run, A100_40GB, "compress")
+        d = simulate(run, A100_40GB, "decompress")
+        assert d > c > 50
+
+    def test_failed_run_is_nan(self):
+        run = run_field("HACC", "xx", "fzgpu", 1e-3)
+        assert np.isnan(simulate(run, A100_40GB, "compress"))
+
+    def test_family_mapping(self):
+        assert family_of("cuszp2-o") == "cuszp2"
+        assert family_of("cuzfp-16") == "cuzfp"
+        assert family_of("fzgpu") == "fzgpu"

@@ -1,0 +1,92 @@
+"""Unit tests for table renderers and light experiment entry points.
+
+(The heavyweight experiments are exercised by benchmarks/; here we cover
+the renderers and the fast experiments so plain `pytest tests/` still
+touches the harness code paths.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness import tables
+
+
+class TestRenderers:
+    def test_bar_chart_basic(self):
+        text = tables.bar_chart("t", {"a": 10.0, "b": 5.0})
+        assert "t" in text and "a" in text
+        # Bars scale with the values.
+        a_line = next(l for l in text.splitlines() if "  a" in l)
+        b_line = next(l for l in text.splitlines() if "  b" in l)
+        assert a_line.count("#") > b_line.count("#")
+
+    def test_bar_chart_handles_nan(self):
+        text = tables.bar_chart("t", {"ok": 1.0, "broken": float("nan")})
+        assert "N.A." in text
+
+    def test_grouped_bars(self):
+        text = tables.grouped_bars("G", {"g1": {"x": 1.0}, "g2": {"x": 2.0}})
+        assert text.count("-- g") == 2
+
+    def test_cell_table_alignment(self):
+        text = tables.cell_table("T", ["r1"], ["c1", "c2"], {("r1", "c1"): "v"})
+        lines = text.splitlines()
+        assert "c1" in lines[1] and "c2" in lines[1]
+        assert "v" in lines[2]
+
+    def test_feature_matrix_marks(self):
+        text = tables.feature_matrix("F", {"x": {"a": True, "b": False, "c": None}}, ["a", "b", "c"])
+        row = text.splitlines()[-1]
+        assert "yes" in row and "no" in row and "-" in row
+
+    def test_series_table_formats_floats_and_nan(self):
+        text = tables.series_table("S", [("r", 1.234, float("nan"))], ["k", "v", "w"])
+        assert "1.23" in text
+        assert "N.A." in text
+
+
+class TestLightExperiments:
+    def test_table1(self):
+        r = E.table1_features()
+        assert "CUSZP2" in r.text
+        assert len(r.data["features"]) == 7
+
+    def test_fig10(self):
+        r = E.fig10_vectorization(256)
+        assert r.data["scalar"] == 4 * r.data["vector"]
+
+    def test_fig02_structure(self):
+        r = E.fig02_hybrid_gap()
+        assert set(r.data) == {"cusz", "cuszx", "mgard"}
+        for fam, vals in r.data.items():
+            assert vals["kernel_comp"] > vals["e2e_comp"]
+
+    def test_fig17_small_subset(self):
+        r = E.fig17_lookback(datasets=("Miranda",))
+        d = r.data["per_dataset"]["Miranda"]
+        assert d["lookback"] > d["chained"]
+
+    def test_fig20_subset_is_tb_level(self):
+        r = E.fig20_random_access()
+        assert r.data["series"]["AVERAGE"] > 1000
+
+    def test_fig21_device_ordering(self):
+        r = E.fig21_other_gpus(rels=(1e-3,))
+        assert (
+            r.data["A100-40GB"]["cuszp2-o"][0]
+            > r.data["RTX-3090"]["cuszp2-o"][0]
+            > r.data["RTX-3080"]["cuszp2-o"][0]
+        )
+
+    def test_experiment_result_str(self):
+        r = E.table1_features()
+        assert str(r) == r.text
+
+
+class TestMatchedRatioSearch:
+    def test_bisection_hits_target(self):
+        data = E._rtm_preview("P3000", shape=(16, 16, 64))
+        recon, cr = E._cuszp2_at_ratio(data, 6.0)
+        assert recon.shape == data.shape
+        assert abs(cr - 6.0) / 6.0 < 0.25

@@ -1,0 +1,21 @@
+"""Assertion helpers shared across test modules."""
+
+import numpy as np
+
+
+def value_range(data: np.ndarray) -> float:
+    return float(data.max() - data.min())
+
+
+def assert_error_bounded(original: np.ndarray, recon: np.ndarray, eb_abs: float):
+    """Max pointwise error must not exceed the bound.
+
+    The codec's guarantee (like the CUDA original, which reconstructs with a
+    floating multiply) is ``eb + half-ULP of the reconstructed value``: the
+    quantization lattice point nearest to ``x`` can round to a representable
+    float half an ULP further away.  We allow exactly that slack.
+    """
+    err = np.abs(recon.astype(np.float64) - original.astype(np.float64)).max()
+    half_ulp = 0.5 * float(np.spacing(np.abs(recon).max()))
+    limit = eb_abs * (1 + 1e-12) + half_ulp
+    assert err <= limit, f"error {err} exceeds bound {eb_abs} (+{half_ulp} ULP slack)"

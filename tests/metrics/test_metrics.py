@@ -1,0 +1,171 @@
+"""Unit tests for error/SSIM/isosurface/ratio metrics."""
+
+import numpy as np
+import pytest
+
+from repro import compress, decompress
+from repro.metrics import (
+    bit_rate,
+    boundary_displacement,
+    check_error_bound,
+    compression_ratio,
+    curve,
+    dominates,
+    isosurface_preservation,
+    level_set_iou,
+    max_abs_error,
+    nrmse,
+    psnr,
+    rate_to_ratio,
+    ratio_for,
+    ssim,
+    ssim_slices,
+    summarize,
+)
+
+
+class TestErrorMetrics:
+    def test_max_abs_error(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.5, 2.8])
+        assert max_abs_error(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_check_error_bound(self):
+        a = np.array([0.0, 1.0])
+        assert check_error_bound(a, a + 0.05, 0.1)
+        assert not check_error_bound(a, a + 0.2, 0.1)
+
+    def test_psnr_identical_is_inf(self):
+        a = np.linspace(0, 1, 100)
+        assert psnr(a, a) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros(100)
+        a[0] = 1.0  # range 1
+        b = a + 0.01  # mse = 1e-4
+        assert psnr(a, b) == pytest.approx(40.0)
+
+    def test_psnr_decreases_with_noise(self, rng):
+        a = rng.normal(size=1000)
+        small = psnr(a, a + rng.normal(size=1000) * 1e-4)
+        big = psnr(a, a + rng.normal(size=1000) * 1e-2)
+        assert small > big
+
+    def test_nrmse_normalized(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        assert nrmse(a, b) == pytest.approx(np.sqrt(0.5) / 10)
+
+    def test_nrmse_constant_data(self):
+        a = np.full(5, 3.0)
+        assert nrmse(a, a) == 0.0
+        assert nrmse(a, a + 1) == float("inf")
+
+
+class TestSSIM:
+    def test_identical_is_one(self, rng):
+        a = rng.normal(size=(32, 32))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_noise_reduces_ssim(self, rng):
+        a = np.cumsum(np.cumsum(rng.normal(size=(64, 64)), 0), 1)
+        s1 = ssim(a, a + 0.001 * a.std() * rng.normal(size=a.shape))
+        s2 = ssim(a, a + 0.3 * a.std() * rng.normal(size=a.shape))
+        assert 1.0 >= s1 > s2
+
+    def test_3d_volumes(self, rng):
+        a = np.cumsum(rng.normal(size=(16, 16, 16)), axis=0)
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_slicewise(self, rng):
+        a = np.cumsum(rng.normal(size=(8, 32, 32)), axis=1)
+        assert ssim_slices(a, a) == pytest.approx(1.0)
+
+    def test_constant_field(self):
+        a = np.full((16, 16), 2.0)
+        assert ssim(a, a) == 1.0
+        assert ssim(a, a + 1.0) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+class TestIsosurface:
+    def test_identical_surfaces(self, rng):
+        a = rng.normal(size=(16, 16, 16))
+        assert level_set_iou(a, a, 0.0) == 1.0
+        assert isosurface_preservation(a, a) == 1.0
+
+    def test_perturbation_lowers_iou(self, rng):
+        a = np.cumsum(rng.normal(size=(16, 16, 16)), axis=0)
+        b = a + a.std() * rng.normal(size=a.shape)
+        assert isosurface_preservation(a, b) < 0.9
+
+    def test_empty_level_set(self):
+        a = np.zeros((8, 8))
+        assert level_set_iou(a, a, 5.0) == 1.0
+
+    def test_boundary_displacement(self, rng):
+        a = rng.normal(size=(16, 16))
+        assert boundary_displacement(a, a, 0.0) == 0.0
+        flipped = -a
+        assert boundary_displacement(a, flipped, 0.0) > 0.5
+
+    def test_error_bounded_recon_preserves_surfaces(self, rng):
+        # The mechanism behind Fig. 18: a bounded-error reconstruction can
+        # only move surfaces within an eb-thick shell.
+        a = np.cumsum(np.cumsum(np.cumsum(rng.normal(size=(16, 16, 32)), 0), 1), 2).astype(np.float32)
+        recon = decompress(compress(a, rel=1e-4))
+        assert isosurface_preservation(a, recon.reshape(a.shape)) > 0.98
+
+
+class TestRatios:
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 25) == 4.0
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+    def test_ratio_for(self, rng):
+        data = rng.normal(size=1000).astype(np.float32)
+        stream = np.zeros(500, dtype=np.uint8)
+        assert ratio_for(data, stream) == 8.0
+
+    def test_bit_rate(self, rng):
+        data = rng.normal(size=1000).astype(np.float32)
+        stream = np.zeros(1000, dtype=np.uint8)
+        assert bit_rate(data, stream) == 8.0
+
+    def test_rate_to_ratio(self):
+        assert rate_to_ratio(4) == 8.0
+        assert rate_to_ratio(16, elem_bits=64) == 4.0
+
+    def test_summarize_format(self):
+        assert summarize([1.0, 2.0, 3.0]) == "1.00~3.00 (avg: 2.00)"
+
+
+class TestRateDistortion:
+    def test_curve_monotone_for_cuszp2(self, rng):
+        data = np.cumsum(rng.normal(size=30_000)).astype(np.float32)
+        pts = curve(
+            data,
+            lambda d, rel: compress(d, rel=rel),
+            decompress,
+            rel_bounds=(1e-2, 1e-3, 1e-4),
+        )
+        rates = [p.bits_per_value for p in pts]
+        psnrs = [p.psnr_db for p in pts]
+        assert rates == sorted(rates)
+        assert psnrs == sorted(psnrs)  # more bits, better quality
+
+    def test_dominates(self):
+        from repro.metrics import RDPoint
+
+        good = [RDPoint(0, 1.0, 50.0), RDPoint(0, 2.5, 80.0), RDPoint(0, 4.0, 90.0)]
+        bad = [RDPoint(0, 2.0, 55.0), RDPoint(0, 3.0, 70.0)]
+        assert dominates(good, bad)
+        assert not dominates(bad, good)

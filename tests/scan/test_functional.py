@@ -1,0 +1,84 @@
+"""Unit tests for the functional scan layer."""
+
+import numpy as np
+import pytest
+
+from repro.scan import (
+    chained_global_scan,
+    exclusive_scan,
+    inclusive_scan,
+    local_reduce,
+    local_scan,
+    lookback_global_scan,
+    reduce_then_scan,
+    tile_values,
+    total,
+)
+
+
+class TestSequential:
+    def test_exclusive_basic(self):
+        assert exclusive_scan(np.array([3, 1, 4, 1, 5])).tolist() == [0, 3, 4, 8, 9]
+
+    def test_inclusive_basic(self):
+        assert inclusive_scan(np.array([3, 1, 4, 1, 5])).tolist() == [3, 4, 8, 9, 14]
+
+    def test_empty(self):
+        assert exclusive_scan(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        assert exclusive_scan(np.array([7])).tolist() == [0]
+
+    def test_total(self):
+        assert total(np.array([1, 2, 3])) == 6
+
+    def test_exclusive_shifts_inclusive(self):
+        rng = np.random.default_rng(0)
+        v = rng.integers(0, 100, size=1000)
+        assert np.array_equal(exclusive_scan(v)[1:], inclusive_scan(v)[:-1])
+
+    def test_large_values_use_int64(self):
+        v = np.full(1000, 2**40, dtype=np.int64)
+        out = exclusive_scan(v)
+        assert out[-1] == 999 * 2**40
+
+
+class TestReduceThenScan:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        v = rng.integers(0, 200, size=10_000)
+        assert np.array_equal(reduce_then_scan(v), exclusive_scan(v))
+
+    @pytest.mark.parametrize("n", [1, 5, 127, 128, 129, 1000])
+    def test_awkward_sizes(self, n):
+        rng = np.random.default_rng(n)
+        v = rng.integers(0, 50, size=n)
+        assert np.array_equal(reduce_then_scan(v), exclusive_scan(v))
+
+    def test_tiling_pads_with_zeros(self):
+        tiles, ntiles = tile_values(np.array([1, 2, 3]), tile=4)
+        assert ntiles == 1
+        assert tiles.tolist() == [[1, 2, 3, 0]]
+
+    def test_local_steps_compose(self):
+        rng = np.random.default_rng(2)
+        v = rng.integers(0, 9, size=512)
+        tiles, _ = tile_values(v, tile=64)
+        sums = local_reduce(tiles)
+        offsets = exclusive_scan(sums)
+        out = local_scan(tiles, offsets).reshape(-1)[: v.size]
+        assert np.array_equal(out, exclusive_scan(v))
+
+    def test_pluggable_global_policies_agree(self):
+        rng = np.random.default_rng(3)
+        v = rng.integers(0, 1000, size=4096)
+        a = reduce_then_scan(v, global_scan=chained_global_scan)
+        b = reduce_then_scan(v, global_scan=lookback_global_scan)
+        assert np.array_equal(a, b)
+
+    def test_compression_use_case(self):
+        # The exact quantity step 3 of the pipeline needs: per-block byte
+        # starts within the unified compressed array.
+        sizes = np.array([5, 0, 3, 17, 0, 1])
+        starts = reduce_then_scan(sizes, tile=4)
+        assert starts.tolist() == [0, 5, 5, 8, 25, 25]

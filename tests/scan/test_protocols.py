@@ -1,0 +1,141 @@
+"""Protocol-level tests: the scan kernels on the virtual GPU.
+
+The decisive property: under *any* random interleaving of thread blocks,
+both chained scan and decoupled lookback compute exact exclusive/inclusive
+prefixes.  These are the tests one cannot write against real CUDA without a
+race-hunting harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.vm import DeadlockError, GlobalMemory, VirtualGPU
+from repro.scan import chained, lookback
+from repro.scan.sequential import exclusive_scan, inclusive_scan
+
+
+def run_protocol(module, sums, resident, seed, local_work=3):
+    mem = module.setup_memory(sums)
+    gpu = VirtualGPU(resident=resident, seed=seed)
+    kernel = (
+        chained.chained_scan_kernel if module is chained else lookback.lookback_scan_kernel
+    )
+    report = gpu.launch(kernel, grid=len(sums), mem=mem, args=(local_work,))
+    return mem, report
+
+
+@pytest.mark.parametrize("module", [chained, lookback])
+class TestBothProtocols:
+    def test_small_example(self, module):
+        sums = np.array([5, 0, 3, 17, 2])
+        mem, _ = run_protocol(module, sums, resident=2, seed=0)
+        assert np.array_equal(mem["exclusive"], exclusive_scan(sums))
+        assert np.array_equal(mem["inclusive"], inclusive_scan(sums))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_many_random_schedules(self, module, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        sums = rng.integers(0, 1000, size=n)
+        resident = int(rng.integers(1, n + 1))
+        mem, _ = run_protocol(module, sums, resident=resident, seed=seed)
+        assert np.array_equal(mem["exclusive"], exclusive_scan(sums))
+
+    def test_single_block(self, module):
+        mem, _ = run_protocol(module, np.array([42]), resident=1, seed=1)
+        assert mem["exclusive"][0] == 0
+        assert mem["inclusive"][0] == 42
+
+    def test_resident_one_still_progresses(self, module):
+        # With one resident block the scheduler degenerates to sequential
+        # execution in launch order -- both protocols must still terminate.
+        sums = np.arange(10)
+        mem, _ = run_protocol(module, sums, resident=1, seed=2)
+        assert np.array_equal(mem["exclusive"], exclusive_scan(sums))
+
+    def test_heterogeneous_local_work(self, module):
+        sums = np.arange(16)
+        mem, _ = run_protocol(module, sums, resident=4, seed=3, local_work=11)
+        assert np.array_equal(mem["exclusive"], exclusive_scan(sums))
+
+
+class TestLookbackSpecifics:
+    def test_flags_end_as_prefix(self):
+        sums = np.arange(12)
+        mem, _ = run_protocol(lookback, sums, resident=3, seed=4)
+        assert np.all(mem["flag"] == lookback.FLAG_PREFIX)
+
+    def test_lookback_faster_than_chained_in_vm_steps(self):
+        # With a full-residency schedule, lookback blocks stop spinning as
+        # soon as predecessors publish aggregates, so the total scheduler
+        # steps are consistently below the chained protocol's.
+        sums = np.arange(64)
+        chained_steps, lookback_steps = [], []
+        for seed in range(10):
+            _, rep_c = run_protocol(chained, sums, resident=64, seed=seed, local_work=8)
+            _, rep_l = run_protocol(lookback, sums, resident=64, seed=seed, local_work=8)
+            chained_steps.append(rep_c.total_steps)
+            lookback_steps.append(rep_l.total_steps)
+        assert np.mean(lookback_steps) < np.mean(chained_steps)
+
+
+class TestVirtualGPU:
+    def test_admission_in_launch_order(self):
+        order = []
+
+        def kernel(block_id, mem):
+            order.append(block_id)
+            yield
+
+        gpu = VirtualGPU(resident=1, seed=0)
+        gpu.launch(kernel, grid=5, mem=GlobalMemory())
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_deadlock_detection(self):
+        def spinner(block_id, mem):
+            while True:
+                yield
+
+        gpu = VirtualGPU(resident=2, seed=0)
+        with pytest.raises(DeadlockError):
+            gpu.launch(spinner, grid=2, mem=GlobalMemory(), spin_limit=500, max_steps=10_000)
+
+    def test_atomics(self):
+        mem = GlobalMemory()
+        mem.alloc("ctr", 1)
+
+        def kernel(block_id, mem):
+            yield
+            mem.atomic_add("ctr", 0, 1)
+
+        VirtualGPU(resident=4, seed=0).launch(kernel, grid=100, mem=mem)
+        assert mem["ctr"][0] == 100
+
+    def test_atomic_cas_semantics(self):
+        mem = GlobalMemory()
+        mem.alloc("x", 1, fill=5)
+        assert mem.atomic_cas("x", 0, 5, 9) == 5
+        assert mem["x"][0] == 9
+        assert mem.atomic_cas("x", 0, 5, 11) == 9
+        assert mem["x"][0] == 9
+
+    def test_atomic_max(self):
+        mem = GlobalMemory()
+        mem.alloc("m", 1, fill=3)
+        assert mem.atomic_max("m", 0, 10) == 3
+        assert mem["m"][0] == 10
+        mem.atomic_max("m", 0, 7)
+        assert mem["m"][0] == 10
+
+    def test_invalid_resident_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualGPU(resident=0)
+
+    def test_reports_block_steps(self):
+        def kernel(block_id, mem):
+            for _ in range(block_id + 1):
+                yield
+
+        report = VirtualGPU(resident=3, seed=1).launch(kernel, grid=4, mem=GlobalMemory())
+        # Block b yields b+1 times, so executes b+2 scheduling steps.
+        assert [s.steps for s in report.block_stats] == [2, 3, 4, 5]

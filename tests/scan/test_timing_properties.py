@@ -1,0 +1,103 @@
+"""Property-based tests for the discrete-event scan timing models.
+
+These pin down the *structural* guarantees the performance model relies
+on: lookback never loses to chained scan, timing is monotone in work and
+block count, and the models agree with basic physics (total time at least
+the critical path).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scan.chained import chained_timeline
+from repro.scan.lookback import lookback_schedule, lookback_timeline
+
+work_arrays = st.lists(
+    st.floats(min_value=1e-8, max_value=1e-4, allow_nan=False), min_size=1, max_size=80
+).map(lambda xs: np.array(xs))
+
+residents = st.integers(1, 64)
+t_flag = st.floats(min_value=1e-9, max_value=1e-6, allow_nan=False)
+
+
+@given(work_arrays, t_flag, residents)
+@settings(max_examples=150, deadline=None)
+def test_lookback_at_most_marginally_slower_than_chained(work, t, resident):
+    # Lookback pays up to two flag round trips per block (publish aggregate,
+    # publish prefix) vs the chain's one, so in a fully serialized regime it
+    # can lose by that constant; it may never lose by more.
+    look = lookback_timeline(work, t, resident)
+    chain = chained_timeline(work, t, resident)
+    assert look.scan_finish_s <= chain.scan_finish_s + 2 * t * work.size + 1e-12
+
+
+@given(work_arrays, t_flag, st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_lookback_wins_with_full_residency(work, t, scale):
+    # In the parallel regime (all blocks resident, enough work to hide the
+    # chain) the decoupling is a strict win whenever the chain is longer
+    # than a couple of flag trips.
+    n = work.size
+    if n < 4:
+        return
+    look = lookback_timeline(work, t, resident=n)
+    chain = chained_timeline(work, t, resident=n)
+    assert look.scan_finish_s <= chain.scan_finish_s + 2 * t
+
+
+@given(work_arrays, t_flag, residents)
+@settings(max_examples=100, deadline=None)
+def test_scan_at_least_critical_path(work, t, resident):
+    # No schedule can beat the single longest local work item, nor the
+    # serial fraction implied by limited residency.
+    for tl in (lookback_timeline(work, t, resident), chained_timeline(work, t, resident)):
+        assert tl.scan_finish_s >= float(work.max()) - 1e-15
+        assert tl.scan_finish_s >= float(work.sum()) / resident - 1e-12
+
+
+@given(work_arrays, t_flag, residents)
+@settings(max_examples=100, deadline=None)
+def test_sync_latency_nonnegative_and_finite(work, t, resident):
+    for tl in (lookback_timeline(work, t, resident), chained_timeline(work, t, resident)):
+        assert tl.sync_latency_s >= 0.0
+        assert np.isfinite(tl.scan_finish_s)
+
+
+@given(work_arrays, t_flag, residents)
+@settings(max_examples=60, deadline=None)
+def test_more_work_never_faster(work, t, resident):
+    slower = work * 2.0
+    a = lookback_timeline(work, t, resident).scan_finish_s
+    b = lookback_timeline(slower, t, resident).scan_finish_s
+    assert b >= a - 1e-15
+
+
+@given(work_arrays, t_flag, st.integers(1, 16))
+@settings(max_examples=60, deadline=None)
+def test_more_residency_never_slower(work, t, resident):
+    a = lookback_timeline(work, t, resident).scan_finish_s
+    b = lookback_timeline(work, t, resident * 4).scan_finish_s
+    assert b <= a * (1 + 1e-9)
+
+
+@given(work_arrays, t_flag, residents)
+@settings(max_examples=60, deadline=None)
+def test_schedule_internally_consistent(work, t, resident):
+    start, agg, prefix, depths = lookback_schedule(work, t, resident)
+    # Every block: admitted -> local work done -> prefix known, in order.
+    assert np.all(agg >= start - 1e-15)
+    assert np.all(prefix >= agg - 1e-15)
+    # Block 0 publishes its prefix with its aggregate.
+    assert prefix[0] == agg[0]
+    # Each predecessor is inspected at most twice (once finding it Waiting,
+    # once after its aggregate appears).
+    assert np.all(depths <= 2 * np.arange(work.size))
+
+
+@given(st.integers(1, 2000), t_flag)
+@settings(max_examples=40, deadline=None)
+def test_chained_chain_grows_linearly(n, t):
+    # With zero local work the chained scan is exactly the serial chain.
+    tl = chained_timeline(np.zeros(n), t, resident=max(1, n))
+    assert abs(tl.scan_finish_s - (n - 1) * t) <= 1e-9 * max(1, n) * t

@@ -1,0 +1,76 @@
+"""Unit tests for Fig. 13 state traces of the lookback scan."""
+
+import numpy as np
+import pytest
+
+from repro.scan.trace import (
+    FINISHED,
+    IDLE,
+    LOOKING_BACK,
+    WAITING,
+    trace_lookback,
+)
+
+
+@pytest.fixture
+def trace(rng):
+    work = rng.uniform(1e-6, 5e-6, size=24)
+    return trace_lookback(work, t_poll_s=5e-7, resident=6)
+
+
+class TestStates:
+    def test_states_progress_monotonically(self, trace):
+        # For every block: Idle -> Waiting -> Looking Back -> Finished.
+        order = {IDLE: 0, WAITING: 1, LOOKING_BACK: 2, FINISHED: 3}
+        times = np.linspace(0, float(trace.prefix_done.max()) * 1.1, 60)
+        for b in range(trace.nblocks):
+            seq = [order[trace.state_at(float(t), b)] for t in times]
+            assert seq == sorted(seq), f"block {b} regressed"
+
+    def test_everything_finishes(self, trace):
+        end = float(trace.prefix_done.max()) + 1e-9
+        assert all(s == FINISHED for s in trace.snapshot(end))
+
+    def test_nothing_started_at_zero_minus(self, trace):
+        snap = trace.snapshot(-1e-12)
+        assert all(s == IDLE for s in snap)
+
+    def test_fig13_moment_has_coexisting_states(self, rng):
+        # With heterogeneous work and limited residency, the captured moment
+        # shows the paper's three states simultaneously.
+        work = rng.uniform(1e-6, 2e-5, size=32)
+        tr = trace_lookback(work, t_poll_s=1e-6, resident=8)
+        counts = tr.counts_at(tr.interesting_moment())
+        present = [s for s in (WAITING, LOOKING_BACK, FINISHED) if counts[s] > 0]
+        assert len(present) >= 2  # at least two phases coexist
+        assert sum(counts.values()) == 32
+
+    def test_block_zero_never_looks_back(self, trace):
+        # TB0's prefix equals its aggregate: it transitions Waiting->Finished.
+        assert trace.prefix_done[0] == trace.agg_done[0]
+
+    def test_consistency_with_timeline_summary(self, rng):
+        from repro.scan.lookback import lookback_timeline
+
+        work = rng.uniform(1e-6, 5e-6, size=40)
+        tr = trace_lookback(work, 5e-7, resident=10)
+        tl = lookback_timeline(work, 5e-7, resident=10)
+        assert float(tr.prefix_done.max()) == pytest.approx(tl.scan_finish_s)
+        assert float(tr.agg_done.max()) == pytest.approx(tl.local_finish_s)
+
+
+class TestRendering:
+    def test_snapshot_rendering(self, trace):
+        text = trace.render_snapshot(trace.interesting_moment())
+        assert "TB0..TB23" in text
+        assert "Finished" in text and "Waiting" in text
+
+    def test_timeline_rendering(self, trace):
+        text = trace.render_timeline(samples=6)
+        assert len(text.splitlines()) == 7
+        assert "Looking Back" in text
+
+    def test_snapshot_marks_length(self, trace):
+        text = trace.render_snapshot(0.0)
+        row = text.splitlines()[1].strip().strip("[]")
+        assert len(row) == trace.nblocks

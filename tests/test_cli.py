@@ -1,0 +1,114 @@
+"""Tests for the command-line interface (the paper's AE-style workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import read_field, write_field
+
+
+@pytest.fixture
+def raw_field(tmp_path, rng):
+    data = np.cumsum(rng.normal(size=20_000)).astype(np.float32)
+    path = tmp_path / "field.f32"
+    write_field(path, data)
+    return path, data
+
+
+class TestCompressDecompress:
+    def test_round_trip(self, raw_field, tmp_path, capsys):
+        path, data = raw_field
+        out = tmp_path / "field.csz2"
+        rc = main(["compress", str(path), "1e-3", "--mode", "o", "-o", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "GSZ finished!" in text
+        assert "Pass error check!" in text
+        assert "compression ratio" in text
+        assert out.exists()
+
+        recon_path = tmp_path / "recon.f32"
+        rc = main(["decompress", str(out), "-o", str(recon_path)])
+        assert rc == 0
+        recon = read_field(recon_path)
+        eb = 1e-3 * (data.max() - data.min())
+        assert np.abs(recon - data).max() <= eb * (1 + 1e-6)
+
+    def test_absolute_bound(self, raw_field, tmp_path, capsys):
+        path, data = raw_field
+        rc = main(["compress", str(path), "0.5", "--absolute", "-o", str(tmp_path / "a.csz2")])
+        assert rc == 0
+        assert "Pass error check!" in capsys.readouterr().out
+
+    def test_mode_shorthands(self, raw_field, tmp_path):
+        path, _ = raw_field
+        for mode in ("p", "plain", "o", "outlier"):
+            assert main(["compress", str(path), "1e-2", "--mode", mode, "-o", str(tmp_path / f"{mode}.csz2")]) == 0
+
+    def test_p_and_o_files_differ_in_size(self, tmp_path, rng):
+        data = np.cumsum(rng.normal(size=50_000)).astype(np.float32)
+        path = tmp_path / "smooth.f32"
+        write_field(path, data)
+        main(["compress", str(path), "1e-3", "--mode", "p", "-o", str(tmp_path / "p.csz2")])
+        main(["compress", str(path), "1e-3", "--mode", "o", "-o", str(tmp_path / "o.csz2")])
+        assert (tmp_path / "o.csz2").stat().st_size < (tmp_path / "p.csz2").stat().st_size
+
+    def test_f64_input(self, tmp_path, rng):
+        data = np.cumsum(rng.normal(size=5_000))
+        path = tmp_path / "field.f64"
+        write_field(path, data)
+        out = tmp_path / "field.csz2"
+        assert main(["compress", str(path), "1e-3", "-o", str(out)]) == 0
+        recon_path = tmp_path / "r.f64"
+        assert main(["decompress", str(out), "-o", str(recon_path)]) == 0
+        assert read_field(recon_path).dtype == np.float64
+
+    def test_device_flag(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        rc = main(["compress", str(path), "1e-3", "--device", "RTX-3080", "-o", str(tmp_path / "x.csz2")])
+        assert rc == 0
+        assert "RTX-3080" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_datasets_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        text = capsys.readouterr().out
+        for name in ("CESM-ATM", "HACC", "JetIn", "NWChem"):
+            assert name in text
+
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "p3000.f32"
+        assert main(["generate", "RTM", "P3000", "-o", str(out)]) == 0
+        data = read_field(out)
+        assert data.size == 48 * 48 * 256
+
+    def test_experiment_runs_and_writes(self, tmp_path, capsys):
+        out = tmp_path / "fig10.txt"
+        assert main(["experiment", "fig10", "-o", str(out)]) == 0
+        assert "SASS" in out.read_text()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_evaluate_dataset(self, capsys):
+        assert main(["evaluate", "QMCPack", "--rel", "1e-2"]) == 0
+        text = capsys.readouterr().out
+        assert "GSZ-P" in text and "GSZ-O" in text
+        assert "avg compression ratio" in text
+
+
+class TestArchiveCommands:
+    def test_pack_and_extract(self, tmp_path, capsys):
+        arch = tmp_path / "qmc.arch"
+        assert main(["pack", "QMCPack", "--rel", "1e-2", "-o", str(arch)]) == 0
+        assert arch.exists()
+
+        # Listing fields.
+        assert main(["extract", str(arch)]) == 0
+        assert "einspline" in capsys.readouterr().out
+
+        out = tmp_path / "field.f32"
+        assert main(["extract", str(arch), "einspline", "-o", str(out)]) == 0
+        data = read_field(out)
+        assert data.size == 48 * 48 * 256

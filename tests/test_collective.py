@@ -1,0 +1,111 @@
+"""Tests for compression-accelerated communication (Fig. 1 scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.collective import (
+    ETH_25G,
+    IB_HDR,
+    NVLINK3,
+    PCIE4,
+    Link,
+    crossover_bandwidth,
+    ring_allgather,
+    send,
+)
+
+from tests.helpers import assert_error_bounded, value_range
+
+
+@pytest.fixture
+def gradient(rng):
+    return (np.cumsum(rng.normal(size=100_000)) * 1e-3).astype(np.float32)
+
+
+class TestSend:
+    def test_raw_send_is_exact(self, gradient):
+        out, rep = send(gradient, PCIE4)
+        assert np.array_equal(out, gradient)
+        assert rep.bytes_on_wire == gradient.nbytes
+        assert rep.compress_s == 0.0
+
+    def test_compressed_send_is_bounded(self, gradient):
+        out, rep = send(gradient, PCIE4, rel=1e-3)
+        assert_error_bounded(gradient, out, 1e-3 * value_range(gradient))
+        assert rep.bytes_on_wire < gradient.nbytes
+        assert rep.compress_s > 0 and rep.decompress_s > 0
+
+    def test_compression_wins_on_slow_links(self, gradient):
+        _, raw = send(gradient, ETH_25G)
+        _, comp = send(gradient, ETH_25G, rel=1e-3)
+        assert comp.total_s < raw.total_s
+
+    def test_compression_loses_on_nvlink(self, gradient):
+        # NVLink moves bytes faster than even cuSZp2 can shrink them.
+        _, raw = send(gradient, NVLINK3)
+        _, comp = send(gradient, NVLINK3, rel=1e-3)
+        assert comp.total_s > raw.total_s
+
+    def test_report_breakdown_sums(self, gradient):
+        _, rep = send(gradient, IB_HDR, rel=1e-3)
+        assert rep.total_s == pytest.approx(sum(t for _, t in rep.steps))
+
+
+class TestCrossover:
+    def test_crossover_between_ethernet_and_nvlink(self, gradient):
+        # The crossover bandwidth falls strictly between the slow fabric
+        # where compression wins and NVLink where it loses.
+        b = crossover_bandwidth(gradient, 1e-3)
+        assert ETH_25G.bandwidth_gbs < b < NVLINK3.bandwidth_gbs
+
+    def test_crossover_consistent_with_send(self, gradient):
+        b = crossover_bandwidth(gradient, 1e-3)
+        slow = Link("slow", b * 0.5)
+        fast = Link("fast", b * 2.0)
+        _, raw_s = send(gradient, slow)
+        _, cmp_s = send(gradient, slow, rel=1e-3)
+        _, raw_f = send(gradient, fast)
+        _, cmp_f = send(gradient, fast, rel=1e-3)
+        assert cmp_s.total_s < raw_s.total_s
+        assert cmp_f.total_s > raw_f.total_s
+
+    def test_incompressible_data_has_no_crossover(self, rng):
+        noise = rng.normal(size=50_000).astype(np.float32)
+        b_noise = crossover_bandwidth(noise, 1e-3)
+        b_smooth = crossover_bandwidth(np.cumsum(rng.normal(size=50_000)).astype(np.float32), 1e-3)
+        assert b_noise < b_smooth  # better ratio -> higher crossover
+
+
+class TestRingAllgather:
+    def test_raw_allgather_exact(self, rng):
+        chunks = [rng.normal(size=1000).astype(np.float32) for _ in range(4)]
+        received, rep = ring_allgather(chunks, PCIE4)
+        for rank_view in received:
+            for src, arr in rank_view.items():
+                assert np.array_equal(arr, chunks[src])
+        assert rep.transfer_s > 0
+
+    def test_compressed_allgather_bounded(self, rng):
+        chunks = [np.cumsum(rng.normal(size=5000)).astype(np.float32) for _ in range(3)]
+        received, rep = ring_allgather(chunks, IB_HDR, rel=1e-3)
+        for rank_view in received:
+            for src, arr in rank_view.items():
+                assert_error_bounded(chunks[src], arr, 1e-3 * value_range(chunks[src]))
+        assert rep.bytes_on_wire < sum(c.nbytes for c in chunks) * 2
+
+    def test_compression_accelerates_collective_on_slow_fabric(self, rng):
+        chunks = [np.cumsum(rng.normal(size=50_000)).astype(np.float32) for _ in range(4)]
+        _, raw = ring_allgather(chunks, ETH_25G)
+        _, comp = ring_allgather(chunks, ETH_25G, rel=1e-3)
+        assert comp.total_s < raw.total_s
+
+    def test_needs_two_ranks(self, gradient):
+        with pytest.raises(ValueError):
+            ring_allgather([gradient], PCIE4)
+
+    def test_step_count_scales_with_ranks(self, rng):
+        chunks3 = [rng.normal(size=1000).astype(np.float32) for _ in range(3)]
+        chunks6 = chunks3 * 2
+        _, r3 = ring_allgather(chunks3, PCIE4)
+        _, r6 = ring_allgather(chunks6, PCIE4)
+        assert r6.transfer_s > r3.transfer_s

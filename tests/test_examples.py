@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run to completion.
+
+The fast examples run in-process on every test invocation; the two
+sweep-heavy ones (climate, double precision) are exercised by the
+benchmark suite's experiments instead and only checked for importability
+here.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "seismic_random_access.py",
+    "in_situ_checkpointing.py",
+    "gpu_model_tour.py",
+    "llm_gradient_compression.py",
+]
+HEAVY = ["climate_compression.py", "double_precision_chemistry.py"]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script} printed nothing"
+
+
+@pytest.mark.parametrize("script", FAST + HEAVY)
+def test_example_compiles(script):
+    source = (EXAMPLES / script).read_text()
+    compile(source, script, "exec")
+
+
+def test_expected_output_markers():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "Pass error check!" in proc.stdout
+    assert "CUSZP2-O" in proc.stdout

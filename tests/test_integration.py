@@ -1,0 +1,152 @@
+"""Cross-module integration scenarios: dataset -> codec -> archive ->
+random access -> metrics -> performance model, exercised together the way
+a downstream user would chain them."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DatasetArchive,
+    RandomAccessor,
+    TileAccessor,
+    compress,
+    decompress,
+)
+from repro.core.archive import pack
+from repro.datasets import get_dataset
+from repro.gpusim import A100_40GB, Artifacts
+from repro.gpusim import pipelines as P
+from repro.metrics import (
+    check_error_bound,
+    isosurface_preservation,
+    psnr,
+    ratio_for,
+    ssim,
+)
+
+
+class TestScientificWorkflow:
+    """An in-situ analysis pipeline over a simulated RTM campaign."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        ds = get_dataset("RTM")
+        return {f.name: f.generate(ds.dtype) for f in ds.fields}
+
+    @pytest.fixture(scope="class")
+    def archive(self, campaign):
+        return DatasetArchive(pack(campaign, 1e-3, mode="outlier"))
+
+    def test_archive_compresses_campaign(self, campaign, archive):
+        raw = sum(v.nbytes for v in campaign.values())
+        assert raw / archive.nbytes > 5
+
+    def test_bounded_extraction_per_field(self, campaign, archive):
+        for name, original in campaign.items():
+            recon = archive.extract(name).reshape(original.shape)
+            rng = float(original.max() - original.min())
+            assert check_error_bound(original, recon, 1e-3 * rng), name
+
+    def test_quality_metrics_on_extraction(self, campaign, archive):
+        original = campaign["P3000"]
+        recon = archive.extract("P3000").reshape(original.shape)
+        assert psnr(original, recon) > 45
+        assert ssim(original, recon) > 0.97
+        assert isosurface_preservation(original, recon) > 0.9
+
+    def test_random_access_within_archive(self, campaign, archive):
+        ra = archive.accessor("P2000")
+        full = archive.extract("P2000").reshape(-1)
+        segment = ra.decode_range(1000, 9000)
+        assert np.array_equal(segment, full[1000:9000])
+
+    def test_performance_model_on_archive_streams(self, campaign, archive):
+        art = Artifacts.from_cuszp2_stream(
+            campaign["P3000"].reshape(-1), archive.stream("P3000")
+        )
+        t = P.cuszp2_compression(art, A100_40GB).end_to_end_throughput(
+            A100_40GB, art.input_bytes
+        )
+        assert t > 50  # small fields pay launch overhead but remain sane
+
+
+class TestCheckpointRestartScenario:
+    """Compressed checkpoints: write, crash, restart from a timestep."""
+
+    def test_timestep_evolution(self, rng):
+        state = np.cumsum(rng.normal(size=20_000)).astype(np.float32)
+        checkpoints = []
+        for step in range(5):
+            state = state + 0.05 * np.roll(state, 1) - 0.05 * state  # toy dynamics
+            checkpoints.append(compress(state, rel=1e-4, mode="outlier"))
+        # Restart from checkpoint 3: decompressed state drives the same
+        # dynamics within the bound.
+        restored = decompress(checkpoints[3])
+        rngv = float(restored.max() - restored.min())
+        advanced = restored + 0.05 * np.roll(restored, 1) - 0.05 * restored
+        direct = decompress(checkpoints[4])
+        # One step from a bounded restart stays within a few bounds of the
+        # step from the exact state.
+        assert np.abs(advanced - direct).max() < 10 * 1e-4 * rngv
+
+
+class TestCrossCompressorAgreement:
+    """The Section V-D identity: every FLE compressor reconstructs
+    identically at equal bound; only sizes differ."""
+
+    def test_reconstruction_identity_and_size_ordering(self, rng):
+        from repro.baselines import FZGPU, CuSZp
+        from repro.core.quantize import ErrorBound
+
+        data = np.cumsum(rng.normal(size=30_000)).astype(np.float32)
+        eb = ErrorBound.relative(1e-3)
+
+        ours_o = compress(data, rel=1e-3, mode="outlier")
+        ours_p = compress(data, rel=1e-3, mode="plain")
+        cuszp = CuSZp(eb).compress(data)
+        fz = FZGPU(eb).compress(data)
+
+        r_ref = decompress(ours_o)
+        assert np.array_equal(decompress(ours_p), r_ref)
+        assert np.array_equal(CuSZp(eb).decompress(cuszp), r_ref)
+        assert np.array_equal(FZGPU(eb).decompress(fz), r_ref)
+
+        # Size ordering on smooth data: outlier < plain == cuszp.
+        assert ours_o.size < ours_p.size
+        assert ours_p.size == cuszp.size
+
+    def test_ratio_for_matches_manual(self, rng):
+        data = rng.normal(size=1000).astype(np.float32)
+        buf = compress(data, rel=1e-2)
+        assert ratio_for(data, buf) == data.nbytes / buf.size
+
+
+class TestMultiDimWorkflow:
+    def test_volume_roundtrip_with_tile_queries(self, rng):
+        vol = np.cumsum(np.cumsum(rng.normal(size=(20, 24, 28)), 0), 1).astype(np.float32)
+        buf = compress(vol, rel=1e-3, predictor_ndim=3, block=64)
+        full = decompress(buf)
+        ta = TileAccessor(buf)
+        # Region query through the tile accessor == slice of full decode.
+        assert np.array_equal(ta.decode_region((3, 5, 7), (15, 20, 25)), full[3:15, 5:20, 7:25])
+
+    def test_1d_and_3d_reconstructions_close(self, rng):
+        # Different predictors, same bound: reconstructions differ but both
+        # stay within the bound of the original (hence within 2eb of each
+        # other).
+        vol = np.cumsum(rng.normal(size=(16, 16, 64)), axis=2).astype(np.float32)
+        r1 = decompress(compress(vol, rel=1e-3)).reshape(vol.shape)
+        r3 = decompress(compress(vol, rel=1e-3, predictor_ndim=3, block=64))
+        eb = 1e-3 * (vol.max() - vol.min())
+        assert np.abs(r1 - r3).max() <= 2 * eb * (1 + 1e-6)
+
+
+class TestVMReferenceAgreementAtScale:
+    def test_vm_kernel_agrees_on_real_dataset_field(self):
+        from repro.gpusim.kernels import compress_on_vm
+
+        ds = get_dataset("QMCPack")
+        data = ds.fields[0].generate(ds.dtype).reshape(-1)[:8192]
+        ref = compress(data, rel=1e-3, mode="outlier")
+        vm = compress_on_vm(data, 1e-3, mode="outlier", blocks_per_tb=8, resident=12, seed=42)
+        assert np.array_equal(vm, ref)
