@@ -86,10 +86,23 @@ def cmd_compress(args) -> int:
 
 
 def cmd_decompress(args) -> int:
-    from .core import decompress
+    from .core import IntegrityError, decompress
+    from .core.errors import StreamFormatError
+    from .core.stream import StreamHeader
 
     stream = np.fromfile(args.input, dtype=np.uint8)
-    recon = decompress(stream)
+    try:
+        header = StreamHeader.unpack(stream)
+        checks = "header+group checksums" if header.version >= 2 else "no checksums"
+        print(f"stream format v{header.version} ({checks})")
+        recon = decompress(stream, on_corruption=args.on_corruption)
+    except IntegrityError as e:
+        print(f"integrity check FAILED: {e}")
+        print("hint: retry with --on-corruption recover to salvage intact block groups")
+        return 1
+    except StreamFormatError as e:
+        print(f"not a decodable cuSZp2 stream: {e}")
+        return 1
     out_path = Path(args.output or (str(args.input).removesuffix(".csz2") + ".out"))
     suffix = ".f64" if recon.dtype == np.float64 else ".f32"
     if out_path.suffix not in (".f32", ".f64"):
@@ -97,6 +110,19 @@ def cmd_decompress(args) -> int:
     recon.tofile(out_path)
     print(f"decompressed {recon.size} x {recon.dtype} -> {out_path}")
     return 0
+
+
+def cmd_faultcheck(args) -> int:
+    from .faults import run_faultcheck
+
+    result = run_faultcheck(
+        trials=args.trials,
+        seed=args.seed,
+        quick=args.quick,
+        injectors=args.injector or None,
+    )
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def cmd_evaluate(args) -> int:
@@ -233,7 +259,25 @@ def build_parser() -> argparse.ArgumentParser:
     d = sub.add_parser("decompress", help="decompress a .csz2 stream")
     d.add_argument("input")
     d.add_argument("-o", "--output")
+    d.add_argument(
+        "--on-corruption",
+        default="raise",
+        choices=["raise", "recover"],
+        help="corrupt v2 stream: fail (default) or decode intact groups + NaN-fill",
+    )
     d.set_defaults(fn=cmd_decompress)
+
+    fc = sub.add_parser("faultcheck", help="fault-injection campaign: every fault detected?")
+    fc.add_argument("--trials", type=int, default=25, help="trials per injector x workload")
+    fc.add_argument("--seed", type=int, default=0)
+    fc.add_argument("--quick", action="store_true", help="small CI smoke campaign")
+    fc.add_argument(
+        "--injector",
+        action="append",
+        choices=["bitflip", "truncate", "burst", "header"],
+        help="restrict to one injector (repeatable; default all)",
+    )
+    fc.set_defaults(fn=cmd_faultcheck)
 
     e = sub.add_parser("evaluate", help="sweep one registry dataset (AE 1-execution.py style)")
     e.add_argument("dataset")

@@ -15,6 +15,7 @@ from .compressor import (
 from .errors import (
     CuSZp2Error,
     ErrorBoundError,
+    IntegrityError,
     InvalidInputError,
     QuantizationOverflowError,
     RandomAccessError,
@@ -22,10 +23,11 @@ from .errors import (
 )
 from .quantize import ErrorBound
 from .archive import DatasetArchive, pack, pack_dataset
+from .integrity import CorruptionReport, recover as recover_stream, verify as verify_stream
 from .random_access import RandomAccessor
 from .tile_access import TileAccessor
 from .verify import VerificationReport, verify
-from .stream import HEADER_SIZE, StreamHeader
+from .stream import DEFAULT_GROUP_BLOCKS, HEADER_SIZE, StreamHeader
 
 __all__ = [
     "CuSZp2",
@@ -41,11 +43,16 @@ __all__ = [
     "StreamHeader",
     "HEADER_SIZE",
     "DEFAULT_BLOCK",
+    "DEFAULT_GROUP_BLOCKS",
     "compress",
     "decompress",
     "compression_ratio",
+    "CorruptionReport",
+    "verify_stream",
+    "recover_stream",
     "CuSZp2Error",
     "ErrorBoundError",
+    "IntegrityError",
     "InvalidInputError",
     "QuantizationOverflowError",
     "RandomAccessError",

@@ -7,28 +7,37 @@ independent cuSZp2 stream per field.  Streams stay byte-identical to
 standalone compression -- the archive adds framing only -- and any field
 can be extracted (or randomly accessed) without touching the others.
 
-Layout (little-endian)::
+Layout (little-endian).  Version 2 (written by :func:`pack`)::
 
-    [8-byte magic 'CSZ2ARCH']
+    [8-byte magic 'CSZ2ARC2']
     [u32 field count]
-    per field: [u16 name length][name utf-8][u64 stream length]
+    per field: [u16 name length][name utf-8][u64 stream length][u32 stream CRC32]
+    [u32 TOC CRC32 over everything after the magic]
     concatenated streams
+
+The per-field CRC plus the TOC CRC give the archive *per-field integrity*:
+a damaged field is detected by its own checksum, and because the length
+table itself is checksummed, one corrupted length can never shift -- and
+thereby poison -- the byte ranges of the other fields.  Version 1 archives
+(magic ``'CSZ2ARCH'``, no CRCs) still parse and extract unchanged.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .compressor import CuSZp2
-from .errors import StreamFormatError
+from .errors import IntegrityError, StreamFormatError
 from .quantize import ErrorBound
 from .random_access import RandomAccessor
+from .stream import crc32
 
-MAGIC = b"CSZ2ARCH"
+MAGIC_V1 = b"CSZ2ARCH"
+MAGIC = b"CSZ2ARC2"
 
 
 @dataclass(frozen=True)
@@ -36,42 +45,104 @@ class ArchiveEntry:
     name: str
     offset: int  # byte offset of the stream within the archive
     length: int
+    crc: Optional[int] = None  # CRC32 of the stream bytes (v2 archives)
+
+
+def _need(buf: np.ndarray, pos: int, n: int, what: str) -> None:
+    """Bounds-check a TOC read, raising a diagnosable error instead of
+    letting a short slice reach ``struct.unpack`` (which would surface as a
+    bare ``struct.error``)."""
+    if buf.size < pos + n:
+        raise StreamFormatError(
+            f"archive TOC truncated reading {what}: need bytes "
+            f"[{pos}, {pos + n}), archive ends at {buf.size}"
+        )
 
 
 class DatasetArchive:
-    """Read view over a packed archive."""
+    """Read view over a packed archive (v1 or v2)."""
 
     def __init__(self, buf):
         if not isinstance(buf, np.ndarray):
             buf = np.frombuffer(bytes(buf), dtype=np.uint8)
         self._buf = buf
         self.entries: Dict[str, ArchiveEntry] = {}
+        self.version = 0
         self._parse()
 
     def _parse(self) -> None:
         buf = self._buf
-        if buf.size < len(MAGIC) + 4 or bytes(buf[: len(MAGIC)]) != MAGIC:
-            raise StreamFormatError("not a cuSZp2 archive")
+        if buf.size < len(MAGIC):
+            raise StreamFormatError(
+                f"archive is {buf.size} bytes; the magic alone occupies "
+                f"bytes [0, {len(MAGIC)})"
+            )
+        magic = bytes(buf[: len(MAGIC)])
+        if magic == MAGIC:
+            self.version = 2
+        elif magic == MAGIC_V1:
+            self.version = 1
+        else:
+            raise StreamFormatError(
+                f"bad archive magic {magic!r} at byte offset 0 "
+                f"(expected {MAGIC!r} or {MAGIC_V1!r})"
+            )
         pos = len(MAGIC)
+        _need(buf, pos, 4, "field count")
         (count,) = struct.unpack("<I", buf[pos : pos + 4].tobytes())
         pos += 4
-        toc: List[Tuple[str, int]] = []
-        for _ in range(count):
-            if buf.size < pos + 2:
-                raise StreamFormatError("archive TOC truncated")
+        # Cheapest possible entry: empty name -> 10 bytes (v1) / 14 (v2).
+        min_entry = 10 if self.version == 1 else 14
+        if count * min_entry > buf.size - pos:
+            raise StreamFormatError(
+                f"archive TOC at byte offset {len(MAGIC)} declares {count} "
+                f"fields needing >= {count * min_entry} TOC bytes, but only "
+                f"{buf.size - pos} bytes remain"
+            )
+        toc_start = len(MAGIC)
+        toc: List[Tuple[str, int, Optional[int]]] = []
+        for i in range(count):
+            _need(buf, pos, 2, f"name length of field {i}")
             (nlen,) = struct.unpack("<H", buf[pos : pos + 2].tobytes())
             pos += 2
-            name = buf[pos : pos + nlen].tobytes().decode("utf-8")
+            _need(buf, pos, nlen, f"name of field {i}")
+            try:
+                name = buf[pos : pos + nlen].tobytes().decode("utf-8")
+            except UnicodeDecodeError as e:
+                raise StreamFormatError(
+                    f"archive TOC corrupt: field {i} name at bytes "
+                    f"[{pos}, {pos + nlen}) is not valid UTF-8 ({e})"
+                ) from None
             pos += nlen
+            _need(buf, pos, 8, f"stream length of field {name!r}")
             (slen,) = struct.unpack("<Q", buf[pos : pos + 8].tobytes())
             pos += 8
-            toc.append((name, slen))
-        for name, slen in toc:
+            scrc = None
+            if self.version == 2:
+                _need(buf, pos, 4, f"stream CRC of field {name!r}")
+                (scrc,) = struct.unpack("<I", buf[pos : pos + 4].tobytes())
+                pos += 4
+            toc.append((name, slen, scrc))
+        if self.version == 2:
+            _need(buf, pos, 4, "TOC CRC")
+            (toc_crc,) = struct.unpack("<I", buf[pos : pos + 4].tobytes())
+            computed = crc32(buf[toc_start:pos])
+            pos += 4
+            if toc_crc != computed:
+                raise IntegrityError(
+                    f"archive TOC CRC mismatch over bytes [{toc_start}, {pos - 4}): "
+                    f"stored 0x{toc_crc:08x}, computed 0x{computed:08x}; field "
+                    "boundaries cannot be trusted"
+                )
+        for name, slen, scrc in toc:
             if buf.size < pos + slen:
-                raise StreamFormatError(f"archive stream for {name!r} truncated")
+                raise StreamFormatError(
+                    f"archive stream for {name!r} truncated: needs bytes "
+                    f"[{pos}, {pos + slen}), archive ends at {buf.size}"
+                )
             if name in self.entries:
                 raise StreamFormatError(f"duplicate archive entry {name!r}")
-            self.entries[name] = ArchiveEntry(name, pos, slen)
+            self.entries[name] = ArchiveEntry(name, pos, slen, scrc)
             pos += slen
 
     @property
@@ -85,18 +156,46 @@ class DatasetArchive:
             raise KeyError(f"archive has no field {name!r}; have {self.names}") from None
         return self._buf[e.offset : e.offset + e.length]
 
-    def extract(self, name: str) -> np.ndarray:
-        """Decompress one field."""
+    def verify_field(self, name: str) -> bool:
+        """Check one field's archive-level CRC (always ``True`` for v1
+        archives, which carry none)."""
+        e = self.entries[name] if name in self.entries else None
+        if e is None:
+            raise KeyError(f"archive has no field {name!r}; have {self.names}")
+        if e.crc is None:
+            return True
+        return crc32(self.stream(name)) == e.crc
+
+    def verify_all(self) -> Dict[str, bool]:
+        """Per-field integrity map; damaged fields never block intact ones."""
+        return {name: self.verify_field(name) for name in self.names}
+
+    def extract(self, name: str, on_corruption: str = "raise") -> np.ndarray:
+        """Decompress one field.
+
+        ``on_corruption="raise"`` (default) raises :class:`IntegrityError`
+        when the field's archive CRC or its stream's own checksums fail;
+        ``"recover"`` salvages every intact block group of the damaged
+        stream (see :func:`repro.core.decompress`).
+        """
         from .compressor import decompress
 
-        return decompress(self.stream(name))
+        s = self.stream(name)
+        if on_corruption == "raise" and not self.verify_field(name):
+            raise IntegrityError(
+                f"archive field {name!r} failed its CRC check "
+                f"(bytes [{self.entries[name].offset}, "
+                f"{self.entries[name].offset + self.entries[name].length})); "
+                "other fields are unaffected"
+            )
+        return decompress(s, on_corruption=on_corruption)
 
     def accessor(self, name: str) -> RandomAccessor:
         """Random access into one field without extracting it."""
         return RandomAccessor(self.stream(name))
 
-    def extract_all(self) -> Dict[str, np.ndarray]:
-        return {name: self.extract(name) for name in self.names}
+    def extract_all(self, on_corruption: str = "raise") -> Dict[str, np.ndarray]:
+        return {name: self.extract(name, on_corruption) for name in self.names}
 
     @property
     def nbytes(self) -> int:
@@ -118,15 +217,17 @@ def pack(
 
     streams = {name: compressor.compress(data) for name, data in fields.items()}
     toc = bytearray()
-    toc += MAGIC
     toc += struct.pack("<I", len(streams))
     for name, s in streams.items():
         encoded = name.encode("utf-8")
         if len(encoded) > 0xFFFF:
             raise ValueError(f"field name too long: {name[:40]!r}...")
-        toc += struct.pack("<H", len(encoded)) + encoded + struct.pack("<Q", int(s.size))
+        toc += struct.pack("<H", len(encoded)) + encoded
+        toc += struct.pack("<QI", int(s.size), crc32(s))
+    toc += struct.pack("<I", crc32(bytes(toc)))
     return np.concatenate(
-        [np.frombuffer(bytes(toc), dtype=np.uint8)] + [streams[n] for n in streams]
+        [np.frombuffer(MAGIC + bytes(toc), dtype=np.uint8)]
+        + [streams[n] for n in streams]
     )
 
 

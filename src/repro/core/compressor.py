@@ -57,6 +57,7 @@ class CompressorConfig:
     block: int = DEFAULT_BLOCK
     predictor_ndim: int = 1
     chunk_blocks: int = DEFAULT_CHUNK_BLOCKS
+    group_blocks: int = stream.DEFAULT_GROUP_BLOCKS
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -73,6 +74,11 @@ class CompressorConfig:
                 )
         if self.chunk_blocks <= 0:
             raise InvalidInputError("chunk_blocks must be positive")
+        if not 1 <= self.group_blocks <= 0xFFFF:
+            raise InvalidInputError(
+                f"group_blocks (blocks per checksum group) must be in [1, 65535], "
+                f"got {self.group_blocks}"
+            )
 
 
 def _resolve_dims(data: np.ndarray, cfg: CompressorConfig) -> Tuple[Tuple[int, ...], int]:
@@ -113,11 +119,14 @@ class CuSZp2:
         block: int = DEFAULT_BLOCK,
         predictor_ndim: int = 1,
         chunk_blocks: int = DEFAULT_CHUNK_BLOCKS,
+        group_blocks: int = stream.DEFAULT_GROUP_BLOCKS,
     ):
         if isinstance(error_bound, (int, float)):
             error_bound = ErrorBound.relative(float(error_bound))
         self.error_bound = error_bound
-        self.config = CompressorConfig(mode, block, predictor_ndim, chunk_blocks)
+        self.config = CompressorConfig(
+            mode, block, predictor_ndim, chunk_blocks, group_blocks
+        )
 
     # -- compression --------------------------------------------------------
 
@@ -144,7 +153,7 @@ class CuSZp2:
             eb_abs=eb_abs,
             dims=dims,
         )
-        buf = stream.assemble(header, offsets, payload)
+        buf = stream.assemble(header, offsets, payload, group_blocks=cfg.group_blocks)
         return self._stamp_orig_ndim(buf, orig_ndim)
 
     @staticmethod
@@ -152,7 +161,9 @@ class CuSZp2:
         # The reserved u16 at header offset 10 records the original ndim so
         # decompress() can restore the caller's shape (0 = flattened).
         buf[10:12] = np.frombuffer(np.uint16(orig_ndim).tobytes(), dtype=np.uint8)
-        return buf
+        # The stamp changes header bytes, so the v2 header/TOC CRCs must be
+        # recomputed over the final bytes.
+        return stream.reseal(buf)
 
     @staticmethod
     def _read_orig_ndim(buf: np.ndarray) -> int:
@@ -186,20 +197,73 @@ def compress(
     mode: str = "outlier",
     block: int = DEFAULT_BLOCK,
     predictor_ndim: int = 1,
+    group_blocks: int = stream.DEFAULT_GROUP_BLOCKS,
 ) -> np.ndarray:
     """Compress ``data`` under a REL (``rel=``) or ABS (``abs=``) error
-    bound; returns the unified compressed byte array (uint8)."""
+    bound; returns the unified compressed byte array (uint8, format v2:
+    one CRC32 per ``group_blocks`` blocks plus a header CRC)."""
     if (rel is None) == (abs is None):
         raise InvalidInputError("specify exactly one of rel= or abs=")
     eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
-    return CuSZp2(eb, mode=mode, block=block, predictor_ndim=predictor_ndim).compress(data)
+    return CuSZp2(
+        eb,
+        mode=mode,
+        block=block,
+        predictor_ndim=predictor_ndim,
+        group_blocks=group_blocks,
+    ).compress(data)
 
 
-def decompress(buf, chunk_blocks: int = DEFAULT_CHUNK_BLOCKS) -> np.ndarray:
+def decompress(
+    buf,
+    chunk_blocks: int = DEFAULT_CHUNK_BLOCKS,
+    integrity: str = "auto",
+    on_corruption: str = "raise",
+    fill_value: float = np.nan,
+) -> np.ndarray:
     """Decompress a cuSZp2 stream back to a float array (original shape
-    restored when it had at most 3 axes)."""
+    restored when it had at most 3 axes).
+
+    Parameters
+    ----------
+    integrity:
+        ``"auto"`` (default) verifies checksums when the stream carries
+        them (format v2) and skips verification for v1 streams;
+        ``"verify"`` demands checksums (v1 streams raise
+        :class:`IntegrityError`); ``"skip"`` decodes without checking.
+    on_corruption:
+        ``"raise"`` (default) raises :class:`IntegrityError` carrying a
+        :class:`~repro.core.integrity.CorruptionReport` when verification
+        fails; ``"recover"`` decodes every intact block group normally and
+        fills damaged groups with ``fill_value`` (1-D predictor only).
+    """
+    if integrity not in ("auto", "verify", "skip"):
+        raise InvalidInputError(
+            f"integrity must be 'auto', 'verify' or 'skip', got {integrity!r}"
+        )
+    if on_corruption not in ("raise", "recover"):
+        raise InvalidInputError(
+            f"on_corruption must be 'raise' or 'recover', got {on_corruption!r}"
+        )
     if not isinstance(buf, np.ndarray):
         buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+    if integrity != "skip":
+        from .errors import IntegrityError
+        from .integrity import recover as _recover
+        from .integrity import verify as _verify
+
+        report = _verify(buf)
+        if integrity == "verify" and not report.has_checksums:
+            raise IntegrityError(
+                "integrity='verify' but the stream is format v1 and carries "
+                "no checksums",
+                report,
+            )
+        if not report.ok:
+            if on_corruption == "recover":
+                out, _ = _recover(buf, fill_value=fill_value)
+                return out
+            raise IntegrityError(report.summary(), report)
     header, offsets, payload = stream.split(buf)
     orig_ndim = CuSZp2._read_orig_ndim(buf)
 

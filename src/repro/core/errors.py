@@ -31,7 +31,22 @@ class QuantizationOverflowError(CuSZp2Error):
 
 class StreamFormatError(CuSZp2Error):
     """The compressed byte stream is malformed (bad magic, truncated data,
-    inconsistent offsets)."""
+    inconsistent offsets).  Messages include byte offsets and
+    expected-vs-actual values so corruption can be triaged from logs."""
+
+
+class IntegrityError(StreamFormatError):
+    """A checksum-carrying (format v2) stream failed integrity verification:
+    bit-flips, truncation, or partial-transfer loss were detected.
+
+    Carries the structured :class:`~repro.core.integrity.CorruptionReport`
+    describing which block groups are damaged as ``.report`` (``None`` when
+    the failure predates group checking, e.g. an archive-level field CRC).
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class RandomAccessError(CuSZp2Error):

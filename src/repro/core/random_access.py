@@ -15,42 +15,121 @@ per access is tiny compared to the dataset the throughput is normalized by.
 Random access is only available for the 1-D predictor (the cuSZp2 default);
 Lorenzo tiles of the 2-D/3-D variants are also independent, but their
 element indexing is tile-based and out of scope for this API.
+
+Format v2 streams are verified on construction (``verify_integrity="auto"``).
+With ``on_corruption="recover"`` an accessor over a damaged stream still
+serves every block of every intact checksum group -- corrupt groups'
+blocks come back filled with ``fill_value`` -- because the stored per-group
+payload lengths keep intact groups addressable even when a corrupted
+offset byte elsewhere would have shifted the global prefix sum.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from . import fle, predictor, stream
-from .errors import RandomAccessError
+from .errors import IntegrityError, RandomAccessError, StreamFormatError
 from .quantize import dequantize
 
 
 class RandomAccessor:
     """Decode arbitrary blocks or element ranges of a compressed stream."""
 
-    def __init__(self, buf):
+    def __init__(
+        self,
+        buf,
+        verify_integrity: str = "auto",
+        on_corruption: str = "raise",
+        fill_value: float = np.nan,
+    ):
+        if verify_integrity not in ("auto", "verify", "skip"):
+            raise RandomAccessError(
+                f"verify_integrity must be 'auto', 'verify' or 'skip', "
+                f"got {verify_integrity!r}"
+            )
+        if on_corruption not in ("raise", "recover"):
+            raise RandomAccessError(
+                f"on_corruption must be 'raise' or 'recover', got {on_corruption!r}"
+            )
         if not isinstance(buf, np.ndarray):
             buf = np.frombuffer(bytes(buf), dtype=np.uint8)
         self._raw = buf
-        self.header, self._offsets, self._payload = stream.split(buf)
+        self._fill_value = fill_value
+        self.header, self._section, self._offsets, self._payload = stream.split_ex(buf)
         if self.header.predictor_ndim != 1:
             raise RandomAccessError(
                 "random access requires the 1-D predictor "
                 f"(stream uses {self.header.predictor_ndim}-D)"
             )
-        sizes = fle.block_payload_sizes(self._offsets, self.header.block)
-        # Exclusive prefix sum: block i's payload is payload[bounds[i]:bounds[i+1]].
-        self._bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
-        if int(self._bounds[-1]) != self._payload.size:
-            from .errors import StreamFormatError
 
+        self.report = None
+        if verify_integrity != "skip":
+            from .integrity import verify as _verify
+
+            report = _verify(buf)
+            self.report = report
+            if verify_integrity == "verify" and not report.has_checksums:
+                raise IntegrityError(
+                    "verify_integrity='verify' but the stream is format v1 "
+                    "and carries no checksums",
+                    report,
+                )
+            if not report.ok:
+                if on_corruption == "raise":
+                    raise IntegrityError(report.summary(), report)
+                if not report.recoverable:
+                    raise IntegrityError(
+                        "cannot recover: " + report.summary(), report
+                    )
+                self._init_recover(report)
+                return
+        self._init_intact()
+
+    # -- layout ------------------------------------------------------------
+
+    def _init_intact(self) -> None:
+        """Trusted stream: global prefix sum over all offset bytes."""
+        sizes = fle.block_payload_sizes(self._offsets, self.header.block)
+        # Exclusive prefix sum: block i's payload is payload[starts[i]:starts[i]+sizes[i]].
+        bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        if int(bounds[-1]) != self._payload.size:
             raise StreamFormatError(
-                f"offset bytes describe {int(self._bounds[-1])} payload bytes "
+                f"offset bytes describe {int(bounds[-1])} payload bytes "
                 f"but the stream holds {self._payload.size}"
             )
+        self._starts = bounds[:-1]
+        self._sizes = sizes.astype(np.int64)
+        self._bounds = bounds
+
+    def _init_recover(self, report) -> None:
+        """Damaged stream: per-group payload bounds from the checksum TOC.
+
+        Intact groups' offset bytes are CRC-verified and therefore trusted
+        within the group; corrupt groups' blocks get start = -1.
+        """
+        section = self._section
+        G = section.group_blocks
+        bad = set(report.corrupt_groups)
+        gbounds = section.payload_bounds()
+        nblocks = self._offsets.shape[0]
+        starts = np.full(nblocks, -1, dtype=np.int64)
+        sizes = np.zeros(nblocks, dtype=np.int64)
+        for g in range(section.ngroups):
+            if g in bad:
+                continue
+            lo, hi = g * G, min((g + 1) * G, nblocks)
+            gsizes = fle.block_payload_sizes(
+                self._offsets[lo:hi], self.header.block
+            ).astype(np.int64)
+            gstarts = int(gbounds[g]) + np.concatenate([[0], np.cumsum(gsizes)[:-1]])
+            starts[lo:hi] = gstarts
+            sizes[lo:hi] = gsizes
+        self._starts = starts
+        self._sizes = sizes
+        self._bounds = None  # global prefix sum is not trustworthy
 
     @property
     def nblocks(self) -> int:
@@ -59,6 +138,10 @@ class RandomAccessor:
     @property
     def block(self) -> int:
         return self.header.block
+
+    def block_ok(self, idx: int) -> bool:
+        """Whether block ``idx`` lies in an intact (or unverified) region."""
+        return bool(self._starts[self._check_block(idx)] >= 0)
 
     def _check_block(self, idx: int) -> int:
         if not -self.nblocks <= idx < self.nblocks:
@@ -75,7 +158,8 @@ class RandomAccessor:
     def decode_blocks(self, indices: np.ndarray) -> np.ndarray:
         """Reconstruct several blocks at once; returns ``(k, L)`` floats
         (padding elements of a trailing partial block are reconstructed but
-        meaningless)."""
+        meaningless; blocks of corrupt groups are filled with the accessor's
+        ``fill_value`` in recover mode)."""
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size and (indices.min() < 0 or indices.max() >= self.nblocks):
             raise RandomAccessError(
@@ -83,23 +167,26 @@ class RandomAccessor:
                 f"[{indices.min()}, {indices.max()}]"
             )
         L = self.header.block
-        widths = self._bounds[indices + 1] - self._bounds[indices]
+        starts = self._starts[indices]
+        good = starts >= 0
+        widths = np.where(good, self._sizes[indices], 0)
         deltas = np.zeros((indices.size, L), dtype=np.int64)
-        for w in np.unique(widths):
-            sel = widths == w
-            idx = indices[sel]
+        for w in np.unique(widths[good]) if good.any() else []:
+            sel = good & (widths == w)
+            row_starts = starts[sel]
             rows_payload = (
-                self._payload[
-                    self._bounds[idx][:, None] + np.arange(int(w))[None, :]
-                ]
+                self._payload[row_starts[:, None] + np.arange(int(w))[None, :]]
                 if w
-                else np.empty((idx.size, 0), dtype=np.uint8)
+                else np.empty((int(sel.sum()), 0), dtype=np.uint8)
             )
             deltas[sel] = fle.decode_blocks(
-                self._offsets[idx], rows_payload.reshape(-1), L
+                self._offsets[indices[sel]], rows_payload.reshape(-1), L
             )
         q = predictor.undiff_1d(deltas)
-        return dequantize(q, self.header.eb_abs, self.header.dtype)
+        out = dequantize(q, self.header.eb_abs, self.header.dtype)
+        if not good.all():
+            out[~good] = self._fill_value
+        return out
 
     def _valid_len(self, idx: int) -> int:
         L = self.header.block
@@ -129,7 +216,7 @@ class RandomAccessor:
         """Payload bytes actually read to decode ``indices`` -- used by the
         performance model to credit random access with its tiny traffic."""
         indices = np.asarray(indices, dtype=np.int64)
-        return int((self._bounds[indices + 1] - self._bounds[indices]).sum())
+        return int(self._sizes[indices].sum())
 
     # -- random-access write (Section VI-B: "random access write have
     # similar results") ----------------------------------------------------
@@ -139,15 +226,19 @@ class RandomAccessor:
         stream.
 
         The new values are quantized under the stream's stored error bound
-        and re-encoded with its encoding mode.  When the re-encoded payload
-        has the same length, the write is a local splice (the offset byte
-        plus that block's payload bytes -- the in-place case real
-        random-access write exploits); otherwise the surrounding payload is
-        shifted, which is still a single pass over the byte array.
+        and re-encoded with its encoding mode.  The surrounding payload is
+        spliced around the re-encoded block and the v2 checksums are
+        recomputed, so the result verifies clean.
         """
         from . import fle as fle_mod
         from .quantize import quantize
 
+        if self._bounds is None:
+            raise IntegrityError(
+                "cannot rewrite blocks of a corrupt stream opened in recover "
+                "mode; repair or retransmit the damaged groups first",
+                self.report,
+            )
         idx = self._check_block(idx)
         L = self.header.block
         valid = self._valid_len(idx)
@@ -168,20 +259,21 @@ class RandomAccessor:
         )
 
         lo, hi = int(self._bounds[idx]), int(self._bounds[idx + 1])
-        head_end = stream.HEADER_SIZE
         off_section = self._offsets.copy()
         off_section[idx] = new_offset[0]
-        new_buf = np.concatenate(
-            [
-                # header bytes (includes the orig-ndim tag at offset 10)
-                np.asarray(self._raw[:head_end]),
-                off_section,
-                self._payload[:lo],
-                new_payload,
-                self._payload[hi:],
-            ]
+        payload = np.concatenate(
+            [self._payload[:lo], new_payload, self._payload[hi:]]
         )
-        return new_buf
+        group_blocks = (
+            self._section.group_blocks
+            if self._section is not None
+            else stream.DEFAULT_GROUP_BLOCKS
+        )
+        new_buf = stream.assemble(self.header, off_section, payload, group_blocks)
+        # preserve the orig-ndim tag the header's reserved field carries,
+        # then recompute the CRCs it participates in
+        new_buf[10:12] = np.asarray(self._raw[10:12])
+        return stream.reseal(new_buf)
 
     def updated(self, idx: int, values: np.ndarray) -> "RandomAccessor":
         """Functional update: a new accessor over the rewritten stream."""

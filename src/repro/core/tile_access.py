@@ -24,10 +24,31 @@ from .quantize import dequantize
 class TileAccessor:
     """Decode arbitrary Lorenzo tiles of a 2-D/3-D compressed stream."""
 
-    def __init__(self, buf):
+    def __init__(self, buf, verify_integrity: str = "auto"):
+        if verify_integrity not in ("auto", "verify", "skip"):
+            raise RandomAccessError(
+                f"verify_integrity must be 'auto', 'verify' or 'skip', "
+                f"got {verify_integrity!r}"
+            )
         if not isinstance(buf, np.ndarray):
             buf = np.frombuffer(bytes(buf), dtype=np.uint8)
         self.header, self._offsets, self._payload = stream.split(buf)
+        self.report = None
+        if verify_integrity != "skip":
+            from .errors import IntegrityError
+            from .integrity import verify as _verify
+
+            report = _verify(buf)
+            self.report = report
+            if verify_integrity == "verify" and not report.has_checksums:
+                raise IntegrityError(
+                    "verify_integrity='verify' but the stream is format v1 "
+                    "and carries no checksums",
+                    report,
+                )
+            if not report.ok:
+                # Lorenzo tiles have no recover path (see RandomAccessor).
+                raise IntegrityError(report.summary(), report)
         ndim = self.header.predictor_ndim
         if ndim == 1:
             raise RandomAccessError(
@@ -45,7 +66,8 @@ class TileAccessor:
             from .errors import StreamFormatError
 
             raise StreamFormatError(
-                "offset bytes and payload section disagree on total size"
+                f"offset bytes describe {int(self._bounds[-1])} payload bytes "
+                f"but the stream holds {self._payload.size}"
             )
 
     @property

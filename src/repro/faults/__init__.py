@@ -1,0 +1,37 @@
+"""Deterministic fault injection for compressed streams.
+
+Production compressed data crosses unreliable links and sits on storage
+that bit-rots; this subsystem provides the *attack side* of the format-v2
+integrity story: seedable injectors that damage a stream the way real
+transports do (bit flips, truncation, burst erasure, header corruption),
+plus a self-check harness (:func:`repro.faults.check.run_faultcheck`,
+``repro faultcheck`` in the CLI) asserting that every injected fault is
+either detected by the decoder or provably harmless.
+
+The same injectors drive the lossy-link model in
+:mod:`repro.collective` and the hypothesis fuzzing suite.
+"""
+
+from .injectors import (
+    INJECTORS,
+    BitFlip,
+    BurstErasure,
+    FaultInjector,
+    HeaderCorruption,
+    Truncation,
+    make_injector,
+)
+from .check import FaultCheckResult, FaultTrial, run_faultcheck
+
+__all__ = [
+    "FaultInjector",
+    "BitFlip",
+    "Truncation",
+    "BurstErasure",
+    "HeaderCorruption",
+    "INJECTORS",
+    "make_injector",
+    "run_faultcheck",
+    "FaultCheckResult",
+    "FaultTrial",
+]

@@ -1,0 +1,185 @@
+"""Fault-injection self-check: every injected fault must be detected.
+
+The contract being checked (ISSUE: stream format v2):
+
+* any corruption of a v2 stream is either **detected** -- decoding raises
+  a typed :class:`~repro.core.errors.CuSZp2Error` (``IntegrityError`` with
+  a corruption report for checksum mismatches, ``StreamFormatError`` for
+  unparseable layouts) -- or **harmless** -- the decode is bit-identical
+  to the uncorrupted decode (possible only when the injector happened to
+  be a no-op, e.g. a truncation that cut zero bytes);
+* in recover mode, every intact block group reconstructs bit-identically
+  to the uncorrupted decode.
+
+``run_faultcheck`` runs a seeded campaign of injector x workload trials
+and reports any **missed** fault (silent garbage) or **recover mismatch**.
+It backs the ``repro faultcheck`` CLI command and the ``-m faults`` test
+marker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import compress, decompress
+from ..core.errors import CuSZp2Error, IntegrityError
+from ..core.integrity import verify
+from .injectors import INJECTORS, make_injector
+
+
+@dataclass(frozen=True)
+class FaultTrial:
+    """One injected fault and what the decoder did about it."""
+
+    injector: str
+    workload: str
+    seed: int
+    outcome: str  # "detected" | "harmless" | "MISSED" | "RECOVER-MISMATCH"
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in ("detected", "harmless")
+
+
+@dataclass
+class FaultCheckResult:
+    """Aggregate of a fault-injection campaign."""
+
+    trials: List[FaultTrial] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for t in self.trials:
+            out[t.outcome] = out.get(t.outcome, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(t.ok for t in self.trials)
+
+    @property
+    def failures(self) -> List[FaultTrial]:
+        return [t for t in self.trials if not t.ok]
+
+    def summary(self) -> str:
+        c = self.counts
+        lines = [
+            f"faultcheck: {len(self.trials)} trials -- "
+            + ", ".join(f"{k}: {v}" for k, v in sorted(c.items()))
+        ]
+        for t in self.failures[:20]:
+            lines.append(
+                f"  FAIL {t.injector} on {t.workload} (seed {t.seed}): "
+                f"{t.outcome} {t.detail}"
+            )
+        lines.append("FAULTCHECK " + ("PASSED" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _workloads(n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+    return {
+        "smooth-f32": np.cumsum(rng.normal(size=n)).astype(np.float32),
+        "sparse-f32": np.where(
+            rng.random(n) < 0.01, rng.normal(size=n), 0.0
+        ).astype(np.float32),
+        "smooth-f64": np.cumsum(rng.normal(size=n // 2)).astype(np.float64),
+    }
+
+
+def _classify(
+    stream: np.ndarray, corrupt: np.ndarray, clean: np.ndarray
+) -> Tuple[str, str]:
+    """Outcome of decoding one corrupted stream against the clean decode."""
+    if corrupt.size == stream.size and np.array_equal(corrupt, stream):
+        return "harmless", "injector was a no-op"
+    try:
+        out = decompress(corrupt)
+    except CuSZp2Error as e:
+        return "detected", type(e).__name__
+    if out.shape == clean.shape and np.array_equal(out, clean):
+        return "harmless", "decode unchanged"
+    return "MISSED", "silent garbage: decode differs from clean decode"
+
+
+def _check_recovery(
+    corrupt: np.ndarray, clean: np.ndarray
+) -> Optional[str]:
+    """In recover mode, intact groups must match the clean decode exactly.
+
+    Returns an error string on mismatch, None when recovery held (or was
+    legitimately impossible: damaged header/TOC, truncated layout...).
+    """
+    try:
+        report = verify(corrupt)
+    except CuSZp2Error:
+        return None
+    if report.ok or not report.recoverable:
+        return None
+    try:
+        out = decompress(corrupt, on_corruption="recover")
+    except CuSZp2Error:
+        return None  # e.g. 2-D/3-D streams have no recover path
+    if out.shape != clean.shape:
+        return f"recover shape {out.shape} != clean {clean.shape}"
+    flat_out = out.reshape(-1)
+    flat_clean = clean.reshape(-1)
+    L = 32  # run_faultcheck compresses with the default block size
+    mask = np.ones(flat_out.size, dtype=bool)
+    for lo_blk, hi_blk in report.corrupt_block_ranges():
+        mask[lo_blk * L : hi_blk * L] = False
+    if not np.array_equal(flat_out[mask], flat_clean[mask]):
+        return "intact block groups did not reconstruct bit-identically"
+    if not np.all(np.isnan(flat_out[~mask])):
+        return "corrupt block groups were not sentinel-filled"
+    return None
+
+
+def run_faultcheck(
+    trials: int = 25,
+    seed: int = 0,
+    quick: bool = False,
+    injectors: Optional[Sequence[str]] = None,
+    n: Optional[int] = None,
+    group_blocks: int = 64,
+) -> FaultCheckResult:
+    """Run a seeded fault-injection campaign over the v2 codec.
+
+    ``quick`` shrinks the campaign for CI smoke use (a few seconds);
+    ``group_blocks`` is deliberately small so multi-group code paths are
+    exercised on test-sized data.
+    """
+    if quick:
+        trials = min(trials, 6)
+        n = n or 6_000
+    n = n or 20_000
+    names = list(injectors) if injectors else list(INJECTORS)
+    rng = np.random.default_rng(seed)
+    result = FaultCheckResult()
+
+    for wname, data in _workloads(n, rng).items():
+        stream = compress(data, rel=1e-3, mode="outlier", group_blocks=group_blocks)
+        clean = decompress(stream)
+        for iname in names:
+            for t in range(trials):
+                # zlib.crc32 rather than hash(): str hashes are salted
+                # per-process, and the campaign must be reproducible.
+                import zlib
+
+                tag = zlib.crc32(f"{wname}/{iname}".encode()) % 65_536
+                inj_seed = seed * 1_000_003 + tag + t
+                inj = make_injector(iname, seed=inj_seed)
+                corrupt = inj.apply(stream)
+                outcome, detail = _classify(stream, corrupt, clean)
+                if outcome in ("detected", "harmless"):
+                    mismatch = _check_recovery(corrupt, clean)
+                    if mismatch is not None:
+                        outcome, detail = "RECOVER-MISMATCH", mismatch
+                result.trials.append(
+                    FaultTrial(iname, wname, inj_seed, outcome, detail)
+                )
+    return result

@@ -1,0 +1,175 @@
+"""Seedable, deterministic stream-corruption injectors.
+
+Every injector is constructed with a seed and draws all randomness from
+its own :class:`numpy.random.Generator`, so a fault campaign is exactly
+reproducible: the same seed and the same input bytes produce the same
+corruption, and the *n*-th :meth:`~FaultInjector.apply` call of two
+equally-seeded injectors agrees byte for byte.
+
+Injectors never mutate their input; they return a corrupted copy and
+record what they did in :attr:`~FaultInjector.events` (one dict per
+``apply``) so failures can be triaged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from ..core.errors import InvalidInputError
+
+#: Byte length of the stream header (kept local to avoid importing the
+#: codec for what is plain byte surgery).
+_HEADER_SIZE = 52
+
+
+def _as_bytes(buf) -> np.ndarray:
+    if not isinstance(buf, np.ndarray):
+        buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+    if buf.dtype != np.uint8:
+        raise InvalidInputError(f"injectors operate on uint8 bytes, got {buf.dtype}")
+    return buf
+
+
+class FaultInjector:
+    """Base class: seeded corruption of a byte buffer."""
+
+    name = "fault"
+
+    def __init__(self, seed: Optional[int] = None):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.events: List[Dict] = []
+
+    def apply(self, buf) -> np.ndarray:
+        """Return a corrupted copy of ``buf`` (never mutates the input)."""
+        buf = _as_bytes(buf)
+        out = buf.copy()
+        event = self._corrupt(out)
+        event["injector"] = self.name
+        self.events.append(event)
+        return out
+
+    def _corrupt(self, out: np.ndarray) -> Dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class BitFlip(FaultInjector):
+    """Flip ``nflips`` uniformly random bits anywhere in the stream."""
+
+    name = "bitflip"
+
+    def __init__(self, seed: Optional[int] = None, nflips: int = 1):
+        super().__init__(seed)
+        if nflips < 1:
+            raise InvalidInputError(f"nflips must be >= 1, got {nflips}")
+        self.nflips = nflips
+
+    def _corrupt(self, out: np.ndarray) -> Dict:
+        if out.size == 0:
+            return {"positions": [], "bits": []}
+        pos = self.rng.integers(0, out.size, size=self.nflips)
+        bits = self.rng.integers(0, 8, size=self.nflips)
+        for p, b in zip(pos, bits):
+            out[p] ^= np.uint8(1 << int(b))
+        return {"positions": pos.tolist(), "bits": bits.tolist()}
+
+
+class Truncation(FaultInjector):
+    """Cut the stream short at a random point (a partial transfer).
+
+    The apply contract differs from the other injectors in one way: the
+    returned buffer is *shorter* than the input.
+    """
+
+    name = "truncate"
+
+    def __init__(self, seed: Optional[int] = None, min_keep: int = 0):
+        super().__init__(seed)
+        self.min_keep = min_keep
+
+    def apply(self, buf) -> np.ndarray:
+        buf = _as_bytes(buf)
+        if buf.size == 0:
+            keep = 0
+        else:
+            lo = min(self.min_keep, buf.size - 1)
+            keep = int(self.rng.integers(lo, buf.size))
+        self.events.append({"injector": self.name, "keep": keep, "cut": int(buf.size) - keep})
+        return buf[:keep].copy()
+
+    def _corrupt(self, out: np.ndarray) -> Dict:  # pragma: no cover
+        raise NotImplementedError("Truncation overrides apply()")
+
+
+class BurstErasure(FaultInjector):
+    """Overwrite a contiguous run of bytes (a dropped/zeroed packet)."""
+
+    name = "burst"
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        burst: int = 64,
+        value: Optional[int] = 0,
+    ):
+        super().__init__(seed)
+        if burst < 1:
+            raise InvalidInputError(f"burst length must be >= 1, got {burst}")
+        self.burst = burst
+        self.value = value  # None = random garbage instead of a constant
+
+    def _corrupt(self, out: np.ndarray) -> Dict:
+        if out.size == 0:
+            return {"start": 0, "length": 0}
+        n = min(self.burst, out.size)
+        start = int(self.rng.integers(0, out.size - n + 1))
+        if self.value is None:
+            out[start : start + n] = self.rng.integers(0, 256, size=n, dtype=np.uint8)
+        else:
+            out[start : start + n] = np.uint8(self.value)
+        return {"start": start, "length": n, "value": self.value}
+
+
+class HeaderCorruption(FaultInjector):
+    """Corrupt bytes inside the header + integrity TOC region -- the
+    highest-leverage target, since a wrong length field misdirects every
+    later read."""
+
+    name = "header"
+
+    def __init__(self, seed: Optional[int] = None, nbytes: int = 1):
+        super().__init__(seed)
+        if nbytes < 1:
+            raise InvalidInputError(f"nbytes must be >= 1, got {nbytes}")
+        self.nbytes = nbytes
+
+    def _corrupt(self, out: np.ndarray) -> Dict:
+        if out.size == 0:
+            return {"positions": []}
+        limit = min(_HEADER_SIZE + 64, out.size)
+        pos = self.rng.integers(0, limit, size=self.nbytes)
+        old = out[pos].copy()
+        delta = self.rng.integers(1, 256, size=self.nbytes, dtype=np.uint8)
+        out[pos] = old + delta  # uint8 wraps mod 256; delta >= 1 guarantees change
+        return {"positions": pos.tolist(), "old": old.tolist()}
+
+
+INJECTORS: Dict[str, Type[FaultInjector]] = {
+    cls.name: cls for cls in (BitFlip, Truncation, BurstErasure, HeaderCorruption)
+}
+
+
+def make_injector(name: str, seed: Optional[int] = None, **params) -> FaultInjector:
+    """Instantiate an injector by registry name (CLI / config surface)."""
+    try:
+        cls = INJECTORS[name]
+    except KeyError:
+        raise InvalidInputError(
+            f"unknown fault injector {name!r}; choose from {sorted(INJECTORS)}"
+        ) from None
+    return cls(seed=seed, **params)

@@ -149,10 +149,11 @@ def compress_on_vm(
         dims=tuple(np.asarray(data).shape) if np.asarray(data).ndim <= 3 else (flat.size,),
     )
     buf = stream.assemble(header, mem["offsets"], mem["payload"][:total])
-    # Stamp the original-ndim tag like the reference compressor.
+    # Stamp the original-ndim tag like the reference compressor, then
+    # recompute the v2 checksums the stamp invalidated.
     orig_ndim = np.asarray(data).ndim if np.asarray(data).ndim <= 3 else 0
     buf[10:12] = np.frombuffer(np.uint16(orig_ndim).tobytes(), dtype=np.uint8)
-    return buf
+    return stream.reseal(buf)
 
 
 def _decompression_kernel(tb: int, mem: GlobalMemory, ctx: dict):

@@ -66,7 +66,7 @@ class TestContainerLayout:
         data = rng.normal(size=100).astype(np.float32)
         buf = compress(data, rel=1e-3, mode="outlier")
         assert bytes(buf[0:4]) == b"CSZ2"
-        assert buf[4] == 1  # version
+        assert buf[4] == 2  # version (2 = checksummed container)
         assert buf[5] == 1  # mode outlier
         assert buf[6] == 0  # float32
         assert buf[7] == 1  # 1-D predictor
@@ -78,10 +78,23 @@ class TestContainerLayout:
         assert int.from_bytes(bytes(buf[28:36]), "little") == 100  # d0
         assert stream.HEADER_SIZE == 52
 
+    def test_integrity_section_layout(self, rng):
+        import zlib
+
+        data = rng.normal(size=100).astype(np.float32)
+        buf = compress(data, rel=1e-3)
+        # fixed part: u32 header CRC, u16 group size, u16 reserved, u32 ngroups
+        assert int.from_bytes(bytes(buf[52:56]), "little") == zlib.crc32(bytes(buf[:52]))
+        assert int.from_bytes(bytes(buf[56:58]), "little") == stream.DEFAULT_GROUP_BLOCKS
+        assert int.from_bytes(bytes(buf[60:64]), "little") == 1  # 4 blocks -> 1 group
+        # one 12-byte group record (u32 crc, u64 payload len) + trailing u32 TOC CRC
+        assert stream.integrity_section_size(1) == 12 + 12 + 4
+
     def test_offset_section_location(self, rng):
         data = rng.normal(size=100).astype(np.float32)
         buf = compress(data, rel=1e-3)
         header, offsets, payload = stream.split(buf)
         nblocks = -(-100 // 32)
         assert offsets.size == nblocks
-        assert np.array_equal(offsets, buf[52 : 52 + nblocks])
+        start = 52 + stream.integrity_section_size(1)
+        assert np.array_equal(offsets, buf[start : start + nblocks])

@@ -1,10 +1,13 @@
 """Failure injection: corrupted, truncated, and hostile streams.
 
-The decoder's contract: for any byte sequence it either returns an array or
-raises a typed :class:`CuSZp2Error` -- never an uncontrolled IndexError /
-ValueError from deep inside NumPy.  (A corrupted stream whose sizes happen
-to stay self-consistent may decode to garbage values; lossy-compressed
-science data carries no integrity checksums, exactly like the original.)
+The decoder's contract has two layers:
+
+* for ANY byte sequence it either returns an array or raises a typed
+  :class:`CuSZp2Error` -- never an uncontrolled IndexError / ValueError
+  from deep inside NumPy;
+* for a format-v2 stream (the default), every corruption is additionally
+  *detected*: the decode either raises a typed error or is bit-identical
+  to the clean decode.  Silent garbage is a bug, asserted against here.
 """
 
 import numpy as np
@@ -15,6 +18,7 @@ from hypothesis import strategies as st
 from repro import compress, decompress
 from repro.core.errors import CuSZp2Error
 from repro.core.random_access import RandomAccessor
+from repro.faults import BurstErasure, Truncation
 
 
 def make_stream(seed=0, n=3000):
@@ -24,6 +28,7 @@ def make_stream(seed=0, n=3000):
 
 
 BASE_STREAM = make_stream()
+CLEAN_DECODE = decompress(BASE_STREAM)
 
 
 def _decode_or_typed_error(buf):
@@ -32,6 +37,17 @@ def _decode_or_typed_error(buf):
         assert isinstance(out, np.ndarray)
     except CuSZp2Error:
         pass  # typed failure is the other acceptable outcome
+
+
+def _detected_or_harmless(buf):
+    """The v2 contract: typed error, or a decode identical to the clean one."""
+    try:
+        out = decompress(buf)
+    except CuSZp2Error:
+        return
+    assert out.shape == CLEAN_DECODE.shape and np.array_equal(out, CLEAN_DECODE), (
+        "corrupted v2 stream decoded silently to different values"
+    )
 
 
 class TestTruncation:
@@ -52,12 +68,20 @@ class TestTruncation:
 
 
 class TestCorruption:
-    @given(st.integers(0, int(BASE_STREAM.size) - 1), st.integers(1, 255))
+    @given(st.integers(0, int(BASE_STREAM.size) - 1), st.integers(0, 7))
     @settings(max_examples=200, deadline=None)
-    def test_single_byte_flip_never_crashes(self, pos, delta):
+    def test_single_bit_flip_is_detected(self, pos, bit):
+        # CRC32 detects ALL single-bit errors: no flip may decode silently.
+        buf = BASE_STREAM.copy()
+        buf[pos] ^= np.uint8(1 << bit)
+        _detected_or_harmless(buf)
+
+    @given(st.integers(0, int(BASE_STREAM.size) - 1), st.integers(1, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_single_byte_rewrite_is_detected(self, pos, delta):
         buf = BASE_STREAM.copy()
         buf[pos] = (int(buf[pos]) + delta) % 256
-        _decode_or_typed_error(buf)
+        _detected_or_harmless(buf)
 
     @given(st.lists(st.integers(0, int(BASE_STREAM.size) - 1), min_size=1, max_size=16), st.randoms())
     @settings(max_examples=100, deadline=None)
@@ -66,6 +90,24 @@ class TestCorruption:
         for p in positions:
             buf[p] = pyrandom.randrange(256)
         _decode_or_typed_error(buf)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_injected_truncation_is_detected(self, seed):
+        corrupt = Truncation(seed=seed).apply(BASE_STREAM)
+        _detected_or_harmless(corrupt)
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([8, 64, 512]))
+    @settings(max_examples=60, deadline=None)
+    def test_injected_burst_is_detected(self, seed, burst):
+        corrupt = BurstErasure(seed=seed, burst=burst, value=0).apply(BASE_STREAM)
+        _detected_or_harmless(corrupt)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_injected_random_burst_is_detected(self, seed):
+        corrupt = BurstErasure(seed=seed, burst=128, value=None).apply(BASE_STREAM)
+        _detected_or_harmless(corrupt)
 
     @given(st.binary(min_size=0, max_size=300))
     @settings(max_examples=150, deadline=None)
@@ -150,8 +192,8 @@ class TestArchiveAndTileHostility:
             ar = DatasetArchive(buf)
             for name in ar.names:
                 ar.extract(name)
-        except (CuSZp2Error, KeyError, UnicodeDecodeError):
-            pass  # typed/structured failures only
+        except (CuSZp2Error, KeyError):
+            pass  # typed/structured failures only (decode errors are wrapped)
 
     @given(st.integers(0, 3000), st.integers(1, 255))
     @settings(max_examples=60, deadline=None)

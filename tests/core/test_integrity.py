@@ -1,0 +1,219 @@
+"""Format-v2 integrity: checksum layout, detection, and recovery.
+
+The contract (ISSUE: integrity-checked stream format v2): every byte of a
+v2 stream is covered by exactly one CRC32 (header CRC / TOC CRC / one
+per-block-group CRC), so any single-bit flip is detected; ``recover`` mode
+reconstructs every intact block group bit-identically and sentinel-fills
+the corrupt ones, reporting what happened in a structured
+:class:`CorruptionReport`.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import compress, decompress
+from repro.core import (
+    CorruptionReport,
+    IntegrityError,
+    RandomAccessor,
+    recover_stream,
+    verify_stream,
+)
+from repro.core import stream as stream_mod
+from repro.core.errors import CuSZp2Error
+
+
+def small_stream(n=2000, group_blocks=8, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(rng.normal(size=n)).astype(np.float32)
+    return data, compress(data, rel=1e-3, mode="outlier", group_blocks=group_blocks, **kw)
+
+
+class TestLayout:
+    def test_version_byte_and_header_crc(self):
+        _, buf = small_stream()
+        assert buf[4] == stream_mod.VERSION == 2
+        stored = int.from_bytes(bytes(buf[52:56]), "little")
+        assert stored == zlib.crc32(bytes(buf[:52]))
+
+    def test_section_parse_roundtrip(self):
+        _, buf = small_stream(group_blocks=8)
+        header = stream_mod.StreamHeader.unpack(buf)
+        section = stream_mod.parse_integrity_section(buf, header.nblocks)
+        assert section.group_blocks == 8
+        assert section.ngroups == -(-header.nblocks // 8)
+        assert section.size == stream_mod.integrity_section_size(section.ngroups)
+        bounds = section.payload_bounds()
+        assert bounds[0] == 0 and bounds.size == section.ngroups + 1
+        _, sec2, offsets, payload = stream_mod.split_ex(buf)
+        assert int(bounds[-1]) == payload.size
+
+    def test_overhead_under_half_percent(self, smooth_f32):
+        # Default group size: integrity adds one 12B record per 4096 blocks.
+        buf = compress(smooth_f32, rel=1e-3, mode="outlier")
+        header = stream_mod.StreamHeader.unpack(buf)
+        section = stream_mod.parse_integrity_section(buf, header.nblocks)
+        assert section.size / buf.size < 0.005
+
+    def test_v1_assemble_has_no_section(self):
+        _, buf = small_stream()
+        header, section, offsets, payload = stream_mod.split_ex(buf)
+        v1_header = stream_mod.StreamHeader(
+            mode=header.mode, dtype=header.dtype, predictor_ndim=header.predictor_ndim,
+            block=header.block, nelems=header.nelems, eb_abs=header.eb_abs,
+            dims=header.dims, version=stream_mod.V1,
+        )
+        v1 = stream_mod.assemble(v1_header, offsets, payload)
+        assert v1[4] == 1
+        assert v1.size == buf.size - section.size
+
+
+class TestDetection:
+    def test_exhaustive_single_bit_flips_all_detected(self):
+        # Every bit of a small stream: detection must be total, not sampled.
+        data, buf = small_stream(n=400, group_blocks=4)
+        clean = decompress(buf)
+        missed = []
+        for pos in range(buf.size):
+            for bit in range(8):
+                corrupt = buf.copy()
+                corrupt[pos] ^= np.uint8(1 << bit)
+                try:
+                    out = decompress(corrupt)
+                except CuSZp2Error:
+                    continue
+                if not np.array_equal(out, clean):
+                    missed.append((pos, bit))
+        assert not missed, f"silent single-bit corruptions: {missed[:10]}"
+
+    def test_verify_clean_stream(self):
+        _, buf = small_stream()
+        report = verify_stream(buf)
+        assert isinstance(report, CorruptionReport)
+        assert report.ok and report.header_ok and report.toc_ok
+        assert report.corrupt_groups == ()
+
+    def test_verify_localizes_damage_to_one_group(self):
+        _, buf = small_stream(n=2000, group_blocks=8)
+        _, section, offsets, payload = stream_mod.split_ex(buf)
+        # flip one payload byte in group 2
+        bounds = section.payload_bounds()
+        pos = buf.size - payload.size + int(bounds[2])
+        corrupt = buf.copy()
+        corrupt[pos] ^= 1
+        report = verify_stream(corrupt)
+        assert not report.ok and report.recoverable
+        assert report.corrupt_groups == (2,)
+
+    def test_verify_flags_truncation(self):
+        _, buf = small_stream()
+        report = verify_stream(buf[:-40])
+        assert not report.ok
+        assert report.truncated_bytes == 40
+
+    def test_integrity_error_carries_report(self):
+        _, buf = small_stream()
+        corrupt = buf.copy()
+        corrupt[-1] ^= 0x80
+        with pytest.raises(IntegrityError) as ei:
+            decompress(corrupt)
+        assert ei.value.report is not None
+        assert not ei.value.report.ok
+
+    def test_v1_stream_has_no_checksums(self):
+        _, buf = small_stream()
+        header, section, offsets, payload = stream_mod.split_ex(buf)
+        v1_header = stream_mod.StreamHeader(
+            mode=header.mode, dtype=header.dtype, predictor_ndim=header.predictor_ndim,
+            block=header.block, nelems=header.nelems, eb_abs=header.eb_abs,
+            dims=header.dims, version=stream_mod.V1,
+        )
+        v1 = stream_mod.assemble(v1_header, offsets, payload)
+        report = verify_stream(v1)
+        assert report.ok and not report.has_checksums
+        with pytest.raises(IntegrityError):
+            decompress(v1, integrity="verify")  # explicit verify demands v2
+
+
+class TestRecovery:
+    def corrupt_one_group(self, group=3, n=4000, group_blocks=8):
+        data, buf = small_stream(n=n, group_blocks=group_blocks)
+        clean = decompress(buf)
+        _, section, offsets, payload = stream_mod.split_ex(buf)
+        bounds = section.payload_bounds()
+        pos = buf.size - payload.size + int(bounds[group])
+        corrupt = buf.copy()
+        corrupt[pos] ^= 0x10
+        return data, clean, corrupt, group_blocks
+
+    def test_recover_intact_groups_bit_identical(self):
+        data, clean, corrupt, G = self.corrupt_one_group()
+        out, report = recover_stream(corrupt)
+        assert report.corrupt_groups == (3,)
+        L = 32
+        mask = np.ones(out.size, dtype=bool)
+        for lo, hi in report.corrupt_block_ranges():
+            mask[lo * L : hi * L] = False
+        assert np.array_equal(out[mask], clean[mask])
+        assert np.all(np.isnan(out[~mask]))
+
+    def test_decompress_on_corruption_recover(self):
+        _, clean, corrupt, _ = self.corrupt_one_group()
+        out = decompress(corrupt, on_corruption="recover")
+        assert out.shape == clean.shape
+        assert np.isnan(out).any()
+        good = ~np.isnan(out)
+        assert np.array_equal(out[good], clean[good])
+
+    def test_recover_clean_stream_is_lossless(self):
+        _, buf = small_stream()
+        out, report = recover_stream(buf)
+        assert report.ok
+        assert np.array_equal(out, decompress(buf))
+
+    def test_recover_refuses_broken_header(self):
+        _, buf = small_stream()
+        # A header flip that still parses (low eb mantissa bit): the header
+        # CRC catches it and recover refuses -- geometry is untrusted.
+        corrupt = buf.copy()
+        corrupt[21] ^= 0x01
+        with pytest.raises(IntegrityError):
+            recover_stream(corrupt)
+        # A flip that breaks parsing itself is still a typed error.
+        corrupt2 = buf.copy()
+        corrupt2[30] ^= 0xFF  # dims field now contradicts nelems
+        with pytest.raises(CuSZp2Error):
+            recover_stream(corrupt2)
+
+    def test_accessor_recover_mode(self):
+        data, clean, corrupt, G = self.corrupt_one_group()
+        with pytest.raises(IntegrityError):
+            RandomAccessor(corrupt)
+        ra = RandomAccessor(corrupt, on_corruption="recover")
+        assert not ra.report.ok
+        bad_lo = 3 * G
+        assert not ra.block_ok(bad_lo)
+        assert ra.block_ok(0)
+        blk = ra.decode_block(0)
+        assert np.array_equal(blk, clean[:32])
+        nanblk = ra.decode_block(bad_lo)
+        assert np.all(np.isnan(nanblk))
+
+    def test_rewrite_keeps_stream_verifiable(self, smooth_f32):
+        buf = compress(smooth_f32, rel=1e-3, mode="outlier", group_blocks=16)
+        ra = RandomAccessor(buf)
+        new_vals = np.linspace(0.0, 1.0, 32, dtype=np.float32)
+        buf2 = ra.rewrite_block(5, new_vals)
+        report = verify_stream(buf2)
+        assert report.ok, report.summary()
+        assert np.allclose(RandomAccessor(buf2).decode_block(5), new_vals, atol=ra.header.eb_abs * 1.01)
+
+
+class TestRatioRegression:
+    def test_ratio_cost_below_half_percent(self, smooth_f32):
+        v2 = compress(smooth_f32, rel=1e-3, mode="outlier")
+        header, section, offsets, payload = stream_mod.split_ex(v2)
+        v1_size = v2.size - section.size
+        assert (v2.size - v1_size) / v1_size < 0.005

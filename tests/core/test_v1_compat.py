@@ -1,0 +1,87 @@
+"""Backward compatibility: version-1 streams must keep decoding forever.
+
+``tests/data/golden_v1*.csz2`` were produced by the pre-checksum codec
+(format v1) and committed as byte fixtures; the expected reconstructions
+sit next to them.  Every future revision of the decoder must reproduce
+those bytes bit-for-bit -- archived compressed science data does not get
+re-compressed when the software updates.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import decompress
+from repro.core import RandomAccessor, verify_stream
+from repro.core import stream as stream_mod
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def load(name):
+    return np.fromfile(DATA / name, dtype=np.uint8)
+
+
+class TestGolden1D:
+    def test_version_byte(self):
+        buf = load("golden_v1.csz2")
+        assert buf[4] == 1
+        assert stream_mod.StreamHeader.unpack(buf).version == 1
+
+    def test_decodes_bit_identically(self):
+        buf = load("golden_v1.csz2")
+        expected = np.fromfile(DATA / "golden_v1_expected.f32", dtype=np.float32)
+        out = decompress(buf)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, expected)
+
+    def test_split_sees_no_integrity_section(self):
+        buf = load("golden_v1.csz2")
+        header, section, offsets, payload = stream_mod.split_ex(buf)
+        assert section is None
+        assert 52 + offsets.size + payload.size == buf.size
+
+    def test_verify_reports_uncheckable_not_corrupt(self):
+        report = verify_stream(load("golden_v1.csz2"))
+        assert report.ok
+        assert not report.has_checksums
+
+    def test_random_access_still_works(self):
+        buf = load("golden_v1.csz2")
+        expected = np.fromfile(DATA / "golden_v1_expected.f32", dtype=np.float32)
+        ra = RandomAccessor(buf)
+        assert np.array_equal(ra.decode_block(0), expected[:32])
+
+    def test_cli_reports_version(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "g.csz2"
+        load("golden_v1.csz2").tofile(src)
+        assert main(["decompress", str(src), "-o", str(tmp_path / "g.f32")]) == 0
+        out = capsys.readouterr().out
+        assert "stream format v1" in out
+
+
+class TestGolden2D:
+    def test_decodes_bit_identically(self):
+        buf = load("golden_v1_2d.csz2")
+        expected = np.fromfile(DATA / "golden_v1_2d_expected.f32", dtype=np.float32)
+        out = decompress(buf)
+        assert out.shape == (32, 32)
+        assert np.array_equal(out.reshape(-1), expected)
+
+
+class TestRoundTripAcrossVersions:
+    def test_v1_reassembled_from_v2_decodes_identically(self, smooth_f32):
+        from repro import compress
+
+        v2 = compress(smooth_f32, rel=1e-3, mode="outlier")
+        header, section, offsets, payload = stream_mod.split_ex(v2)
+        v1_header = stream_mod.StreamHeader(
+            mode=header.mode, dtype=header.dtype, predictor_ndim=header.predictor_ndim,
+            block=header.block, nelems=header.nelems, eb_abs=header.eb_abs,
+            dims=header.dims, version=stream_mod.V1,
+        )
+        v1 = stream_mod.assemble(v1_header, offsets, payload)
+        assert np.array_equal(decompress(v1), decompress(v2))

@@ -36,7 +36,10 @@ class TestArtifacts:
         assert a.nelems == 50_000
         assert a.elem_size == 4
         assert a.compressed_bytes == buf.size
-        assert a.payload_bytes + a.offsets_bytes + 52 == buf.size
+        from repro.core import stream
+
+        _, section, _, _ = stream.split_ex(buf)
+        assert a.payload_bytes + a.offsets_bytes + 52 + section.size == buf.size
         assert a.mode == "outlier"
         assert 0.0 <= a.zero_block_fraction < 1.0
         assert a.ratio == pytest.approx(200_000 / buf.size)

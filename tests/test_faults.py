@@ -1,0 +1,112 @@
+"""The fault-injection subsystem: determinism, contracts, and the campaign.
+
+The campaign itself (``-m faults``) is the executable form of the v2
+integrity guarantee: every injected fault is detected or provably
+harmless, and recover mode never mis-reconstructs an intact group.
+"""
+
+import numpy as np
+import pytest
+
+from repro import compress
+from repro.core.errors import InvalidInputError
+from repro.faults import (
+    INJECTORS,
+    BitFlip,
+    BurstErasure,
+    HeaderCorruption,
+    Truncation,
+    make_injector,
+    run_faultcheck,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(0)
+    data = np.cumsum(rng.normal(size=4000)).astype(np.float32)
+    return compress(data, rel=1e-3, mode="outlier", group_blocks=16)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(INJECTORS))
+    def test_same_seed_same_corruption(self, name, stream):
+        a = make_injector(name, seed=77).apply(stream)
+        b = make_injector(name, seed=77).apply(stream)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(INJECTORS))
+    def test_nth_apply_agrees(self, name, stream):
+        i1, i2 = make_injector(name, seed=5), make_injector(name, seed=5)
+        for _ in range(4):
+            assert np.array_equal(i1.apply(stream), i2.apply(stream))
+        assert i1.events == i2.events
+
+    def test_different_seeds_differ(self, stream):
+        a = BitFlip(seed=1).apply(stream)
+        b = BitFlip(seed=2).apply(stream)
+        assert not np.array_equal(a, b)
+
+
+class TestContracts:
+    def test_input_never_mutated(self, stream):
+        snapshot = stream.copy()
+        for name in INJECTORS:
+            make_injector(name, seed=3).apply(stream)
+        assert np.array_equal(stream, snapshot)
+
+    def test_bitflip_changes_exactly_one_bit(self, stream):
+        corrupt = BitFlip(seed=9, nflips=1).apply(stream)
+        xor = np.bitwise_xor(stream, corrupt)
+        assert sum(bin(int(b)).count("1") for b in xor[xor != 0]) == 1
+
+    def test_truncation_shortens(self, stream):
+        out = Truncation(seed=4).apply(stream)
+        assert out.size < stream.size
+
+    def test_burst_is_contiguous(self, stream):
+        inj = BurstErasure(seed=8, burst=32, value=0)
+        corrupt = inj.apply(stream)
+        (start, length) = inj.events[0]["start"], inj.events[0]["length"]
+        diff = np.nonzero(stream != corrupt)[0]
+        assert diff.size > 0
+        assert diff.min() >= start and diff.max() < start + length
+
+    def test_header_corruption_stays_in_prefix(self, stream):
+        inj = HeaderCorruption(seed=6, nbytes=4)
+        corrupt = inj.apply(stream)
+        diff = np.nonzero(stream != corrupt)[0]
+        assert diff.max() < 52 + 64
+
+    def test_events_record_each_apply(self, stream):
+        inj = BitFlip(seed=0)
+        for _ in range(3):
+            inj.apply(stream)
+        assert len(inj.events) == 3
+
+    def test_unknown_injector_rejected(self):
+        with pytest.raises(InvalidInputError):
+            make_injector("gamma-ray")
+
+
+@pytest.mark.faults
+class TestCampaign:
+    def test_quick_campaign_detects_everything(self):
+        result = run_faultcheck(quick=True, seed=0)
+        assert result.ok, result.summary()
+        assert not result.failures
+        assert sum(result.counts.values()) == len(result.trials)
+        assert "FAULTCHECK PASSED" in result.summary()
+
+    def test_campaign_is_reproducible(self):
+        a = run_faultcheck(quick=True, trials=2, seed=1, injectors=["bitflip"])
+        b = run_faultcheck(quick=True, trials=2, seed=1, injectors=["bitflip"])
+        assert a.trials == b.trials
+
+
+class TestCLI:
+    def test_faultcheck_quick_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["faultcheck", "--quick", "--trials", "2", "--injector", "bitflip"]) == 0
+        assert "FAULTCHECK PASSED" in capsys.readouterr().out
