@@ -7,13 +7,11 @@ bound yields a higher measured ratio (and more zero blocks), hence fewer
 payload bytes to produce, store, and (on the way back) parse.
 """
 
-import numpy as np
 
 from repro.gpusim import A100_40GB
 from repro.harness import run_field, simulate
 from repro.harness import tables
 
-from conftest import RESULTS_DIR
 
 RELS = (1e-4, 1e-3, 1e-2)
 FIELDS = [("RTM", "P2000"), ("CESM-ATM", "FLDS"), ("NYX", "temperature"), ("JetIn", "jet")]

@@ -8,12 +8,9 @@ per-block work) and asserts the structural properties the figure conveys.
 
 import numpy as np
 
-from repro.gpusim import A100_40GB
 from repro.gpusim.calibration import T_FLAG_S
-from repro.harness import tables
 from repro.scan.trace import FINISHED, LOOKING_BACK, WAITING, trace_lookback
 
-from conftest import RESULTS_DIR
 
 
 def _make_trace():

@@ -17,7 +17,6 @@ from repro.datasets import get_dataset
 from repro.harness import tables
 from repro.metrics import curve, dominates
 
-from conftest import RESULTS_DIR
 
 RELS = (1e-1, 1e-2, 1e-3, 1e-4)
 

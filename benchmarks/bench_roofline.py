@@ -12,7 +12,6 @@ from repro.gpusim import pipelines as P
 from repro.gpusim.roofline import place, render, ridge_intensity
 from repro.harness import paper_field_bytes, run_field, scale_artifacts
 
-from conftest import RESULTS_DIR
 
 
 def _points():

@@ -8,7 +8,6 @@ headline ordering survives -- i.e., the shape claims are properties of the
 design differences, not of the calibration point.
 """
 
-import numpy as np
 import pytest
 
 from repro.gpusim import A100_40GB
@@ -18,7 +17,6 @@ from repro.gpusim.access import PATTERN_COSTS, Pattern, PatternCost
 from repro.harness import paper_field_bytes, run_field, scale_artifacts
 from repro.harness import tables
 
-from conftest import RESULTS_DIR
 
 
 def _clear_caches():

@@ -1,0 +1,77 @@
+"""E-SERVE: baseline throughput of the compression service (engineering
+benchmark -- no paper counterpart; cuSZp2's end-to-end pitch realized as a
+concurrent service).
+
+Runs the closed-loop serve-bench campaign at 1 worker and N workers over
+the process backend and records both reports (plus the host's cpu_count,
+so a reader can judge whether a speedup was physically possible) into
+``benchmarks/results/BENCH_serve.json``.  On a multi-core host the
+N-worker run should beat 1 worker on wall time; on a 1-core host the
+numbers document that baseline honestly.
+
+Run with::
+
+    pytest benchmarks/bench_serve.py --benchmark-only
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.serve.bench import BenchConfig, run_serve_bench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SIZE_MB = 64.0
+CHUNK_MB = 8.0
+REQUESTS = 4
+NWORKERS = 4
+
+
+def _campaign(workers: int) -> dict:
+    return run_serve_bench(
+        BenchConfig(
+            size_mb=SIZE_MB,
+            workers=workers,
+            backend="process",
+            requests=REQUESTS,
+            clients=2,
+            chunk_mb=CHUNK_MB,
+            distinct=2,
+            dataset="Miranda",  # registry data, not synthetic noise
+        )
+    )
+
+
+def test_serve_baseline_1_vs_n_workers(benchmark):
+    one = _campaign(1)
+    many = benchmark(lambda: _campaign(NWORKERS))
+    assert not one["errors"] and not many["errors"]
+
+    speedup = one["wall_s"] / many["wall_s"] if many["wall_s"] else 0.0
+    doc = {
+        "field_mb": SIZE_MB,
+        "chunk_mb": CHUNK_MB,
+        "requests": REQUESTS,
+        "cpu_count": os.cpu_count(),
+        "workers_1": one,
+        f"workers_{NWORKERS}": many,
+        "speedup_n_over_1": round(speedup, 3),
+        "note": (
+            f"{NWORKERS}-worker speedup over 1 worker requires >= {NWORKERS} "
+            "cores; on smaller hosts this file is an honest single-core "
+            "baseline (see cpu_count)."
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_serve.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nserve baseline: 1 worker {one['wall_s']:.2f}s, "
+          f"{NWORKERS} workers {many['wall_s']:.2f}s "
+          f"(speedup {speedup:.2f}x on {os.cpu_count()} cpu) -> {out}")
+
+    if (os.cpu_count() or 1) >= NWORKERS:
+        assert many["wall_s"] < one["wall_s"], (
+            f"{NWORKERS} workers ({many['wall_s']:.2f}s) not faster than "
+            f"1 worker ({one['wall_s']:.2f}s) on a {os.cpu_count()}-core host"
+        )

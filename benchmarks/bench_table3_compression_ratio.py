@@ -6,7 +6,6 @@ hits launch bugs (N.A.) on HACC/JetIn/Miranda/SynTruss; CUSZP2-P is
 excluded because it matches cuSZp (<0.01% -- byte-identical here).
 """
 
-import numpy as np
 
 from repro.baselines import PAPER_BUG_DATASETS
 from repro.harness import experiments as E

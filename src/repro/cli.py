@@ -52,6 +52,10 @@ def cmd_compress(args) -> int:
     data = _load_raw(args.input, _parse_dims(args.dims))
     mode = {"p": "plain", "o": "outlier"}.get(args.mode, args.mode)
 
+    chunk_bytes = int(args.chunk_mb * (1 << 20))
+    if args.workers > 1 or data.nbytes > chunk_bytes:
+        return _compress_chunked_cli(args, data, mode, chunk_bytes)
+
     t0 = time.perf_counter()
     if args.absolute:
         stream = compress(data, abs=args.error_bound, mode=mode)
@@ -85,17 +89,71 @@ def cmd_compress(args) -> int:
     return 1
 
 
+def _compress_chunked_cli(args, data, mode: str, chunk_bytes: int) -> int:
+    """Bounded-memory (and optionally parallel) compression of big inputs."""
+    from .metrics import check_error_bound
+    from .serve import WorkerPool, compress_chunked, decompress_chunked
+
+    bound = {"abs" if args.absolute else "rel": args.error_bound}
+    pool = None
+    t0 = time.perf_counter()
+    try:
+        if args.workers > 1:
+            pool = WorkerPool(nworkers=args.workers, backend=args.backend)
+            pool.wait_ready()
+        chunked = compress_chunked(
+            data, mode=mode, chunk_bytes=chunk_bytes, pool=pool, **bound
+        )
+        buf = chunked.to_bytes()
+        wall = time.perf_counter() - t0
+
+        out_path = Path(args.output or (args.input + ".csz2"))
+        buf.tofile(out_path)
+
+        print("GSZ finished!")
+        print(
+            f"chunked into {chunked.nchunks} group-aligned chunk(s) of "
+            f"<= {chunk_bytes / (1 << 20):g} MiB input "
+            f"({args.workers} worker(s), {args.backend} backend)"
+        )
+        print(f"GSZ compression ratio: {data.nbytes / buf.size:.6f}")
+        print(f"(functional codec wall time: {wall:.3f} s for {data.nbytes / 1e6:.1f} MB)")
+        print(f"compressed stream written to {out_path}")
+        print()
+        recon = decompress_chunked(chunked, pool=pool)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    eb_abs = chunked.manifest.eb_abs
+    if check_error_bound(data.reshape(-1), recon.reshape(-1), eb_abs):
+        print("Pass error check!")
+        return 0
+    print("ERROR CHECK FAILED")
+    return 1
+
+
 def cmd_decompress(args) -> int:
     from .core import IntegrityError, decompress
     from .core.errors import StreamFormatError
     from .core.stream import StreamHeader
+    from .serve import decompress_chunked, is_chunked
 
     stream = np.fromfile(args.input, dtype=np.uint8)
     try:
-        header = StreamHeader.unpack(stream)
-        checks = "header+group checksums" if header.version >= 2 else "no checksums"
-        print(f"stream format v{header.version} ({checks})")
-        recon = decompress(stream, on_corruption=args.on_corruption)
+        if is_chunked(stream):
+            from .serve.chunked import ChunkedStream
+
+            chunked = ChunkedStream.from_bytes(stream)
+            print(
+                f"chunked container: {chunked.nchunks} chunk(s), "
+                f"format v2 streams (header+group checksums)"
+            )
+            recon = decompress_chunked(chunked)
+        else:
+            header = StreamHeader.unpack(stream)
+            checks = "header+group checksums" if header.version >= 2 else "no checksums"
+            print(f"stream format v{header.version} ({checks})")
+            recon = decompress(stream, on_corruption=args.on_corruption)
     except IntegrityError as e:
         print(f"integrity check FAILED: {e}")
         print("hint: retry with --on-corruption recover to salvage intact block groups")
@@ -110,6 +168,31 @@ def cmd_decompress(args) -> int:
     recon.tofile(out_path)
     print(f"decompressed {recon.size} x {recon.dtype} -> {out_path}")
     return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from .serve.bench import BenchConfig, dump_report, format_report, run_serve_bench
+
+    cfg = BenchConfig(
+        size_mb=args.size_mb,
+        workers=args.workers,
+        backend=args.backend,
+        requests=args.requests,
+        clients=args.clients,
+        rel=args.rel,
+        mode=args.mode,
+        chunk_mb=args.chunk_mb,
+        distinct=args.distinct,
+        seed=args.seed,
+        dataset=args.dataset,
+        field=args.field,
+    )
+    report = run_serve_bench(cfg)
+    print(format_report(report))
+    if args.json:
+        dump_report(report, args.json)
+        print(f"\n(report written to {args.json})")
+    return 1 if report["errors"] else 0
 
 
 def cmd_faultcheck(args) -> int:
@@ -254,6 +337,19 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--dims", help="logical dims, e.g. 512x512x512 (optional)")
     c.add_argument("--device", help="device for simulated throughput (default A100-40GB)")
     c.add_argument("-o", "--output", help="output stream path (default <input>.csz2)")
+    c.add_argument(
+        "--workers", type=int, default=1,
+        help="compress group-aligned chunks in parallel over N workers (default 1)",
+    )
+    c.add_argument(
+        "--chunk-mb", type=float, default=32.0,
+        help="inputs above this threshold stream through the chunked engine "
+        "in bounded memory (default 32 MiB; also the chunk size)",
+    )
+    c.add_argument(
+        "--backend", default="process", choices=["thread", "process"],
+        help="worker backend for --workers > 1 (default process)",
+    )
     c.set_defaults(fn=cmd_compress)
 
     d = sub.add_parser("decompress", help="decompress a .csz2 stream")
@@ -266,6 +362,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="corrupt v2 stream: fail (default) or decode intact groups + NaN-fill",
     )
     d.set_defaults(fn=cmd_decompress)
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="closed-loop load generator for the compression service",
+    )
+    sb.add_argument("--size-mb", type=float, default=8.0, help="field size (default 8 MB)")
+    sb.add_argument("--workers", type=int, default=2)
+    sb.add_argument("--backend", default="thread", choices=["thread", "process"])
+    sb.add_argument("--requests", type=int, default=8, help="total compress+decompress iterations")
+    sb.add_argument("--clients", type=int, default=2, help="concurrent closed-loop clients")
+    sb.add_argument("--rel", type=float, default=1e-3)
+    sb.add_argument("--mode", default="outlier", choices=["plain", "outlier"])
+    sb.add_argument("--chunk-mb", type=float, default=4.0)
+    sb.add_argument("--distinct", type=int, default=2, help="distinct fields cycled per client")
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--dataset", help="use a registry dataset field instead of a random walk")
+    sb.add_argument("--field", help="field name within --dataset (default: first)")
+    sb.add_argument("--json", help="also dump the full JSON report to this path")
+    sb.set_defaults(fn=cmd_serve_bench)
 
     fc = sub.add_parser("faultcheck", help="fault-injection campaign: every fault detected?")
     fc.add_argument("--trials", type=int, default=25, help="trials per injector x workload")

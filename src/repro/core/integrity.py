@@ -23,12 +23,12 @@ v1 streams carry no checksums; verifying them is a no-op that reports
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from . import stream as stream_mod
-from .errors import IntegrityError, StreamFormatError
+from .errors import IntegrityError
 
 __all__ = ["CorruptionReport", "verify", "recover"]
 

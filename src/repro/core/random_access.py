@@ -26,7 +26,7 @@ offset byte elsewhere would have shifted the global prefix sum.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

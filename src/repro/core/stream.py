@@ -384,3 +384,56 @@ def split(buf) -> Tuple[StreamHeader, np.ndarray, np.ndarray]:
 def offsets_start(header: StreamHeader, section: Optional[IntegritySection]) -> int:
     """Byte offset where the offset section begins for this stream."""
     return HEADER_SIZE + (section.size if section is not None else 0)
+
+
+# ---------------------------------------------------------------------------
+# Group-aligned chunk boundaries (for the chunked streaming engine)
+# ---------------------------------------------------------------------------
+#
+# A stream can be split into independently decodable sub-streams as long as
+# every cut lands on a block boundary: the 1-D predictor differences within
+# each block only (the first element of a block is stored raw), so a block's
+# bytes never depend on its neighbours.  Aligning cuts further, to a whole
+# checksum *group* (block * group_blocks elements), keeps each sub-stream's
+# integrity section congruent with the groups the monolithic stream would
+# have had -- which is what lets chunk-level retransmission and recovery
+# compose with the v2 machinery.
+
+def chunk_granule(block: int, group_blocks: int = DEFAULT_GROUP_BLOCKS) -> int:
+    """Elements per checksum group: the atomic unit of chunk alignment."""
+    if block <= 0 or block % 8:
+        raise StreamFormatError(
+            f"block size {block} must be a positive multiple of 8"
+        )
+    _group_geometry(0, group_blocks)  # validates group_blocks range
+    return block * group_blocks
+
+
+def aligned_chunk_elems(
+    requested_elems: int,
+    block: int,
+    group_blocks: int = DEFAULT_GROUP_BLOCKS,
+) -> int:
+    """Largest group-aligned chunk size not exceeding ``requested_elems``
+    (but never smaller than one group, the minimum self-contained unit)."""
+    granule = chunk_granule(block, group_blocks)
+    return max(requested_elems // granule, 1) * granule
+
+
+def chunk_spans(
+    nelems: int,
+    chunk_elems: int,
+    block: int,
+    group_blocks: int = DEFAULT_GROUP_BLOCKS,
+) -> list:
+    """Half-open ``(lo, hi)`` element spans covering ``[0, nelems)``.
+
+    Every span except the last holds exactly ``chunk_elems`` elements
+    (rounded to group alignment); each span compresses into a
+    self-contained v2 stream that decodes to exactly the same bytes the
+    monolithic stream would produce for those elements.
+    """
+    if nelems < 0:
+        raise StreamFormatError(f"element count must be >= 0, got {nelems}")
+    step = aligned_chunk_elems(chunk_elems, block, group_blocks)
+    return [(lo, min(lo + step, nelems)) for lo in range(0, nelems, step)]

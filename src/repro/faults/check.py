@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core import compress, decompress
-from ..core.errors import CuSZp2Error, IntegrityError
+from ..core.errors import CuSZp2Error
 from ..core.integrity import verify
 from .injectors import INJECTORS, make_injector
 

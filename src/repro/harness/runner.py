@@ -94,7 +94,6 @@ def run_field(dataset: str, field: str, compressor: str, bound: float) -> Run:
 def cuzfp_stream_size(shape: Tuple[int, ...], rate: float) -> int:
     """Exact stream size of our cuZFP container for a field shape."""
     from ..baselines.zfp import codec as zc
-    from ..baselines.zfp import fixedpoint
 
     ndim = len(shape)
     maxbits = CuZFP(rate).maxbits(ndim)

@@ -1,0 +1,72 @@
+"""repro.serve -- the in-process compression service layer.
+
+cuSZp2's pitch is end-to-end throughput: compression fast enough to sit
+inline with I/O and communication (paper Section 1; Section 5.6's in-situ
+checkpointing and compression-enabled collectives).  This package turns
+the library codec into that pipeline component:
+
+* :mod:`~repro.serve.chunked` -- bounded-memory chunked streaming engine
+  (group-aligned, bit-identical to the monolithic codec);
+* :mod:`~repro.serve.pool` -- thread/process worker pool with warmup,
+  crash recovery, and graceful shutdown;
+* :mod:`~repro.serve.scheduler` -- bounded queue, priority lanes,
+  micro-batching, explicit :class:`~repro.serve.scheduler.QueueFull`
+  backpressure;
+* :mod:`~repro.serve.cache` -- content-hashed LRU decode cache;
+* :mod:`~repro.serve.stats` -- metrics registry (latency histograms,
+  queue depth, utilization, hit rates) dumpable as JSON;
+* :mod:`~repro.serve.service` -- :class:`CompressionService`, the facade
+  gluing the five together.
+
+See docs/SERVING.md for architecture and tuning guidance.
+"""
+
+from .cache import DecodeCache, content_key
+from .chunked import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkedStream,
+    ChunkManifest,
+    compress_chunked,
+    decompress_chunked,
+    is_chunked,
+    plan_chunks,
+)
+from .pool import (
+    PoolClosed,
+    PoolFuture,
+    ProcessBackend,
+    TaskError,
+    ThreadBackend,
+    WorkerCrash,
+    WorkerPool,
+    register_task,
+)
+from .scheduler import QueueFull, Scheduler
+from .service import CompressionService, ServiceConfig
+from .stats import Histogram, MetricsRegistry
+
+__all__ = [
+    "CompressionService",
+    "ServiceConfig",
+    "ChunkedStream",
+    "ChunkManifest",
+    "DecodeCache",
+    "DEFAULT_CHUNK_BYTES",
+    "Histogram",
+    "MetricsRegistry",
+    "PoolClosed",
+    "PoolFuture",
+    "ProcessBackend",
+    "QueueFull",
+    "Scheduler",
+    "TaskError",
+    "ThreadBackend",
+    "WorkerCrash",
+    "WorkerPool",
+    "compress_chunked",
+    "content_key",
+    "decompress_chunked",
+    "is_chunked",
+    "plan_chunks",
+    "register_task",
+]

@@ -1,0 +1,117 @@
+"""LRU decode cache keyed by stream content hash.
+
+Decompression requests for hot streams (a checkpoint that many readers
+open, a gradient block every rank pulls) are served from memory instead of
+re-running the codec.  The key is a digest of the *compressed bytes*, so
+identical streams hit regardless of where they came from, and a stream
+that changes by one bit misses -- content addressing gives correctness for
+free.  Eviction is by decoded-byte budget, least recently used first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from .stats import MetricsRegistry
+
+
+def content_key(buf) -> str:
+    """Digest of a compressed stream's bytes (the cache key)."""
+    if isinstance(buf, np.ndarray):
+        buf = np.ascontiguousarray(buf, dtype=np.uint8)
+    return hashlib.sha1(buf).hexdigest()
+
+
+class DecodeCache:
+    """Byte-budgeted LRU of decoded arrays with hit/miss accounting.
+
+    Cached arrays are returned as read-only views (no defensive copy on
+    the hot path); callers that need to mutate must copy.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 256 << 20,
+        stats: Optional[MetricsRegistry] = None,
+    ):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._stats = stats
+
+    # -- core ---------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        with self._lock:
+            arr = self._entries.get(key)
+            if arr is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            self._publish()
+            return arr
+
+    def put(self, key: str, arr: np.ndarray) -> bool:
+        """Insert a decoded array; returns False if it exceeds the whole
+        budget (oversized values are never cached -- they would evict
+        everything for a single-use entry)."""
+        arr = np.asarray(arr)
+        if arr.nbytes > self.max_bytes:
+            return False
+        view = arr.view()
+        view.flags.writeable = False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = view
+            self._bytes += view.nbytes
+            while self._bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+            self._publish()
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._publish()
+
+    # -- accounting ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _publish(self) -> None:
+        if self._stats is None:
+            return
+        self._stats.gauge("cache.bytes").set(self._bytes)
+        self._stats.gauge("cache.entries").set(len(self._entries))
+        self._stats.gauge("cache.hit_rate").set(self.hit_rate)
+        self._stats.counter("cache.evictions").value = float(self.evictions)

@@ -1,0 +1,586 @@
+"""Worker pool: fan tasks out over threads or processes.
+
+Chunked streams (:mod:`repro.serve.chunked`) make every chunk a
+self-contained codec job, so compression parallelism reduces to a generic
+task pool.  Two interchangeable backends:
+
+* :class:`ThreadBackend` -- same-process workers.  The NumPy codec holds
+  the GIL for most of its time, so threads give little speedup; they exist
+  for deterministic tests (shared memory, injectable failures) and for
+  I/O-bound task mixes.
+* :class:`ProcessBackend` -- ``multiprocessing`` workers for real
+  parallelism on multi-core hosts.
+
+Tasks are referenced *by registered name* (:func:`register_task`), not by
+pickled callables: process workers resolve the name in their own module
+registry, which keeps submissions tiny and works identically for both
+backends.  Each worker runs a warmup task before accepting work (priming
+NumPy and the codec so the first real request does not pay first-touch
+costs), reports per-task busy time for utilization accounting, and is
+replaced if it dies: a dead worker's in-flight task is resubmitted to a
+fresh worker (at most ``max_task_retries`` times) so a crash loses no
+request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from .stats import MetricsRegistry
+
+
+class PoolClosed(RuntimeError):
+    """Submission after shutdown (or to a broken pool)."""
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died while running a task.
+
+    Raised *inside a task* it kills the worker (threads: the worker loop
+    exits; processes: the interpreter hard-exits) -- the mechanism tests
+    use to exercise crash recovery.  Delivered *from a future* it means
+    the task was lost to repeated worker deaths.
+    """
+
+
+class TaskError(RuntimeError):
+    """A task raised an exception that could not cross the process
+    boundary intact; carries its ``repr``."""
+
+
+# ---------------------------------------------------------------------------
+# Task registry
+# ---------------------------------------------------------------------------
+
+_TASKS: Dict[str, Callable[[Any], Any]] = {}
+
+
+def register_task(name: str, fn: Optional[Callable[[Any], Any]] = None):
+    """Register ``fn`` under ``name`` (usable as a decorator).
+
+    Process workers inherit the registry through ``fork``; tasks must
+    therefore be registered at import time of a module the parent has
+    imported before the pool starts.
+    """
+    def _register(f):
+        _TASKS[name] = f
+        return f
+
+    return _register if fn is None else _register(fn)
+
+
+def _run_task(name: str, arg: Any) -> Any:
+    fn = _TASKS.get(name)
+    if fn is None:
+        raise TaskError(f"unknown task {name!r}; registered: {sorted(_TASKS)}")
+    return fn(arg)
+
+
+@register_task("pool.echo")
+def _echo(arg):
+    return arg
+
+
+@register_task("pool.sleep")
+def _sleep(arg):
+    time.sleep(float(arg))
+    return float(arg)
+
+
+@register_task("pool.batch")
+def _batch(arg):
+    """Run ``(name, [args])`` sub-tasks in one dispatch; per-item outcomes
+    ``(ok, value_or_exception)`` so one bad item cannot sink its batch."""
+    name, items = arg
+    out = []
+    for item in items:
+        try:
+            out.append((True, _run_task(name, item)))
+        except WorkerCrash:
+            raise
+        except Exception as e:  # noqa: BLE001 - outcome is delivered per item
+            out.append((False, e))
+    return out
+
+
+def _warmup_codec() -> None:
+    import numpy as np
+
+    from repro.core import compress, decompress
+
+    data = np.linspace(0.0, 1.0, 256, dtype=np.float32)
+    decompress(compress(data, rel=1e-2))
+
+
+# ---------------------------------------------------------------------------
+# Futures
+# ---------------------------------------------------------------------------
+
+class CancelledError(RuntimeError):
+    """The request was cancelled before a worker ran it."""
+
+
+class PoolFuture:
+    """Minimal thread-safe future (result / exception / cancel / callbacks)."""
+
+    def __init__(self):
+        self._cv = threading.Condition()
+        self._done = False
+        self._cancelled = False
+        self._result: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: List[Callable[["PoolFuture"], None]] = []
+
+    def done(self) -> bool:
+        with self._cv:
+            return self._done
+
+    def cancelled(self) -> bool:
+        with self._cv:
+            return self._cancelled
+
+    def cancel(self) -> bool:
+        with self._cv:
+            if self._done:
+                return False
+            self._cancelled = True
+            self._done = True
+            self._exc = CancelledError("request cancelled")
+            self._cv.notify_all()
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+        return True
+
+    def set_result(self, value: Any) -> None:
+        self._finish(result=value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._finish(exc=exc)
+
+    def _finish(self, result: Any = None, exc: Optional[BaseException] = None):
+        with self._cv:
+            if self._done:  # late completion of a cancelled task: ignore
+                return
+            self._result = result
+            self._exc = exc
+            self._done = True
+            self._cv.notify_all()
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, cb: Callable[["PoolFuture"], None]) -> None:
+        with self._cv:
+            if not self._done:
+                self._callbacks.append(cb)
+                return
+        cb(self)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        with self._cv:
+            if not self._cv.wait_for(lambda: self._done, timeout):
+                raise TimeoutError("future not done within timeout")
+            if self._exc is not None:
+                raise self._exc
+            return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        with self._cv:
+            if not self._cv.wait_for(lambda: self._done, timeout):
+                raise TimeoutError("future not done within timeout")
+            return self._exc
+
+
+# ---------------------------------------------------------------------------
+# Worker loops
+# ---------------------------------------------------------------------------
+
+_STOP = None  # input-queue sentinel
+
+
+def _worker_loop(wid: int, inq, outq, warmup: bool, process: bool) -> None:
+    if warmup:
+        try:
+            _warmup_codec()
+        except Exception:  # noqa: BLE001 - warmup is best-effort priming
+            pass
+    outq.put(("ready", wid, None, None, 0.0))
+    while True:
+        msg = inq.get()
+        if msg is _STOP:
+            outq.put(("stopped", wid, None, None, 0.0))
+            return
+        task_id, name, arg = msg
+        t0 = time.perf_counter()
+        try:
+            value = _run_task(name, arg)
+        except WorkerCrash as e:
+            if process:
+                os._exit(17)  # a real death: no goodbye message
+            outq.put(("crashed", wid, task_id, repr(e), time.perf_counter() - t0))
+            return
+        except BaseException as e:  # noqa: BLE001 - delivered via the future
+            dur = time.perf_counter() - t0
+            try:
+                outq.put(("done", wid, task_id, (False, e), dur))
+            except Exception:  # unpicklable exception: degrade to TaskError
+                outq.put(("done", wid, task_id, (False, TaskError(repr(e))), dur))
+        else:
+            outq.put(("done", wid, task_id, (True, value), time.perf_counter() - t0))
+
+
+def _process_worker_main(wid: int, inq, outq, warmup: bool) -> None:
+    _worker_loop(wid, inq, outq, warmup, process=True)
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+class _ThreadHandle:
+    def __init__(self, thread: threading.Thread):
+        self._thread = thread
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    def terminate(self) -> None:  # threads cannot be killed; rely on sentinel
+        pass
+
+
+class ThreadBackend:
+    """Same-process workers: deterministic, shared-memory, test-friendly."""
+
+    name = "thread"
+
+    def make_queue(self):
+        return queue.Queue()
+
+    def spawn(self, wid: int, inq, outq, warmup: bool):
+        t = threading.Thread(
+            target=_worker_loop,
+            args=(wid, inq, outq, warmup, False),
+            name=f"serve-worker-{wid}",
+            daemon=True,
+        )
+        t.start()
+        return _ThreadHandle(t)
+
+
+class ProcessBackend:
+    """``multiprocessing`` workers (fork where available) for real
+    parallelism; a crashed process is detected by liveness polling."""
+
+    name = "process"
+
+    def __init__(self):
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            self._ctx = multiprocessing.get_context()
+
+    def make_queue(self):
+        return self._ctx.Queue()
+
+    def spawn(self, wid: int, inq, outq, warmup: bool):
+        p = self._ctx.Process(
+            target=_process_worker_main,
+            args=(wid, inq, outq, warmup),
+            name=f"serve-worker-{wid}",
+            daemon=True,
+        )
+        p.start()
+        return p
+
+
+def make_backend(backend) -> object:
+    if isinstance(backend, str):
+        if backend == "thread":
+            return ThreadBackend()
+        if backend == "process":
+            return ProcessBackend()
+        raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+class _Task:
+    __slots__ = ("task_id", "name", "arg", "future", "retries")
+
+    def __init__(self, task_id, name, arg, future):
+        self.task_id = task_id
+        self.name = name
+        self.arg = arg
+        self.future = future
+        self.retries = 0
+
+
+class _WorkerState:
+    __slots__ = ("wid", "handle", "inq", "ready", "stopping", "inflight")
+
+    def __init__(self, wid, handle, inq):
+        self.wid = wid
+        self.handle = handle
+        self.inq = inq
+        self.ready = False
+        self.stopping = False
+        self.inflight: Optional[_Task] = None
+
+
+class WorkerPool:
+    """Fixed-size pool with warmup, crash recovery, and graceful shutdown.
+
+    Parameters
+    ----------
+    nworkers:
+        Concurrent workers (>= 1).
+    backend:
+        ``"thread"``, ``"process"``, or a backend instance.
+    warmup:
+        Run the codec warmup task in each worker before it accepts work.
+    max_task_retries:
+        Times a task is resubmitted after killing its worker before its
+        future fails with :class:`WorkerCrash`.
+    """
+
+    def __init__(
+        self,
+        nworkers: int = 2,
+        backend="thread",
+        warmup: bool = True,
+        max_task_retries: int = 1,
+        stats: Optional[MetricsRegistry] = None,
+        poll_s: float = 0.02,
+    ):
+        if nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+        self.backend = make_backend(backend)
+        self.nworkers = nworkers
+        self.stats = stats if stats is not None else MetricsRegistry()
+        self._warmup = warmup
+        self._max_task_retries = max_task_retries
+        self._poll_s = poll_s
+        self._lock = threading.Lock()
+        self._pending: "deque[_Task]" = deque()
+        self._closing = False
+        self._drain = True  # finish pending work on shutdown?
+        self._broken = False
+        self._task_ids = itertools.count()
+        self._wids = itertools.count()
+        self._workers: Dict[int, _WorkerState] = {}
+        self._busy_s = 0.0
+        self._t0 = time.perf_counter()
+        self._respawns = 0
+        self._max_respawns = 4 + 2 * nworkers
+        self._outq = self.backend.make_queue()
+        for _ in range(nworkers):
+            self._spawn_worker()
+        self._manager = threading.Thread(
+            target=self._manage, name="serve-pool-manager", daemon=True
+        )
+        self._manager.start()
+
+    # -- public -------------------------------------------------------------
+
+    def submit(self, name: str, arg: Any, future: Optional[PoolFuture] = None) -> PoolFuture:
+        """Queue task ``name(arg)``; returns (or completes into) a future."""
+        future = future if future is not None else PoolFuture()
+        with self._lock:
+            if self._closing or self._broken:
+                raise PoolClosed(
+                    "pool is broken (worker crash loop)" if self._broken
+                    else "pool is shut down"
+                )
+            self._pending.append(_Task(next(self._task_ids), name, arg, future))
+            self.stats.counter("pool.tasks").inc()
+            self.stats.gauge("pool.queue_depth").set(len(self._pending))
+        return future
+
+    def map(self, name: str, args: List[Any]) -> List[Any]:
+        """Submit one task per element and gather ordered results
+        (raises the first failure)."""
+        futures = [self.submit(name, a) for a in args]
+        return [f.result() for f in futures]
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        """Block until every current worker finished warmup."""
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            with self._lock:
+                if self._workers and all(w.ready for w in self._workers.values()):
+                    return True
+            time.sleep(0.005)
+        return False
+
+    def utilization(self) -> float:
+        """Aggregate busy-time fraction across workers since start."""
+        wall = (time.perf_counter() - self._t0) * self.nworkers
+        return min(self._busy_s / wall, 1.0) if wall > 0 else 0.0
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool.  ``wait=True`` finishes queued + in-flight work
+        first; ``wait=False`` cancels queued tasks (in-flight tasks still
+        complete -- workers are never killed mid-task)."""
+        with self._lock:
+            self._closing = True
+            self._drain = wait
+            if not wait:
+                cancelled, self._pending = list(self._pending), deque()
+                self.stats.gauge("pool.queue_depth").set(0)
+        if not wait:
+            for task in cancelled:
+                task.future.cancel()
+        self._manager.join(timeout)
+        for w in list(self._workers.values()):
+            w.handle.join(1.0)
+            if w.handle.is_alive():  # pragma: no cover - stuck worker
+                w.handle.terminate()
+        self.stats.gauge("pool.utilization").set(self.utilization())
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown(wait=not any(exc))
+
+    # -- internals ----------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        wid = next(self._wids)
+        inq = self.backend.make_queue()
+        handle = self.backend.spawn(wid, inq, self._outq, self._warmup)
+        self._workers[wid] = _WorkerState(wid, handle, inq)
+
+    def _manage(self) -> None:
+        while True:
+            try:
+                msg = self._outq.get(timeout=self._poll_s)
+            except queue.Empty:
+                msg = None
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                msg = None
+            if msg is not None:
+                self._handle_message(msg)
+                while True:  # drain whatever else already arrived
+                    try:
+                        self._handle_message(self._outq.get_nowait())
+                    except queue.Empty:
+                        break
+            self._check_liveness()
+            self._dispatch()
+            if self._maybe_finish():
+                return
+
+    def _handle_message(self, msg) -> None:
+        kind, wid, task_id, payload, dur = msg
+        worker = self._workers.get(wid)
+        if kind == "ready":
+            if worker is not None:
+                worker.ready = True
+            return
+        if kind == "stopped":
+            return
+        if worker is None or worker.inflight is None:
+            return  # late message from a worker already declared dead
+        task = worker.inflight
+        if task.task_id != task_id:  # pragma: no cover - defensive
+            return
+        worker.inflight = None
+        self._busy_s += dur
+        if kind == "done":
+            ok, value = payload
+            if ok:
+                task.future.set_result(value)
+            else:
+                self.stats.counter("pool.task_errors").inc()
+                task.future.set_exception(value)
+        elif kind == "crashed":  # thread worker announced its own death
+            del self._workers[wid]
+            self._recover(task, payload)
+
+    def _check_liveness(self) -> None:
+        dead = [w for w in self._workers.values()
+                if not w.stopping and not w.handle.is_alive()]
+        for w in dead:
+            del self._workers[w.wid]
+            task = w.inflight
+            self._recover(task, f"worker {w.wid} died")
+
+    def _recover(self, task: Optional[_Task], why: str) -> None:
+        self.stats.counter("pool.worker_crashes").inc()
+        self._respawns += 1
+        if self._respawns > self._max_respawns:
+            self._broken = True
+            failures = [task] if task is not None else []
+            with self._lock:
+                failures += list(self._pending)
+                self._pending.clear()
+            for t in failures:
+                t.future.set_exception(
+                    WorkerCrash(f"pool broken after {self._respawns} worker deaths")
+                )
+            return
+        self._spawn_worker()
+        if task is None:
+            return
+        if task.retries < self._max_task_retries:
+            task.retries += 1
+            self.stats.counter("pool.resubmissions").inc()
+            with self._lock:
+                self._pending.appendleft(task)
+        else:
+            task.future.set_exception(
+                WorkerCrash(f"task {task.name!r} lost to repeated worker deaths ({why})")
+            )
+
+    def _dispatch(self) -> None:
+        idle = [w for w in self._workers.values()
+                if w.ready and not w.stopping and w.inflight is None]
+        for w in idle:
+            task = None
+            with self._lock:
+                while self._pending:
+                    candidate = self._pending.popleft()
+                    if not candidate.future.cancelled():
+                        task = candidate
+                        break
+                self.stats.gauge("pool.queue_depth").set(len(self._pending))
+            if task is None:
+                return
+            w.inflight = task
+            w.inq.put((task.task_id, task.name, task.arg))
+
+    def _maybe_finish(self) -> bool:
+        with self._lock:
+            if not self._closing:
+                return False
+            if self._drain and self._pending and not self._broken:
+                return False
+        if any(w.inflight is not None for w in self._workers.values()):
+            return False
+        for w in self._workers.values():
+            if not w.stopping:
+                w.stopping = True
+                w.inq.put(_STOP)
+        # give workers a moment to acknowledge; handles are joined by
+        # shutdown() after the manager exits
+        return True

@@ -1,0 +1,296 @@
+"""Admission control in front of the worker pool.
+
+The pool executes whatever it is given; the scheduler decides *what* and
+*when*:
+
+* **bounded submission queue** -- at capacity, :meth:`Scheduler.submit`
+  raises :class:`QueueFull` immediately.  Backpressure is explicit: the
+  caller slows down or sheds load, the service never grows an unbounded
+  queue (the failure mode that turns an overloaded service into a dead
+  one).
+* **priority lanes** -- ``"interactive"`` requests (a reader blocked on a
+  decode) are dispatched before ``"bulk"`` requests (a background
+  checkpoint sweep), and the scheduler only keeps ``max_inflight`` tasks
+  inside the pool, so a late-arriving interactive request overtakes queued
+  bulk work instead of sitting behind it.
+* **micro-batching** -- small same-kind requests are coalesced into one
+  worker dispatch (one queue round-trip, one task setup, amortized over
+  the batch), flushed when the batch fills or the oldest member has waited
+  ``batch_wait_s``.
+* **loss-free crashes** -- worker crash recovery lives in the pool; the
+  scheduler adds completion accounting so every request's latency (queue
+  wait included) lands in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Optional
+
+from .pool import PoolClosed, PoolFuture, WorkerPool
+from .stats import MetricsRegistry
+
+PRIORITIES = ("interactive", "bulk")
+
+
+class QueueFull(RuntimeError):
+    """The bounded submission queue is at capacity; retry later or shed."""
+
+
+class _Request:
+    __slots__ = ("name", "arg", "nbytes", "priority", "future", "t_enqueue", "batchable")
+
+    def __init__(self, name, arg, nbytes, priority, future, batchable):
+        self.name = name
+        self.arg = arg
+        self.nbytes = nbytes
+        self.priority = priority
+        self.future = future
+        self.t_enqueue = time.perf_counter()
+        self.batchable = batchable
+
+
+class Scheduler:
+    """Bounded, priority-aware, micro-batching dispatcher over a pool.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.serve.pool.WorkerPool` to dispatch into.
+    max_pending:
+        Queue capacity across both lanes; beyond it :class:`QueueFull`.
+    max_inflight:
+        Tasks handed to the pool at once (default: one per worker).
+        Keeping this small is what makes priorities effective.
+    batch_max / batch_bytes / batch_wait_s:
+        A request at most ``batch_bytes`` big is batchable; up to
+        ``batch_max`` same-name batchable requests from one lane coalesce
+        into a single dispatch, flushed when full or when the oldest has
+        waited ``batch_wait_s`` seconds.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        max_pending: int = 128,
+        max_inflight: Optional[int] = None,
+        batch_max: int = 8,
+        batch_bytes: int = 1 << 20,
+        batch_wait_s: float = 0.01,
+        stats: Optional[MetricsRegistry] = None,
+        poll_s: float = 0.02,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.pool = pool
+        self.stats = stats if stats is not None else pool.stats
+        self.max_pending = max_pending
+        self.max_inflight = max_inflight if max_inflight is not None else pool.nworkers
+        self.batch_max = batch_max
+        self.batch_bytes = batch_bytes
+        self.batch_wait_s = batch_wait_s
+        self._poll_s = poll_s
+        self._cv = threading.Condition()
+        self._lanes: Dict[str, "deque[_Request]"] = {p: deque() for p in PRIORITIES}
+        self._inflight = 0
+        self._closing = False
+        self._dispatcher = threading.Thread(
+            target=self._run, name="serve-scheduler", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        arg: Any,
+        priority: str = "bulk",
+        nbytes: int = 0,
+        batchable: bool = True,
+        future: Optional[PoolFuture] = None,
+    ) -> PoolFuture:
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority!r}"
+            )
+        future = future if future is not None else PoolFuture()
+        req = _Request(
+            name, arg, nbytes, priority, future,
+            batchable and nbytes <= self.batch_bytes,
+        )
+        with self._cv:
+            if self._closing:
+                raise PoolClosed("scheduler is shut down")
+            depth = sum(len(lane) for lane in self._lanes.values())
+            if depth >= self.max_pending:
+                self.stats.counter("scheduler.rejected").inc()
+                raise QueueFull(
+                    f"submission queue at capacity ({self.max_pending}); "
+                    "apply backpressure"
+                )
+            self._lanes[priority].append(req)
+            self.stats.counter("scheduler.submitted").inc()
+            self.stats.gauge("scheduler.queue_depth").set(depth + 1)
+            self._cv.notify_all()
+        return future
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cv:
+            return sum(len(lane) for lane in self._lanes.values())
+
+    # -- shutdown -----------------------------------------------------------
+
+    def shutdown(
+        self,
+        wait: bool = True,
+        cancel_pending: bool = False,
+        timeout: float = 30.0,
+    ) -> None:
+        """Stop dispatching.  ``cancel_pending=True`` fails queued requests
+        with ``CancelledError``; otherwise they are drained first.  In
+        either case in-flight pool tasks run to completion and the call
+        returns (never deadlocks) within ``timeout``."""
+        with self._cv:
+            self._closing = True
+            cancelled = []
+            if cancel_pending:
+                for lane in self._lanes.values():
+                    cancelled += list(lane)
+                    lane.clear()
+            self._cv.notify_all()
+        for req in cancelled:
+            req.future.cancel()
+        self._dispatcher.join(timeout)
+        if wait:
+            deadline = time.perf_counter() + timeout
+            with self._cv:
+                self._cv.wait_for(
+                    lambda: self._inflight == 0,
+                    max(deadline - time.perf_counter(), 0.0),
+                )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown(cancel_pending=any(exc))
+
+    # -- dispatcher ---------------------------------------------------------
+
+    def _next_lane(self) -> Optional[str]:
+        for p in PRIORITIES:  # interactive drains strictly first
+            if self._lanes[p]:
+                return p
+        return None
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                lane = self._next_lane()
+                while not (
+                    (lane is not None and self._inflight < self.max_inflight)
+                    or self._closing
+                ):
+                    self._cv.wait(self._poll_s)
+                    lane = self._next_lane()
+                if lane is None:
+                    if self._closing:
+                        return
+                    continue
+                if self._inflight >= self.max_inflight and not self._closing:
+                    continue
+                batch = [self._lanes[lane].popleft()]
+                if batch[0].future.cancelled():
+                    self._publish_depth()
+                    continue
+                if batch[0].batchable:
+                    self._fill_batch(batch, lane)
+                self._publish_depth()
+                self._inflight += 1
+            self._dispatch(batch)
+
+    def _fill_batch(self, batch, lane) -> None:
+        """Gather same-name batchable peers (must be called under _cv)."""
+        first = batch[0]
+        deadline = first.t_enqueue + self.batch_wait_s
+        while len(batch) < self.batch_max:
+            queue = self._lanes[lane]
+            while queue and len(batch) < self.batch_max:
+                peer = queue[0]
+                if peer.future.cancelled():
+                    queue.popleft()
+                    continue
+                if not (peer.batchable and peer.name == first.name):
+                    return  # preserve FIFO order within the lane
+                batch.append(queue.popleft())
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0 or self._closing or len(batch) >= self.batch_max:
+                return
+            self._cv.wait(min(remaining, self._poll_s))
+
+    def _publish_depth(self) -> None:
+        self.stats.gauge("scheduler.queue_depth").set(
+            sum(len(lane) for lane in self._lanes.values())
+        )
+
+    def _dispatch(self, batch) -> None:
+        self.stats.counter("scheduler.dispatches").inc()
+        try:
+            if len(batch) == 1:
+                req = batch[0]
+                inner = self.pool.submit(req.name, req.arg)
+                inner.add_done_callback(lambda f, r=req: self._complete_one(f, r))
+            else:
+                self.stats.counter("scheduler.batches").inc()
+                self.stats.counter("scheduler.batched_requests").inc(len(batch))
+                inner = self.pool.submit(
+                    "pool.batch", (batch[0].name, [r.arg for r in batch])
+                )
+                inner.add_done_callback(lambda f, b=tuple(batch): self._complete_batch(f, b))
+        except PoolClosed as e:
+            with self._cv:
+                self._inflight -= 1
+                self._cv.notify_all()
+            for req in batch:
+                req.future.set_exception(e)
+
+    def _finish(self, req: _Request) -> None:
+        self.stats.observe_latency(
+            f"scheduler.latency.{req.priority}_s", req.t_enqueue
+        )
+        self.stats.counter("scheduler.completed").inc()
+
+    def _complete_one(self, inner: PoolFuture, req: _Request) -> None:
+        with self._cv:
+            self._inflight -= 1
+            self._cv.notify_all()
+        exc = inner.exception()
+        if exc is not None:
+            req.future.set_exception(exc)
+        else:
+            req.future.set_result(inner.result())
+        self._finish(req)
+
+    def _complete_batch(self, inner: PoolFuture, batch) -> None:
+        with self._cv:
+            self._inflight -= 1
+            self._cv.notify_all()
+        exc = inner.exception()
+        if exc is not None:
+            for req in batch:
+                req.future.set_exception(exc)
+                self._finish(req)
+            return
+        outcomes = inner.result()
+        for req, (ok, value) in zip(batch, outcomes):
+            if ok:
+                req.future.set_result(value)
+            else:
+                req.future.set_exception(value)
+            self._finish(req)

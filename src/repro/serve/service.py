@@ -1,0 +1,306 @@
+"""The service facade: chunked engine + scheduler + pool + cache, one API.
+
+:class:`CompressionService` is the piece a training stack embeds: submit
+arrays, get futures for compressed bytes; submit compressed bytes, get
+futures for arrays.  Internally a request either rides the scheduler's
+micro-batching path (small arrays) or fans out as independent group-aligned
+chunks (large arrays), and decode results are served from a content-hashed
+LRU when the same stream is requested twice.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core import stream as _stream
+from repro.core.compressor import DEFAULT_BLOCK
+from repro.core.errors import InvalidInputError
+from repro.core.quantize import ErrorBound, validate_input
+
+from . import chunked as _chunked
+from .cache import DecodeCache, content_key
+from .pool import PoolFuture, WorkerPool
+from .scheduler import Scheduler
+from .stats import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of a :class:`CompressionService` (see docs/SERVING.md)."""
+
+    workers: int = 2
+    backend: str = "thread"  # "thread" (tests / I/O mixes) | "process" (CPU)
+    mode: str = "outlier"
+    block: int = DEFAULT_BLOCK
+    group_blocks: int = _stream.DEFAULT_GROUP_BLOCKS
+    chunk_bytes: int = _chunked.DEFAULT_CHUNK_BYTES  # fan-out threshold
+    cache_bytes: int = 256 << 20
+    max_pending: int = 256
+    max_inflight: Optional[int] = None
+    batch_max: int = 8
+    batch_bytes: int = 1 << 20
+    batch_wait_s: float = 0.005
+    warmup: bool = True
+
+
+def _gather(futures, combine, master: Optional[PoolFuture] = None) -> PoolFuture:
+    """Join ``futures`` into one future resolving to ``combine(results)``
+    (first failure wins)."""
+    master = master if master is not None else PoolFuture()
+    lock = threading.Lock()
+    left = [len(futures)]
+
+    def on_done(f: PoolFuture) -> None:
+        exc = f.exception()
+        if exc is not None:
+            master.set_exception(exc)  # no-op if already failed
+        with lock:
+            left[0] -= 1
+            last = left[0] == 0
+        if last and not master.done():
+            try:
+                master.set_result(combine([g.result() for g in futures]))
+            except BaseException as e:  # noqa: BLE001 - delivered via future
+                master.set_exception(e)
+
+    if not futures:
+        master.set_result(combine([]))
+        return master
+    for f in futures:
+        f.add_done_callback(on_done)
+    return master
+
+
+def _resolved(value) -> PoolFuture:
+    f = PoolFuture()
+    f.set_result(value)
+    return f
+
+
+class CompressionService:
+    """In-process compression service with batching, fan-out, and caching.
+
+    >>> from repro.serve import CompressionService
+    >>> with CompressionService(workers=2) as svc:
+    ...     blob = svc.compress(field, rel=1e-3).result()
+    ...     recon = svc.decompress(blob).result()   # second call: cache hit
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **overrides):
+        cfg = config if config is not None else ServiceConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        self.config = cfg
+        self.stats = MetricsRegistry()
+        self.pool = WorkerPool(
+            nworkers=cfg.workers,
+            backend=cfg.backend,
+            warmup=cfg.warmup,
+            stats=self.stats,
+        )
+        self.scheduler = Scheduler(
+            self.pool,
+            max_pending=cfg.max_pending,
+            max_inflight=cfg.max_inflight,
+            batch_max=cfg.batch_max,
+            batch_bytes=cfg.batch_bytes,
+            batch_wait_s=cfg.batch_wait_s,
+            stats=self.stats,
+        )
+        self.cache = DecodeCache(cfg.cache_bytes, stats=self.stats)
+        self._closed = False
+
+    # -- compression --------------------------------------------------------
+
+    def compress(
+        self,
+        data: np.ndarray,
+        rel: Optional[float] = None,
+        abs: Optional[float] = None,  # noqa: A002 - mirrors repro.compress
+        mode: Optional[str] = None,
+        priority: str = "bulk",
+    ) -> PoolFuture:
+        """Submit a compression request; the future resolves to the
+        compressed bytes (a single v2 stream below the chunk threshold, a
+        ``CSZ2CHNK`` container above it)."""
+        cfg = self.config
+        data = np.asarray(data)
+        if (rel is None) == (abs is None):
+            raise InvalidInputError("specify exactly one of rel= or abs=")
+        eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
+        eb_abs = eb.resolve(validate_input(data))
+        mode = mode if mode is not None else cfg.mode
+        t0 = time.perf_counter()
+        self.stats.counter("service.requests").inc()
+        self.stats.counter("service.bytes_in").inc(data.nbytes)
+
+        if data.nbytes <= cfg.chunk_bytes:
+            arg = {
+                "data": data,
+                "eb_abs": eb_abs,
+                "mode": mode,
+                "block": cfg.block,
+                "group_blocks": cfg.group_blocks,
+            }
+            master = self.scheduler.submit(
+                "chunk.compress", arg, priority=priority, nbytes=data.nbytes
+            )
+        else:
+            spans, axis = _chunked.plan_chunks(
+                data.shape,
+                data.dtype.itemsize,
+                block=cfg.block,
+                group_blocks=cfg.group_blocks,
+                chunk_bytes=cfg.chunk_bytes,
+            )
+            views = _chunked._chunk_views(data, spans, axis)
+            futures = [
+                self.scheduler.submit(
+                    "chunk.compress",
+                    {
+                        "data": view,
+                        "eb_abs": eb_abs,
+                        "mode": mode,
+                        "block": cfg.block,
+                        "group_blocks": cfg.group_blocks,
+                    },
+                    priority=priority,
+                    nbytes=view.nbytes,
+                    batchable=False,
+                )
+                for view in views
+            ]
+
+            def assemble(streams):
+                import zlib
+
+                entries = tuple(
+                    _chunked.ChunkEntry(
+                        nelems=hi - lo,
+                        nbytes=int(s.size),
+                        crc32=zlib.crc32(s.tobytes()) & 0xFFFFFFFF,
+                    )
+                    for (lo, hi), s in zip(spans, streams)
+                )
+                manifest = _chunked.ChunkManifest(
+                    shape=tuple(data.shape),
+                    dtype=np.dtype(data.dtype).name,
+                    mode=mode,
+                    predictor_ndim=1,
+                    block=cfg.block,
+                    group_blocks=cfg.group_blocks,
+                    eb_abs=eb_abs,
+                    axis=axis,
+                    entries=entries,
+                )
+                return _chunked.ChunkedStream(manifest, streams).to_bytes()
+
+            master = _gather(futures, assemble)
+
+        def account(f: PoolFuture) -> None:
+            self.stats.histogram("service.compress_latency_s").observe(
+                time.perf_counter() - t0
+            )
+            if f.exception() is None:
+                self.stats.counter("service.bytes_out").inc(int(f.result().size))
+
+        master.add_done_callback(account)
+        return master
+
+    # -- decompression ------------------------------------------------------
+
+    def decompress(
+        self,
+        buf,
+        priority: str = "interactive",
+        cache: bool = True,
+    ) -> PoolFuture:
+        """Submit a decode request; the future resolves to the array.
+
+        Hot streams are served from the content-hashed LRU without
+        touching the pool (the returned array is read-only; copy to
+        mutate)."""
+        if not isinstance(buf, np.ndarray):
+            buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+        t0 = time.perf_counter()
+        self.stats.counter("service.requests").inc()
+        self.stats.counter("service.bytes_in").inc(buf.nbytes)
+        key = content_key(buf) if cache else None
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.stats.histogram("service.decompress_latency_s").observe(
+                    time.perf_counter() - t0
+                )
+                self.stats.counter("service.bytes_out").inc(hit.nbytes)
+                return _resolved(hit)
+
+        if _chunked.is_chunked(buf):
+            chunks = _chunked.ChunkedStream.from_bytes(buf)
+            futures = [
+                self.scheduler.submit(
+                    "chunk.decompress", c, priority=priority,
+                    nbytes=int(c.size), batchable=False,
+                )
+                for c in chunks.chunks
+            ]
+            m = chunks.manifest
+
+            def assemble(parts):
+                if m.axis == "flat":
+                    out = np.concatenate([p.reshape(-1) for p in parts])
+                else:
+                    out = np.concatenate(parts, axis=0)
+                return out.reshape(m.shape)
+
+            master = _gather(futures, assemble)
+        else:
+            master = self.scheduler.submit(
+                "chunk.decompress", buf, priority=priority, nbytes=int(buf.size)
+            )
+
+        def account(f: PoolFuture) -> None:
+            self.stats.histogram("service.decompress_latency_s").observe(
+                time.perf_counter() - t0
+            )
+            if f.exception() is None:
+                arr = f.result()
+                self.stats.counter("service.bytes_out").inc(arr.nbytes)
+                if key is not None:
+                    self.cache.put(key, arr)
+
+        master.add_done_callback(account)
+        return master
+
+    # -- lifecycle / reporting ----------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        self.stats.gauge("pool.utilization").set(self.pool.utilization())
+        snap = self.stats.snapshot()
+        snap["cache"] = {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "evictions": self.cache.evictions,
+            "hit_rate": self.cache.hit_rate,
+            "bytes": self.cache.bytes,
+            "entries": len(self.cache),
+        }
+        return snap
+
+    def close(self, cancel_pending: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.shutdown(cancel_pending=cancel_pending)
+        self.pool.shutdown(wait=not cancel_pending)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close(cancel_pending=any(exc))

@@ -1,0 +1,152 @@
+"""Service metrics: counters, gauges, latency histograms, JSON dump.
+
+Every moving part of the service layer (pool, scheduler, cache, facade)
+reports into one :class:`MetricsRegistry` so a single snapshot answers
+"what is the service doing right now": per-request latency distributions,
+queue depth, worker utilization, cache hit rate, and bytes in/out.
+
+The histogram uses fixed log2-spaced buckets (1 us .. ~67 s), the standard
+shape for service latency: cheap to record (one bisect per observation),
+mergeable, and quantile-estimable without keeping samples.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, List, Optional
+
+
+def _bucket_bounds() -> List[float]:
+    # 1us * 2**k for k = 0..26 -> last finite bound ~67s.
+    return [1e-6 * (1 << k) for k in range(27)]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; also tracks the high-water mark."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self):
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+        if v > self.max:
+            self.max = float(v)
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative observations (seconds)."""
+
+    def __init__(self):
+        self.bounds = _bucket_bounds()
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation
+        (clamped to the observed max; 0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                bound = self.bounds[i] if i < len(self.bounds) else self.max
+                return min(bound, self.max)
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
+            "max_s": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named metrics with a JSON-dumpable snapshot."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._t0 = time.perf_counter()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    def observe_latency(self, name: str, started_at: float) -> float:
+        """Record ``now - started_at`` into histogram ``name``; returns it."""
+        dt = time.perf_counter() - started_at
+        self.histogram(name).observe(dt)
+        return dt
+
+    @property
+    def uptime_s(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def snapshot(self) -> Dict[str, dict]:
+        with self._lock:
+            return {
+                "uptime_s": self.uptime_s,
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {
+                    k: {"value": g.value, "max": g.max}
+                    for k, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    k: h.summary() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)

@@ -10,7 +10,6 @@ re-compressed when the software updates.
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 from repro import decompress
 from repro.core import RandomAccessor, verify_stream

@@ -5,8 +5,6 @@ the renderers and the fast experiments so plain `pytest tests/` still
 touches the harness code paths.)
 """
 
-import numpy as np
-import pytest
 
 from repro.harness import experiments as E
 from repro.harness import tables

@@ -1,0 +1,43 @@
+"""serve-bench load generator: report structure and verification."""
+
+import json
+
+from repro.serve.bench import BenchConfig, dump_report, format_report, run_serve_bench
+
+
+def test_report_shape_and_no_errors(tmp_path):
+    cfg = BenchConfig(
+        size_mb=0.4, workers=1, backend="thread", requests=2, clients=1, chunk_mb=0.2
+    )
+    report = run_serve_bench(cfg)
+    assert report["errors"] == []
+    assert report["config"]["workers"] == 1
+    assert report["chunks_per_request"] == 2
+    assert report["wall_s"] > 0
+    assert report["throughput_mbs"] > 0
+    hists = report["stats"]["histograms"]
+    assert hists["service.compress_latency_s"]["count"] == 2
+    assert hists["service.decompress_latency_s"]["count"] == 2
+
+    text = format_report(report)
+    assert "serve-bench:" in text
+    assert "throughput" in text
+    assert "ERRORS" not in text
+
+    path = tmp_path / "report.json"
+    dump_report(report, path)
+    assert json.loads(path.read_text())["config"]["requests"] == 2
+
+
+def test_multiple_clients_share_the_work():
+    report = run_serve_bench(
+        BenchConfig(
+            size_mb=0.2, workers=2, backend="thread", requests=5, clients=2,
+            chunk_mb=1.0, distinct=1,
+        )
+    )
+    assert report["errors"] == []
+    # 5 requests across 2 clients -> both latency histograms saw 5
+    assert report["stats"]["histograms"]["service.compress_latency_s"]["count"] == 5
+    # one distinct field: repeat decodes hit the cache
+    assert report["stats"]["counters"].get("service.requests", 0) == 10

@@ -1,0 +1,89 @@
+"""Decode cache: content addressing, LRU byte-budget eviction."""
+
+import numpy as np
+import pytest
+
+from repro.serve import DecodeCache, content_key
+from repro.serve.stats import MetricsRegistry
+
+
+def _arr(n, fill):
+    return np.full(n, fill, dtype=np.float32)
+
+
+class TestContentKey:
+    def test_identical_bytes_identical_key(self):
+        a = np.arange(100, dtype=np.uint8)
+        assert content_key(a) == content_key(a.copy())
+        assert content_key(a) == content_key(bytes(a))
+
+    def test_one_bit_flip_changes_key(self):
+        a = np.arange(100, dtype=np.uint8)
+        b = a.copy()
+        b[50] ^= 1
+        assert content_key(a) != content_key(b)
+
+
+class TestDecodeCache:
+    def test_miss_then_hit(self):
+        cache = DecodeCache(max_bytes=1 << 20)
+        assert cache.get("k") is None
+        assert cache.put("k", _arr(10, 1.0))
+        hit = cache.get("k")
+        assert np.array_equal(hit, _arr(10, 1.0))
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_cached_arrays_are_read_only(self):
+        cache = DecodeCache(max_bytes=1 << 20)
+        cache.put("k", _arr(10, 1.0))
+        hit = cache.get("k")
+        with pytest.raises(ValueError):
+            hit[0] = 9.0
+
+    def test_lru_eviction_by_byte_budget(self):
+        # budget fits exactly two 400-byte arrays
+        cache = DecodeCache(max_bytes=800)
+        cache.put("a", _arr(100, 1.0))
+        cache.put("b", _arr(100, 2.0))
+        cache.get("a")  # touch a: b becomes least recently used
+        cache.put("c", _arr(100, 3.0))
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.evictions == 1
+        assert cache.bytes <= 800
+
+    def test_oversized_value_rejected(self):
+        cache = DecodeCache(max_bytes=100)
+        assert not cache.put("big", _arr(1000, 1.0))
+        assert len(cache) == 0
+
+    def test_replacing_a_key_reuses_budget(self):
+        cache = DecodeCache(max_bytes=800)
+        cache.put("k", _arr(100, 1.0))
+        cache.put("k", _arr(100, 2.0))
+        assert len(cache) == 1
+        assert cache.bytes == 400
+        assert cache.get("k")[0] == 2.0
+
+    def test_clear(self):
+        cache = DecodeCache(max_bytes=1 << 20)
+        cache.put("k", _arr(10, 1.0))
+        cache.clear()
+        assert len(cache) == 0 and cache.bytes == 0
+        assert cache.get("k") is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DecodeCache(max_bytes=-1)
+
+    def test_publishes_gauges(self):
+        stats = MetricsRegistry()
+        cache = DecodeCache(max_bytes=1 << 20, stats=stats)
+        cache.put("k", _arr(10, 1.0))
+        cache.get("k")
+        snap = stats.snapshot()
+        assert snap["gauges"]["cache.bytes"]["value"] == 40
+        assert snap["gauges"]["cache.entries"]["value"] == 1
+        assert snap["gauges"]["cache.hit_rate"]["value"] == 1.0

@@ -1,0 +1,61 @@
+"""Multi-worker speedup (slow; run with ``pytest -m slow``).
+
+Acceptance: on a host with >= 4 cores, 4 process workers beat 1 worker on
+a >= 64 MiB field.  The same campaign (with honest cpu_count recorded) is
+what ``benchmarks/bench_serve.py`` writes into BENCH_serve.json.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import WorkerPool, compress_chunked
+
+
+def _field(mb: int) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    n = mb * (1 << 20) // 4
+    return np.cumsum(rng.normal(size=n)).astype(np.float32)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason=f"needs >= 4 cores for a meaningful speedup (host has {os.cpu_count()})",
+)
+def test_four_process_workers_beat_one_on_64mib():
+    data = _field(64)
+    chunk_bytes = 8 << 20
+
+    def run(nworkers: int) -> float:
+        with WorkerPool(nworkers=nworkers, backend="process", warmup=True) as pool:
+            pool.wait_ready(120.0)
+            t0 = time.perf_counter()
+            chunked = compress_chunked(
+                data, rel=1e-3, chunk_bytes=chunk_bytes, pool=pool
+            )
+            wall = time.perf_counter() - t0
+            assert chunked.nchunks == 8
+        return wall
+
+    t1 = run(1)
+    t4 = run(4)
+    # loose bound: scheduling noise, fork overhead, and memory bandwidth
+    # keep this far from 4x, but parallelism must show
+    assert t4 < t1, f"4 workers ({t4:.3f}s) not faster than 1 ({t1:.3f}s)"
+
+
+@pytest.mark.slow
+def test_serve_bench_records_speedup_inputs(tmp_path):
+    from repro.serve.bench import BenchConfig, dump_report, run_serve_bench
+
+    report = run_serve_bench(
+        BenchConfig(size_mb=8, workers=2, backend="process", requests=4, clients=2)
+    )
+    assert not report["errors"]
+    assert report["cpu_count"] == os.cpu_count()
+    path = tmp_path / "BENCH_serve.json"
+    dump_report(report, path)
+    assert path.exists()

@@ -1,0 +1,77 @@
+"""Metrics registry: counters, gauges, histograms, JSON snapshot."""
+
+import json
+import time
+
+from repro.serve.stats import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_tracks_high_water_mark(self):
+        g = Gauge()
+        g.set(5)
+        g.set(2)
+        assert g.value == 2 and g.max == 5
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in [0.001, 0.002, 0.004, 0.100]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min_s"] == 0.001
+        assert s["max_s"] == 0.100
+        assert s["mean_s"] == (0.001 + 0.002 + 0.004 + 0.100) / 4
+
+    def test_histogram_quantiles_bracket_observations(self):
+        h = Histogram()
+        for _ in range(99):
+            h.observe(0.001)
+        h.observe(10.0)
+        # p50 stays near the mass, p99+ reaches the straggler's bucket
+        assert h.quantile(0.50) <= 0.002
+        assert h.quantile(0.999) >= 1.0
+        assert h.quantile(0.999) <= h.max
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["count"] == 0
+        assert h.summary()["min_s"] == 0.0
+
+    def test_overflow_bucket(self):
+        h = Histogram()
+        h.observe(1e9)  # beyond the last finite bound
+        assert h.count == 1
+        assert h.quantile(0.5) == 1e9  # clamped to observed max
+
+
+class TestRegistry:
+    def test_names_autovivify_and_persist(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc()
+        assert reg.counter("x").value == 2
+
+    def test_observe_latency(self):
+        reg = MetricsRegistry()
+        dt = reg.observe_latency("lat_s", time.perf_counter() - 0.05)
+        assert dt >= 0.05
+        assert reg.histogram("lat_s").count == 1
+
+    def test_snapshot_is_json_dumpable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(0.01)
+        back = json.loads(reg.to_json())
+        assert back["counters"]["c"] == 1
+        assert back["gauges"]["g"] == {"value": 7.0, "max": 7.0}
+        assert back["histograms"]["h"]["count"] == 1
+        assert back["uptime_s"] >= 0

@@ -112,3 +112,61 @@ class TestArchiveCommands:
         assert main(["extract", str(arch), "einspline", "-o", str(out)]) == 0
         data = read_field(out)
         assert data.size == 48 * 48 * 256
+
+
+class TestChunkedCompress:
+    def test_big_input_routes_through_chunked_engine(self, raw_field, tmp_path, capsys):
+        path, data = raw_field  # 80 KB: above a 0.05 MiB threshold
+        out = tmp_path / "field.csz2"
+        rc = main(["compress", str(path), "1e-3", "--chunk-mb", "0.05", "-o", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "chunked into" in text
+        assert "Pass error check!" in text
+        assert out.exists()
+
+    def test_workers_flag_forces_chunked_path(self, raw_field, tmp_path, capsys):
+        path, data = raw_field
+        out = tmp_path / "field.csz2"
+        rc = main([
+            "compress", str(path), "1e-3",
+            "--workers", "2", "--backend", "thread", "-o", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "2 worker(s), thread backend" in text
+        assert "Pass error check!" in text
+
+    def test_chunked_container_decompresses(self, raw_field, tmp_path, capsys):
+        path, data = raw_field
+        out = tmp_path / "field.csz2"
+        assert main(["compress", str(path), "1e-3", "--chunk-mb", "0.05", "-o", str(out)]) == 0
+        capsys.readouterr()
+        recon_path = tmp_path / "recon.f32"
+        rc = main(["decompress", str(out), "-o", str(recon_path)])
+        assert rc == 0
+        assert "chunked container" in capsys.readouterr().out
+        recon = read_field(recon_path)
+        eb = 1e-3 * (data.max() - data.min())
+        assert np.abs(recon - data).max() <= eb * (1 + 1e-6)
+
+    def test_small_input_stays_single_stream(self, raw_field, tmp_path, capsys):
+        path, data = raw_field  # 80 KB: far below the default 32 MiB
+        out = tmp_path / "field.csz2"
+        assert main(["compress", str(path), "1e-3", "-o", str(out)]) == 0
+        assert "chunked into" not in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_serve_bench_runs_and_reports(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        rc = main([
+            "serve-bench", "--size-mb", "0.2", "--workers", "1",
+            "--requests", "2", "--clients", "1", "--chunk-mb", "0.1",
+            "--json", str(report_path),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "serve-bench:" in text
+        assert "throughput" in text
+        assert report_path.exists()

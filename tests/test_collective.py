@@ -187,3 +187,100 @@ class TestResilientSend:
 
         with pytest.raises(ValueError):
             send_resilient(gradient, PCIE4, policy="hope")
+
+
+class TestResilientEdgeCases:
+    """Boundary fields that must never enter the retry loop incorrectly."""
+
+    def test_empty_field_delivered_without_compression(self):
+        from repro.collective import LossyLink, send_resilient
+
+        # even a hopeless channel cannot corrupt zero bytes: one attempt,
+        # delivered, no corruption events, no degradation
+        link = LossyLink("hopeless", 2.8, loss_rate=1.0)
+        out, rep = send_resilient(np.array([], dtype=np.float32), link, rel=1e-3)
+        assert out.size == 0 and out.dtype == np.float32
+        assert rep.delivered_ok and not rep.degraded
+        assert rep.attempts == 1
+        assert rep.corrupt_events == 0
+        assert rep.compress_s == 0.0 and rep.decompress_s == 0.0
+
+    def test_empty_field_chunked_variant(self):
+        from repro.collective import LossyLink, send_resilient_chunked
+
+        link = LossyLink("hopeless", 2.8, loss_rate=1.0)
+        out, rep = send_resilient_chunked(np.array([], dtype=np.float32), link)
+        assert out.size == 0
+        assert rep.delivered_ok and rep.attempts == 1 and rep.corrupt_events == 0
+
+    def test_single_group_field_group_policy(self, rng):
+        # a field smaller than one checksum group: group-granular
+        # retransmission degenerates to full-stream but must still work
+        from repro.collective import LossyLink, send_resilient
+
+        tiny = np.cumsum(rng.normal(size=100)).astype(np.float32)
+        link = LossyLink("lossy", 2.8, loss_rate=0.5)
+        out, rep = send_resilient(
+            tiny, link, rel=1e-3, policy="group", seed=3, group_blocks=4096
+        )
+        assert rep.delivered_ok
+        if not rep.degraded:
+            assert_error_bounded(tiny, out, 1e-3 * value_range(tiny))
+
+    def test_single_element_field(self):
+        from repro.collective import PCIE4, send_resilient
+
+        one = np.array([3.25], dtype=np.float32)
+        out, rep = send_resilient(one, PCIE4, rel=1e-3)
+        assert rep.delivered_ok and rep.attempts == 1
+        assert out.size == 1
+
+
+class TestResilientChunked:
+    def test_lossless_link_matches_monolithic(self, gradient):
+        from repro.collective import send_resilient, send_resilient_chunked
+
+        mono, _ = send_resilient(gradient, PCIE4, rel=1e-3, group_blocks=64)
+        # chunk_elems small enough to force several chunks
+        out, rep = send_resilient_chunked(
+            gradient, PCIE4, rel=1e-3, group_blocks=64, chunk_elems=16_384
+        )
+        assert rep.delivered_ok and not rep.degraded
+        assert rep.attempts > 1  # one transmission per chunk
+        assert np.array_equal(out, mono)  # group-aligned chunking is exact
+
+    def test_lossy_link_bounded_and_accounted(self, gradient):
+        from repro.collective import LossyLink, send_resilient_chunked
+
+        link = LossyLink("lossy", 2.8, loss_rate=0.4)
+        out, rep = send_resilient_chunked(
+            gradient, link, rel=1e-3, seed=5, group_blocks=64, chunk_elems=16_384
+        )
+        assert rep.delivered_ok
+        if not rep.degraded:
+            assert_error_bounded(gradient, out, 1e-3 * value_range(gradient))
+        assert rep.bytes_on_wire >= rep.retransmitted_bytes
+        assert rep.transfer_s > 0
+
+    def test_pooled_transfer_identical_and_faster_codec(self, gradient):
+        from repro.collective import send_resilient_chunked
+        from repro.serve import WorkerPool
+
+        serial, rs = send_resilient_chunked(
+            gradient, PCIE4, rel=1e-3, group_blocks=64, chunk_elems=16_384
+        )
+        with WorkerPool(nworkers=2, backend="thread", warmup=False) as pool:
+            pooled, rp = send_resilient_chunked(
+                gradient, PCIE4, rel=1e-3, group_blocks=64,
+                chunk_elems=16_384, pool=pool,
+            )
+        assert np.array_equal(serial, pooled)
+        # simulated codec time scales down with the worker count
+        assert rp.compress_s == pytest.approx(rs.compress_s / 2)
+        assert rp.decompress_s == pytest.approx(rs.decompress_s / 2)
+
+    def test_rejects_unknown_policy(self, gradient):
+        from repro.collective import send_resilient_chunked
+
+        with pytest.raises(ValueError):
+            send_resilient_chunked(gradient, PCIE4, policy="hope")

@@ -7,7 +7,6 @@ import pytest
 
 from repro import (
     DatasetArchive,
-    RandomAccessor,
     TileAccessor,
     compress,
     decompress,
