@@ -1,0 +1,115 @@
+"""E-TRACE: cost of the instrumentation layer (engineering benchmark).
+
+The ``repro.obs`` guard promises *zero cost when disabled*: every
+``maybe_span`` call site reduces to one thread-local read plus a shared
+no-op context manager.  This bench measures that promise on a Miranda
+field: the same compress+decompress round trip with
+
+* ``baseline`` -- ``maybe_span`` monkeypatched to a true no-op (as if the
+  code had never been instrumented),
+* ``disabled`` -- the real guard, no tracer active (the shipping default),
+* ``enabled``  -- a live tracer recording every span (for context; this
+  one is allowed to cost something).
+
+Asserts the disabled guard adds <3% over the uninstrumented baseline
+(min-of-N timing) and records all three into
+``benchmarks/results/BENCH_trace.json``.
+
+Run with::
+
+    pytest benchmarks/bench_trace_overhead.py --benchmark-only
+"""
+
+import json
+import time
+from contextlib import nullcontext
+from pathlib import Path
+
+from repro.core import compress, decompress
+from repro.datasets import get_dataset
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Tracer, activate, deactivate
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+REPEATS = 7
+MAX_DISABLED_OVERHEAD = 1.03
+
+_NULL = nullcontext()
+
+
+def _noop_maybe_span(name, **attrs):
+    return _NULL
+
+
+def _round_trip(data):
+    blob = compress(data, rel=1e-3)
+    recon = decompress(blob)
+    return blob, recon
+
+
+def _min_time(data) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        _round_trip(data)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_tracing_overhead(benchmark, results_dir):
+    data = get_dataset("Miranda").fields[0].generate("float32")
+
+    # baseline: rip the instrumentation out entirely
+    real = obs_trace.maybe_span
+    obs_trace.maybe_span = _noop_maybe_span
+    try:
+        _round_trip(data)  # warm caches before any timing
+        baseline_s = _min_time(data)
+    finally:
+        obs_trace.maybe_span = real
+
+    disabled_s = benchmark.pedantic(
+        lambda: _min_time(data), rounds=1, iterations=1
+    )
+
+    tracer = Tracer()
+    activate(tracer)
+    try:
+        enabled_s = _min_time(data)
+        nspans = sum(1 for _ in _walk(tracer.roots()))
+    finally:
+        deactivate()
+
+    ratio = disabled_s / baseline_s if baseline_s else float("inf")
+    doc = {
+        "field": "Miranda/density",
+        "field_mb": round(data.nbytes / 1e6, 3),
+        "repeats_min_of": REPEATS,
+        "baseline_uninstrumented_s": round(baseline_s, 6),
+        "disabled_guard_s": round(disabled_s, 6),
+        "enabled_tracing_s": round(enabled_s, 6),
+        "disabled_over_baseline": round(ratio, 4),
+        "enabled_over_baseline": round(enabled_s / baseline_s, 4),
+        "spans_per_enabled_run": nspans // REPEATS,
+        "budget": MAX_DISABLED_OVERHEAD,
+        "note": (
+            "disabled_over_baseline is the cost of shipping the maybe_span "
+            "call sites with no tracer active; the acceptance budget is <3%."
+        ),
+    }
+    (results_dir / "BENCH_trace.json").write_text(json.dumps(doc, indent=2) + "\n")
+    print("\n" + json.dumps(doc, indent=2))
+
+    assert ratio < MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing guard costs {100 * (ratio - 1):.2f}% "
+        f"(budget {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}%)"
+    )
+
+
+def _walk(roots):
+    stack = list(roots)
+    while stack:
+        s = stack.pop()
+        yield s
+        stack.extend(s.children)

@@ -195,6 +195,77 @@ def cmd_serve_bench(args) -> int:
     return 1 if report["errors"] else 0
 
 
+def cmd_trace(args) -> int:
+    """Trace one compress + decompress round trip through the service and
+    print the per-stage breakdown (paper Fig. 12's kernel-cost split,
+    measured on the functional codec)."""
+    from .metrics import check_error_bound
+    from .obs import Tracer, activate, deactivate, folded, spans_to_json, summarize
+    from .obs.export import prometheus_text
+    from .serve.service import CompressionService
+
+    if args.input:
+        data = _load_raw(args.input, _parse_dims(args.dims))
+    else:
+        rng = np.random.default_rng(args.seed)
+        n = max(int(args.size_mb * (1 << 20)) // 4, 1)
+        data = np.cumsum(rng.standard_normal(n)).astype(np.float32)
+
+    mode = {"p": "plain", "o": "outlier"}.get(args.mode, args.mode)
+    bound = {"abs" if args.absolute else "rel": args.error_bound}
+    tracer = Tracer()
+    activate(tracer)  # capture caller-thread spans (cache) too
+    try:
+        with CompressionService(
+            workers=args.workers,
+            backend=args.backend,
+            mode=mode,
+            chunk_bytes=int(args.chunk_mb * (1 << 20)),
+            tracer=tracer,
+        ) as svc:
+            svc.pool.wait_ready()
+            t0 = time.perf_counter()
+            stream = svc.compress(data, **bound).result()
+            recon = svc.decompress(stream).result()
+            wall = time.perf_counter() - t0
+    finally:
+        deactivate()
+
+    roots = tracer.roots()
+    table, cov = summarize(roots, wall)
+    print(
+        f"traced compress+decompress of {data.nbytes / 1e6:.1f} MB "
+        f"({args.workers} worker(s), {args.backend} backend), "
+        f"wall {wall * 1e3:.1f} ms"
+    )
+    print()
+    print(table)
+    print()
+    print(f"trace coverage: {cov * 100:.1f}% of wall time inside spans")
+    print(f"compression ratio: {data.nbytes / stream.size:.3f}")
+
+    if args.json:
+        Path(args.json).write_text(spans_to_json(roots))
+        print(f"(span trees written to {args.json})")
+    if args.folded:
+        Path(args.folded).write_text(folded(roots))
+        print(f"(folded stacks written to {args.folded}; feed to flamegraph.pl)")
+    if args.metrics:
+        Path(args.metrics).write_text(prometheus_text(svc.stats))
+        print(f"(metrics exposition written to {args.metrics})")
+
+    eb_abs = (
+        args.error_bound
+        if args.absolute
+        else args.error_bound * float(np.ptp(data) or max(abs(float(data.max())), 1.0))
+    )
+    if check_error_bound(data.reshape(-1), recon.reshape(-1), eb_abs):
+        print("Pass error check!")
+        return 0
+    print("ERROR CHECK FAILED")
+    return 1
+
+
 def cmd_faultcheck(args) -> int:
     from .faults import run_faultcheck
 
@@ -381,6 +452,30 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--field", help="field name within --dataset (default: first)")
     sb.add_argument("--json", help="also dump the full JSON report to this path")
     sb.set_defaults(fn=cmd_serve_bench)
+
+    tr = sub.add_parser(
+        "trace",
+        help="trace a compress+decompress round trip; print the stage breakdown",
+    )
+    tr.add_argument(
+        "input", nargs="?",
+        help="raw field file (.f32/.f64); omit for a synthetic random walk",
+    )
+    tr.add_argument("--size-mb", type=float, default=4.0,
+                    help="synthetic field size when no input file (default 4 MB)")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--dims", help="logical dims for a raw input file")
+    tr.add_argument("--error-bound", type=float, default=1e-3,
+                    help="REL bound (ABS with --absolute), default 1e-3")
+    tr.add_argument("--absolute", action="store_true")
+    tr.add_argument("--mode", default="outlier", choices=["plain", "outlier", "p", "o"])
+    tr.add_argument("--workers", type=int, default=2)
+    tr.add_argument("--backend", default="thread", choices=["thread", "process"])
+    tr.add_argument("--chunk-mb", type=float, default=4.0)
+    tr.add_argument("--json", help="write the span trees as JSON to this path")
+    tr.add_argument("--folded", help="write flamegraph folded stacks to this path")
+    tr.add_argument("--metrics", help="write Prometheus-style metrics text to this path")
+    tr.set_defaults(fn=cmd_trace)
 
     fc = sub.add_parser("faultcheck", help="fault-injection campaign: every fault detected?")
     fc.add_argument("--trials", type=int, default=25, help="trials per injector x workload")

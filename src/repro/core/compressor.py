@@ -32,6 +32,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+
 from . import fle, predictor, stream
 from .errors import InvalidInputError
 from .quantize import ErrorBound, dequantize, quantize, validate_input
@@ -132,29 +134,39 @@ class CuSZp2:
 
     def compress(self, data: np.ndarray) -> np.ndarray:
         cfg = self.config
-        dims, orig_ndim = _resolve_dims(np.asarray(data), cfg)
-        flat = validate_input(np.asarray(data))
-        eb_abs = self.error_bound.resolve(flat)
-        q = quantize(flat, eb_abs)
+        data = np.asarray(data)
+        with obs_trace.maybe_span(
+            "codec.compress", bytes_in=int(data.nbytes), mode=cfg.mode,
+        ) as sp:
+            dims, orig_ndim = _resolve_dims(data, cfg)
+            with obs_trace.maybe_span("codec.quantize"):
+                flat = validate_input(data)
+                eb_abs = self.error_bound.resolve(flat)
+                q = quantize(flat, eb_abs)
 
-        use_outlier = cfg.mode == "outlier"
-        if cfg.predictor_ndim == 1:
-            offsets, payload = self._encode_1d_chunked(q, cfg, use_outlier)
-        else:
-            dblocks = predictor.forward(q, dims, cfg.predictor_ndim, cfg.block)
-            offsets, payload = fle.encode_blocks(dblocks, use_outlier)
+            use_outlier = cfg.mode == "outlier"
+            if cfg.predictor_ndim == 1:
+                offsets, payload = self._encode_1d_chunked(q, cfg, use_outlier)
+            else:
+                with obs_trace.maybe_span("codec.predict"):
+                    dblocks = predictor.forward(q, dims, cfg.predictor_ndim, cfg.block)
+                with obs_trace.maybe_span("codec.fle"):
+                    offsets, payload = fle.encode_blocks(dblocks, use_outlier)
 
-        header = stream.StreamHeader(
-            mode=MODES[cfg.mode],
-            dtype=np.dtype(data.dtype),
-            predictor_ndim=cfg.predictor_ndim,
-            block=cfg.block,
-            nelems=flat.size,
-            eb_abs=eb_abs,
-            dims=dims,
-        )
-        buf = stream.assemble(header, offsets, payload, group_blocks=cfg.group_blocks)
-        return self._stamp_orig_ndim(buf, orig_ndim)
+            header = stream.StreamHeader(
+                mode=MODES[cfg.mode],
+                dtype=np.dtype(data.dtype),
+                predictor_ndim=cfg.predictor_ndim,
+                block=cfg.block,
+                nelems=flat.size,
+                eb_abs=eb_abs,
+                dims=dims,
+            )
+            buf = stream.assemble(header, offsets, payload, group_blocks=cfg.group_blocks)
+            buf = self._stamp_orig_ndim(buf, orig_ndim)
+            if sp is not None:
+                sp.set(bytes_out=int(buf.size))
+            return buf
 
     @staticmethod
     def _stamp_orig_ndim(buf: np.ndarray, orig_ndim: int) -> np.ndarray:
@@ -170,12 +182,16 @@ class CuSZp2:
         return int(np.frombuffer(buf[10:12].tobytes(), dtype=np.uint16)[0])
 
     def _encode_1d_chunked(self, q: np.ndarray, cfg: CompressorConfig, use_outlier: bool):
-        qblocks = predictor.blockize_1d(q, cfg.block)
+        with obs_trace.maybe_span("codec.predict"):
+            qblocks = predictor.blockize_1d(q, cfg.block)
         nblocks = qblocks.shape[0]
         offset_parts, payload_parts = [], []
         for lo in range(0, nblocks, cfg.chunk_blocks):
             chunk = qblocks[lo : lo + cfg.chunk_blocks]
-            offs, pay = fle.encode_blocks(predictor.diff_1d(chunk), use_outlier)
+            with obs_trace.maybe_span("codec.predict"):
+                dblocks = predictor.diff_1d(chunk)
+            with obs_trace.maybe_span("codec.fle"):
+                offs, pay = fle.encode_blocks(dblocks, use_outlier)
             offset_parts.append(offs)
             payload_parts.append(pay)
         return np.concatenate(offset_parts), np.concatenate(payload_parts)
@@ -247,50 +263,62 @@ def decompress(
         )
     if not isinstance(buf, np.ndarray):
         buf = np.frombuffer(bytes(buf), dtype=np.uint8)
-    if integrity != "skip":
-        from .errors import IntegrityError
-        from .integrity import recover as _recover
-        from .integrity import verify as _verify
+    with obs_trace.maybe_span("codec.decompress", bytes_in=int(buf.size)) as root:
+        if integrity != "skip":
+            from .errors import IntegrityError
+            from .integrity import recover as _recover
+            from .integrity import verify as _verify
 
-        report = _verify(buf)
-        if integrity == "verify" and not report.has_checksums:
-            raise IntegrityError(
-                "integrity='verify' but the stream is format v1 and carries "
-                "no checksums",
-                report,
-            )
-        if not report.ok:
-            if on_corruption == "recover":
-                out, _ = _recover(buf, fill_value=fill_value)
-                return out
-            raise IntegrityError(report.summary(), report)
-    header, offsets, payload = stream.split(buf)
-    orig_ndim = CuSZp2._read_orig_ndim(buf)
+            with obs_trace.maybe_span("codec.verify"):
+                report = _verify(buf)
+            if integrity == "verify" and not report.has_checksums:
+                raise IntegrityError(
+                    "integrity='verify' but the stream is format v1 and carries "
+                    "no checksums",
+                    report,
+                )
+            if not report.ok:
+                if on_corruption == "recover":
+                    out, _ = _recover(buf, fill_value=fill_value)
+                    return out
+                raise IntegrityError(report.summary(), report)
+        with obs_trace.maybe_span("codec.split"):
+            header, offsets, payload = stream.split(buf)
+            orig_ndim = CuSZp2._read_orig_ndim(buf)
 
-    sizes = fle.block_payload_sizes(offsets, header.block)
-    bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        with obs_trace.maybe_span("codec.scan"):
+            sizes = fle.block_payload_sizes(offsets, header.block)
+            bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
 
-    if header.predictor_ndim == 1:
-        nblocks = offsets.shape[0]
-        parts = []
-        for lo in range(0, nblocks, chunk_blocks):
-            hi = min(lo + chunk_blocks, nblocks)
-            dblocks = fle.decode_blocks(
-                offsets[lo:hi], payload[bounds[lo] : bounds[hi]], header.block
-            )
-            parts.append(predictor.undiff_1d(dblocks).reshape(-1))
-        q = np.concatenate(parts)[: header.nelems]
-    else:
-        dblocks = fle.decode_blocks(offsets, payload[: bounds[-1]], header.block)
-        q = predictor.inverse(
-            dblocks, header.dims, header.predictor_ndim, header.block, header.nelems
-        )
+        if header.predictor_ndim == 1:
+            nblocks = offsets.shape[0]
+            parts = []
+            for lo in range(0, nblocks, chunk_blocks):
+                hi = min(lo + chunk_blocks, nblocks)
+                with obs_trace.maybe_span("codec.fle_decode"):
+                    dblocks = fle.decode_blocks(
+                        offsets[lo:hi], payload[bounds[lo] : bounds[hi]], header.block
+                    )
+                with obs_trace.maybe_span("codec.undiff"):
+                    parts.append(predictor.undiff_1d(dblocks).reshape(-1))
+            q = np.concatenate(parts)[: header.nelems]
+        else:
+            with obs_trace.maybe_span("codec.fle_decode"):
+                dblocks = fle.decode_blocks(offsets, payload[: bounds[-1]], header.block)
+            with obs_trace.maybe_span("codec.undiff"):
+                q = predictor.inverse(
+                    dblocks, header.dims, header.predictor_ndim, header.block,
+                    header.nelems,
+                )
 
-    out = dequantize(q, header.eb_abs, header.dtype)
-    if orig_ndim == 0:
-        return out
-    shape = header.dims[:orig_ndim] if orig_ndim <= len(header.dims) else header.dims
-    return out.reshape(shape)
+        with obs_trace.maybe_span("codec.dequantize"):
+            out = dequantize(q, header.eb_abs, header.dtype)
+        if root is not None:
+            root.set(bytes_out=int(out.nbytes))
+        if orig_ndim == 0:
+            return out
+        shape = header.dims[:orig_ndim] if orig_ndim <= len(header.dims) else header.dims
+        return out.reshape(shape)
 
 
 def compression_ratio(data: np.ndarray, compressed: np.ndarray) -> float:

@@ -40,6 +40,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+
 from .errors import StreamFormatError
 
 MAGIC = b"CSZ2"
@@ -337,12 +339,15 @@ def assemble(
     offsets = offsets.astype(np.uint8)
     payload = payload.astype(np.uint8)
     if header.version == V1:
-        return np.concatenate([head, offsets, payload])
-    toc = np.frombuffer(
-        build_integrity_section(head, offsets, payload, group_blocks, header.block),
-        dtype=np.uint8,
-    )
-    return np.concatenate([head, toc, offsets, payload])
+        with obs_trace.maybe_span("codec.pack"):
+            return np.concatenate([head, offsets, payload])
+    with obs_trace.maybe_span("codec.scan"):
+        toc = np.frombuffer(
+            build_integrity_section(head, offsets, payload, group_blocks, header.block),
+            dtype=np.uint8,
+        )
+    with obs_trace.maybe_span("codec.pack"):
+        return np.concatenate([head, toc, offsets, payload])
 
 
 def split_ex(

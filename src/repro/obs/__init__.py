@@ -1,0 +1,58 @@
+"""repro.obs -- observability: structured tracing and metric exporters.
+
+The paper's evaluation is built on per-stage cost attribution (Fig. 12's
+kernel split, Fig. 13's scan-state latency, Fig. 16's bandwidth
+utilization).  This package gives the reproduction the same lens over its
+own hot paths:
+
+* :mod:`~repro.obs.trace` -- :class:`Span`/:class:`Tracer` nested span
+  trees; thread-safe, process-aware (pool-worker spans ship back with
+  results and re-parent under the submitting request), and zero-cost when
+  no tracer is active;
+* :mod:`~repro.obs.export` -- JSON span dumps, flamegraph folded stacks,
+  Prometheus text exposition of the serve-layer
+  :class:`~repro.serve.stats.MetricsRegistry`, and the per-stage cost
+  table behind the ``repro trace`` CLI.
+
+See docs/OBSERVABILITY.md for usage and overhead numbers.
+"""
+
+from .export import (
+    coverage,
+    folded,
+    prometheus_text,
+    spans_to_json,
+    stage_rows,
+    stage_table,
+    summarize,
+)
+from .trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    maybe_span,
+    set_thread_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "coverage",
+    "current_tracer",
+    "deactivate",
+    "folded",
+    "maybe_span",
+    "prometheus_text",
+    "set_thread_tracer",
+    "spans_to_json",
+    "stage_rows",
+    "stage_table",
+    "summarize",
+    "tracing",
+]

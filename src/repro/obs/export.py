@@ -1,0 +1,190 @@
+"""Exporters for span trees and the metrics registry.
+
+Three output shapes, each matched to an existing toolchain:
+
+* :func:`spans_to_json` -- the raw span trees as JSON (machine analysis,
+  diffing two runs);
+* :func:`folded` -- flamegraph-ready folded stacks
+  (``root;child;leaf <self-time-us>`` -- pipe into ``flamegraph.pl`` or
+  speedscope);
+* :func:`prometheus_text` -- the ``MetricsRegistry`` in Prometheus text
+  exposition format (counters, gauges, cumulative histogram buckets);
+* :func:`stage_table` -- the human-readable per-stage cost breakdown the
+  ``repro trace`` CLI prints: the reproduction's analogue of the paper's
+  Fig. 12 kernel-cost split.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .trace import Span, Tracer
+
+__all__ = ["folded", "prometheus_text", "spans_to_json", "stage_rows", "stage_table"]
+
+
+def _roots(obj) -> List[Span]:
+    if isinstance(obj, Tracer):
+        return obj.roots()
+    return list(obj)
+
+
+def walk(roots: Iterable[Span]):
+    """Depth-first iteration over every span in a forest."""
+    stack = list(_roots(roots))[::-1]
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(span.children[::-1])
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def spans_to_json(obj, indent: Optional[int] = 2) -> str:
+    """Serialize a tracer's span forest (or a span list) as JSON."""
+    return json.dumps([s.to_dict() for s in _roots(obj)], indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Folded stacks (flamegraph input)
+# ---------------------------------------------------------------------------
+
+def folded(obj) -> str:
+    """Folded-stack lines, one per unique span path, weighted by *self*
+    time in integer microseconds (the flamegraph convention: a frame's
+    total is its own weight plus its descendants')."""
+    agg: Dict[str, int] = {}
+
+    def visit(span: Span, prefix: str) -> None:
+        path = f"{prefix};{span.name}" if prefix else span.name
+        us = int(round(span.self_s() * 1e6))
+        if us > 0:
+            agg[path] = agg.get(path, 0) + us
+        for c in span.children:
+            visit(c, path)
+
+    for root in _roots(obj):
+        visit(root, "")
+    return "\n".join(f"{path} {us}" for path, us in sorted(agg.items()))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{re.sub(r'[^a-zA-Z0-9_]', '_', name)}"
+
+
+def _fmt(v: float) -> str:
+    return repr(float(v))
+
+
+def prometheus_text(registry, prefix: str = "repro") -> str:
+    """Render a :class:`~repro.serve.stats.MetricsRegistry` in Prometheus
+    text exposition format (histograms as cumulative ``_bucket{le=...}``
+    series plus ``_sum``/``_count``)."""
+    counters, gauges, histograms = registry.metrics()
+    lines: List[str] = []
+    for name, c in sorted(counters.items()):
+        n = _prom_name(name, prefix)
+        lines.append(f"# TYPE {n} counter")
+        lines.append(f"{n}_total {_fmt(c.value)}")
+    for name, g in sorted(gauges.items()):
+        n = _prom_name(name, prefix)
+        lines.append(f"# TYPE {n} gauge")
+        lines.append(f"{n} {_fmt(g.value)}")
+        lines.append(f"# TYPE {n}_max gauge")
+        lines.append(f"{n}_max {_fmt(g.max)}")
+    for name, h in sorted(histograms.items()):
+        n = _prom_name(name, prefix)
+        bounds, counts, count, total = h.buckets()
+        lines.append(f"# TYPE {n} histogram")
+        cum = 0
+        for bound, c in zip(bounds, counts):
+            cum += c
+            lines.append(f'{n}_bucket{{le="{_fmt(bound)}"}} {cum}')
+        lines.append(f'{n}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{n}_sum {_fmt(total)}")
+        lines.append(f"{n}_count {count}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Stage breakdown table
+# ---------------------------------------------------------------------------
+
+def stage_rows(obj) -> List[dict]:
+    """Aggregate a span forest by span name.
+
+    Each row: ``name``, ``count``, ``total_s`` (sum of durations),
+    ``self_s`` (sum of durations minus child durations), ``bytes_in``,
+    ``bytes_out`` (summed where present).  Rows are ordered by first
+    appearance in a depth-first walk, which reads as pipeline order.
+    """
+    rows: Dict[str, dict] = {}
+    for span in walk(obj):
+        row = rows.get(span.name)
+        if row is None:
+            row = rows[span.name] = {
+                "name": span.name, "count": 0, "total_s": 0.0, "self_s": 0.0,
+                "bytes_in": 0, "bytes_out": 0,
+            }
+        row["count"] += 1
+        row["total_s"] += span.duration_s
+        row["self_s"] += span.self_s()
+        row["bytes_in"] += int(span.attrs.get("bytes_in", 0))
+        row["bytes_out"] += int(span.attrs.get("bytes_out", 0))
+    return list(rows.values())
+
+
+def coverage(obj, wall_s: float) -> float:
+    """Fraction of ``wall_s`` covered by root-span durations (roots run
+    sequentially in the trace CLI, so this approaches 1.0 when tracing
+    loses nothing to untraced glue)."""
+    if wall_s <= 0:
+        return 0.0
+    return sum(r.duration_s for r in _roots(obj)) / wall_s
+
+
+def stage_table(obj, wall_s: Optional[float] = None) -> str:
+    """Fixed-width stage-cost table over a span forest.
+
+    ``self ms`` is exclusive time (a parent is not charged for its
+    children), so the column sums to the traced wall time up to untraced
+    glue; ``% wall`` uses ``wall_s`` when given, else the root total.
+    """
+    rows = stage_rows(obj)
+    roots = _roots(obj)
+    root_total = sum(r.duration_s for r in roots)
+    denom = wall_s if wall_s else root_total
+    name_w = max([len(r["name"]) for r in rows] + [len("stage")])
+    header = (
+        f"{'stage':<{name_w}}  {'count':>6}  {'total ms':>10}  "
+        f"{'self ms':>10}  {'% wall':>7}  {'MB in':>8}  {'MB out':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        pct = 100.0 * r["self_s"] / denom if denom else 0.0
+        lines.append(
+            f"{r['name']:<{name_w}}  {r['count']:>6}  {r['total_s'] * 1e3:>10.3f}  "
+            f"{r['self_s'] * 1e3:>10.3f}  {pct:>7.2f}  "
+            f"{r['bytes_in'] / 1e6:>8.2f}  {r['bytes_out'] / 1e6:>8.2f}"
+        )
+    if wall_s:
+        gap = max(wall_s - sum(r["self_s"] for r in rows), 0.0)
+        lines.append(
+            f"{'(untraced)':<{name_w}}  {'':>6}  {'':>10}  "
+            f"{gap * 1e3:>10.3f}  {100.0 * gap / denom if denom else 0.0:>7.2f}  "
+            f"{'':>8}  {'':>8}"
+        )
+    return "\n".join(lines)
+
+
+def summarize(obj, wall_s: float) -> Tuple[str, float]:
+    """The stage table plus its root-span coverage of ``wall_s``."""
+    return stage_table(obj, wall_s), coverage(obj, wall_s)

@@ -1,0 +1,368 @@
+"""Structured tracing: nested span trees over the codec and service layers.
+
+The paper's headline claims are *throughput* numbers -- per-kernel cost
+splits (Fig. 12), memory-bandwidth utilization (Fig. 16), scan-state
+latency (Fig. 13).  This module is the reproduction's instrument for the
+same questions: a :class:`Span` records one timed region (wall time,
+bytes in/out, arbitrary attributes), a :class:`Tracer` collects spans
+into trees, and the hot paths (codec stages, chunk tasks, pool workers,
+scheduler, cache, service facade) open spans through the
+zero-cost-when-disabled :func:`maybe_span` guard.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  No tracer active means every
+   instrumentation point reduces to one thread-local read plus a shared
+   no-op context manager -- no allocation of ``Span`` objects, no locks.
+2. **Thread safety.**  Span *nesting* is tracked per thread (each thread
+   has its own current-span stack inside a tracer), while the span trees
+   themselves are guarded by one tracer lock, so concurrent service
+   threads can record into a single tracer.
+3. **Process awareness.**  A worker process cannot share a tracer object,
+   so the pool protocol ships finished span trees back as plain dicts
+   (:meth:`Span.to_dict`) with the task result and the submitting side
+   re-parents them under the request's span (:meth:`Tracer.adopt`).
+   Span timestamps are ``perf_counter`` values and therefore only
+   comparable within one process; *durations* are always valid, which is
+   all the exporters use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from contextlib import contextmanager, nullcontext
+from typing import Any, Dict, List, NamedTuple, Optional, Union
+from time import perf_counter
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceContext",
+    "activate",
+    "current_tracer",
+    "deactivate",
+    "maybe_span",
+    "set_thread_tracer",
+    "tracing",
+]
+
+_ids = itertools.count(1)
+
+
+def _new_id() -> str:
+    # pid-qualified so ids never collide across pool processes
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+class Span:
+    """One timed region: name, wall-time, attributes, child spans."""
+
+    __slots__ = ("span_id", "name", "parent_id", "t0", "t1", "pid", "thread",
+                 "attrs", "children")
+
+    def __init__(self, name: str, span_id: Optional[str] = None,
+                 parent_id: Optional[str] = None, **attrs):
+        self.name = name
+        self.span_id = span_id if span_id is not None else _new_id()
+        self.parent_id = parent_id
+        self.t0 = perf_counter()
+        self.t1: Optional[float] = None
+        self.pid = os.getpid()
+        self.thread = threading.current_thread().name
+        self.attrs: Dict[str, Any] = dict(attrs)
+        self.children: List["Span"] = []
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        return (self.t1 if self.t1 is not None else perf_counter()) - self.t0
+
+    @property
+    def done(self) -> bool:
+        return self.t1 is not None
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (bytes_in/bytes_out by convention)."""
+        self.attrs.update(attrs)
+        return self
+
+    def self_s(self) -> float:
+        """Duration minus children's durations (clamped at 0: children
+        that ran in parallel workers can overlap and exceed the parent)."""
+        return max(self.duration_s - sum(c.duration_s for c in self.children), 0.0)
+
+    # -- serialization (crosses the process boundary) ------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t0": self.t0,
+            "t1": self.t1,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        span = cls.__new__(cls)
+        span.name = d["name"]
+        span.span_id = d["span_id"]
+        span.parent_id = d.get("parent_id")
+        span.t0 = d["t0"]
+        span.t1 = d["t1"] if d["t1"] is not None else d["t0"] + d["duration_s"]
+        span.pid = d.get("pid", 0)
+        span.thread = d.get("thread", "?")
+        span.attrs = dict(d.get("attrs", {}))
+        span.children = [cls.from_dict(c) for c in d.get("children", [])]
+        return span
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = f"{self.duration_s * 1e3:.3f}ms" if self.done else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class Tracer:
+    """Thread-safe collector of span trees.
+
+    Two usage styles compose:
+
+    * **implicit nesting** (same thread)::
+
+          with tracer.span("compress") as sp:
+              with tracer.span("quantize"):
+                  ...
+
+    * **explicit parents** (across threads / callbacks)::
+
+          root = tracer.begin("service.compress", bytes_in=n)
+          ...                      # later, possibly on another thread
+          tracer.end(root, bytes_out=m)
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+        self._index: Dict[str, Span] = {}
+        self._tls = threading.local()
+
+    # -- thread-local current-span stack -------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """This thread's innermost open span (None outside any span)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def _resolve(self, parent: Union[None, str, Span]) -> Optional[Span]:
+        if parent is None or isinstance(parent, Span):
+            return parent
+        return self._index.get(parent)
+
+    def begin(self, name: str, parent: Union[None, str, Span] = None,
+              **attrs) -> Span:
+        """Open a span.  ``parent`` may be a Span, a span id, or None
+        (None nests under this thread's current span, else a new root)."""
+        span = Span(name, **attrs)
+        with self._lock:
+            p = self._resolve(parent)
+            if p is None:
+                p = self.current()
+            if p is not None:
+                span.parent_id = p.span_id
+                p.children.append(span)
+            else:
+                self._roots.append(span)
+            self._index[span.span_id] = span
+        return span
+
+    def end(self, span: Span, **attrs) -> Span:
+        if attrs:
+            span.attrs.update(attrs)
+        if span.t1 is None:
+            span.t1 = perf_counter()
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent: Union[None, str, Span] = None, **attrs):
+        """Context manager: open a span, make it this thread's current,
+        close it on exit."""
+        sp = self.begin(name, parent=parent, **attrs)
+        stack = self._stack()
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            stack.pop()
+            self.end(sp)
+
+    @contextmanager
+    def attach(self, span: Span):
+        """Make an *existing* span this thread's current span without
+        closing it on exit -- how async completions (callbacks running on
+        pool/manager threads) parent their work under a request span."""
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+
+    def record(self, name: str, t0: float, t1: float,
+               parent: Union[None, str, Span] = None, **attrs) -> Span:
+        """Insert an already-finished interval (e.g. queue wait measured
+        from enqueue/dispatch timestamps)."""
+        span = self.begin(name, parent=parent, **attrs)
+        span.t0 = t0
+        span.t1 = t1
+        return span
+
+    # -- cross-process adoption ----------------------------------------------
+
+    def adopt(self, parent: Union[None, str, Span],
+              span_dicts: List[dict]) -> List[Span]:
+        """Attach span trees serialized by a worker (thread or process)
+        under ``parent`` (or as roots).  Worker-side timestamps keep their
+        own clock base; only durations are meaningful afterwards."""
+        spans = [Span.from_dict(d) for d in span_dicts]
+        with self._lock:
+            p = self._resolve(parent)
+            for span in spans:
+                if p is not None:
+                    span.parent_id = p.span_id
+                    p.children.append(span)
+                else:
+                    span.parent_id = None
+                    self._roots.append(span)
+                self._register_tree(span)
+        return spans
+
+    def _register_tree(self, span: Span) -> None:
+        self._index[span.span_id] = span
+        for c in span.children:
+            self._register_tree(c)
+
+    # -- inspection ----------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with ``name``, depth-first across every tree."""
+        out = []
+
+        def walk(span):
+            if span.name == name:
+                out.append(span)
+            for c in span.children:
+                walk(c)
+
+        for r in self.roots():
+            walk(r)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._index.clear()
+
+
+class TraceContext(NamedTuple):
+    """What a submission carries down the service stack: which tracer to
+    adopt worker spans into, and which span to parent them under
+    (``span=None`` adopts at the root)."""
+
+    tracer: Tracer
+    span: Optional[Span]
+
+
+# ---------------------------------------------------------------------------
+# The zero-cost-when-disabled guard
+# ---------------------------------------------------------------------------
+
+#: Sentinel a pool worker installs so ambient (global) tracing never leaks
+#: stray spans into a worker thread -- worker spans are only collected via
+#: the explicit ship-back protocol.
+DISABLED = object()
+
+_global_tracer: Optional[Tracer] = None
+_tls = threading.local()
+_NULL = nullcontext()
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide ambient tracer; every
+    :func:`maybe_span` instrumentation point starts recording into it."""
+    global _global_tracer
+    _global_tracer = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    global _global_tracer
+    _global_tracer = None
+
+
+def set_thread_tracer(tracer) -> Any:
+    """Override the ambient tracer for *this thread only* (a fresh tracer
+    per traced pool task, or :data:`DISABLED` to suppress tracing).
+    Returns the previous override for restoration."""
+    prev = getattr(_tls, "tracer", None)
+    _tls.tracer = tracer
+    return prev
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer instrumentation points record into: this thread's
+    override if set (:data:`DISABLED` -> None), else the global one."""
+    tr = getattr(_tls, "tracer", None)
+    if tr is None:
+        return _global_tracer
+    if tr is DISABLED:
+        return None
+    return tr
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None):
+    """``with tracing() as tracer:`` -- activate (a fresh) tracer for the
+    block, deactivate after."""
+    tracer = tracer if tracer is not None else Tracer()
+    prev = _global_tracer
+    activate(tracer)
+    try:
+        yield tracer
+    finally:
+        if prev is None:
+            deactivate()
+        else:
+            activate(prev)
+
+
+def maybe_span(name: str, **attrs):
+    """A span context if a tracer is active, else a shared no-op context.
+
+    This is the only call hot paths make; when no tracer is active it
+    performs one thread-local read and returns a singleton
+    ``nullcontext`` (which yields None, so ``with maybe_span(...) as sp:``
+    callers guard attribute updates with ``if sp is not None``).
+    """
+    tr = current_tracer()
+    if tr is None:
+        return _NULL
+    return tr.span(name, **attrs)

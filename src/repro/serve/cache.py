@@ -6,6 +6,11 @@ re-running the codec.  The key is a digest of the *compressed bytes*, so
 identical streams hit regardless of where they came from, and a stream
 that changes by one bit misses -- content addressing gives correctness for
 free.  Eviction is by decoded-byte budget, least recently used first.
+
+The cache is shared across request threads, so every read of the internal
+state (entry map, byte total, hit/miss counts) happens under the same lock
+as the mutations -- including the dunder accessors, which are exactly the
+calls monitoring code makes while pool threads are mid-``put``.
 """
 
 from __future__ import annotations
@@ -17,13 +22,24 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+
 from .stats import MetricsRegistry
 
 
 def content_key(buf) -> str:
-    """Digest of a compressed stream's bytes (the cache key)."""
+    """Digest of a compressed stream's bytes (the cache key).
+
+    Arrays are hashed over their raw underlying bytes whatever the dtype
+    (a float stream chunk and its uint8 view hash identically); they are
+    never value-cast, which would collapse distinct buffers onto one key.
+    """
     if isinstance(buf, np.ndarray):
-        buf = np.ascontiguousarray(buf, dtype=np.uint8)
+        if buf.dtype.hasobject:
+            raise TypeError(
+                f"cannot content-hash an object-dtype array (dtype {buf.dtype})"
+            )
+        buf = np.ascontiguousarray(buf)
     return hashlib.sha1(buf).hexdigest()
 
 
@@ -45,22 +61,25 @@ class DecodeCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
         self._stats = stats
 
     # -- core ---------------------------------------------------------------
 
     def get(self, key: str) -> Optional[np.ndarray]:
-        with self._lock:
-            arr = self._entries.get(key)
-            if arr is None:
-                self.misses += 1
-            else:
-                self._entries.move_to_end(key)
-                self.hits += 1
-            self._publish()
+        with obs_trace.maybe_span("cache.get") as sp:
+            with self._lock:
+                arr = self._entries.get(key)
+                if arr is None:
+                    self._misses += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                self._publish()
+            if sp is not None:
+                sp.set(hit=arr is not None)
             return arr
 
     def put(self, key: str, arr: np.ndarray) -> bool:
@@ -72,18 +91,21 @@ class DecodeCache:
             return False
         view = arr.view()
         view.flags.writeable = False
-        with self._lock:
-            old = self._entries.pop(key, None)
-            if old is not None:
-                self._bytes -= old.nbytes
-            self._entries[key] = view
-            self._bytes += view.nbytes
-            while self._bytes > self.max_bytes:
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
-                self.evictions += 1
-            self._publish()
-            return True
+        with obs_trace.maybe_span("cache.put", bytes_in=int(view.nbytes)):
+            with self._lock:
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self._bytes -= old.nbytes
+                self._entries[key] = view
+                self._bytes += view.nbytes
+                evicted = 0
+                while self._bytes > self.max_bytes:
+                    _, victim = self._entries.popitem(last=False)
+                    self._bytes -= victim.nbytes
+                    evicted += 1
+                self._evictions += evicted
+                self._publish(evicted)
+                return True
 
     def clear(self) -> None:
         with self._lock:
@@ -94,24 +116,49 @@ class DecodeCache:
     # -- accounting ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def bytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            return self._hit_rate()
 
-    def _publish(self) -> None:
+    def _hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def _publish(self, evicted: int = 0) -> None:
+        # called under self._lock; the registry's metrics have their own
+        # locks and never call back into the cache, so ordering is safe
         if self._stats is None:
             return
         self._stats.gauge("cache.bytes").set(self._bytes)
         self._stats.gauge("cache.entries").set(len(self._entries))
-        self._stats.gauge("cache.hit_rate").set(self.hit_rate)
-        self._stats.counter("cache.evictions").value = float(self.evictions)
+        self._stats.gauge("cache.hit_rate").set(self._hit_rate())
+        if evicted:
+            self._stats.counter("cache.evictions").inc(evicted)

@@ -38,6 +38,7 @@ from repro.core.compressor import DEFAULT_BLOCK, MODES, compress as _compress
 from repro.core.compressor import decompress as _decompress
 from repro.core.errors import InvalidInputError, StreamFormatError
 from repro.core.quantize import ErrorBound, validate_input
+from repro.obs import trace as obs_trace
 
 from .pool import register_task
 
@@ -262,20 +263,30 @@ def is_chunked(buf) -> bool:
 @register_task("chunk.compress")
 def compress_chunk(arg: dict) -> np.ndarray:
     """Compress one chunk under an already-resolved ABS bound."""
-    return _compress(
-        arg["data"],
-        abs=arg["eb_abs"],
-        mode=arg.get("mode", "outlier"),
-        block=arg.get("block", DEFAULT_BLOCK),
-        predictor_ndim=arg.get("predictor_ndim", 1),
-        group_blocks=arg.get("group_blocks", _stream.DEFAULT_GROUP_BLOCKS),
-    )
+    data = arg["data"]
+    with obs_trace.maybe_span("chunk.compress", bytes_in=int(data.nbytes)) as sp:
+        out = _compress(
+            data,
+            abs=arg["eb_abs"],
+            mode=arg.get("mode", "outlier"),
+            block=arg.get("block", DEFAULT_BLOCK),
+            predictor_ndim=arg.get("predictor_ndim", 1),
+            group_blocks=arg.get("group_blocks", _stream.DEFAULT_GROUP_BLOCKS),
+        )
+        if sp is not None:
+            sp.set(bytes_out=int(out.size))
+        return out
 
 
 @register_task("chunk.decompress")
 def decompress_chunk(arg) -> np.ndarray:
     """Decompress one self-contained chunk stream."""
-    return _decompress(arg)
+    nbytes = int(arg.size) if isinstance(arg, np.ndarray) else len(arg)
+    with obs_trace.maybe_span("chunk.decompress", bytes_in=nbytes) as sp:
+        out = _decompress(arg)
+        if sp is not None:
+            sp.set(bytes_out=int(out.nbytes))
+        return out
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,9 @@ import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceContext, Tracer
+
 from .stats import MetricsRegistry
 
 
@@ -206,35 +209,67 @@ class PoolFuture:
 _STOP = None  # input-queue sentinel
 
 
+def _run_traced(name: str, arg: Any, wid: int, backend: str, spans_out: list):
+    """Run one task under a fresh per-task tracer, filling ``spans_out``
+    with the finished span trees (as dicts) even when the task raises.
+    The fresh tracer is installed as this thread's override so
+    codec-stage ``maybe_span`` calls inside the task record into it (and
+    never bleed into an ambient tracer shared with other worker
+    threads); the trees ship back with the result for re-parenting under
+    the submitting span."""
+    tracer = Tracer()
+    prev = obs_trace.set_thread_tracer(tracer)
+    try:
+        with tracer.span(
+            f"pool.task.{name}", task=name, worker=wid, pid=os.getpid(),
+            backend=backend,
+        ):
+            return _run_task(name, arg)
+    finally:
+        obs_trace.set_thread_tracer(prev)
+        spans_out.extend(s.to_dict() for s in tracer.roots())
+
+
 def _worker_loop(wid: int, inq, outq, warmup: bool, process: bool) -> None:
+    # Suppress ambient tracing in this thread: worker spans are only
+    # collected through the explicit per-task ship-back protocol.
+    obs_trace.set_thread_tracer(obs_trace.DISABLED)
     if warmup:
         try:
             _warmup_codec()
         except Exception:  # noqa: BLE001 - warmup is best-effort priming
             pass
-    outq.put(("ready", wid, None, None, 0.0))
+    outq.put(("ready", wid, None, None, 0.0, None))
+    backend = "process" if process else "thread"
     while True:
         msg = inq.get()
         if msg is _STOP:
-            outq.put(("stopped", wid, None, None, 0.0))
+            outq.put(("stopped", wid, None, None, 0.0, None))
             return
-        task_id, name, arg = msg
+        task_id, name, arg, want_trace = msg
         t0 = time.perf_counter()
+        spans_buf: list = []
+        spans = None
         try:
-            value = _run_task(name, arg)
+            if want_trace:
+                value = _run_traced(name, arg, wid, backend, spans_buf)
+                spans = spans_buf
+            else:
+                value = _run_task(name, arg)
         except WorkerCrash as e:
             if process:
                 os._exit(17)  # a real death: no goodbye message
-            outq.put(("crashed", wid, task_id, repr(e), time.perf_counter() - t0))
+            outq.put(("crashed", wid, task_id, repr(e), time.perf_counter() - t0, None))
             return
         except BaseException as e:  # noqa: BLE001 - delivered via the future
             dur = time.perf_counter() - t0
+            spans = spans_buf or None
             try:
-                outq.put(("done", wid, task_id, (False, e), dur))
+                outq.put(("done", wid, task_id, (False, e), dur, spans))
             except Exception:  # unpicklable exception: degrade to TaskError
-                outq.put(("done", wid, task_id, (False, TaskError(repr(e))), dur))
+                outq.put(("done", wid, task_id, (False, TaskError(repr(e))), dur, spans))
         else:
-            outq.put(("done", wid, task_id, (True, value), time.perf_counter() - t0))
+            outq.put(("done", wid, task_id, (True, value), time.perf_counter() - t0, spans))
 
 
 def _process_worker_main(wid: int, inq, outq, warmup: bool) -> None:
@@ -319,14 +354,15 @@ def make_backend(backend) -> object:
 # ---------------------------------------------------------------------------
 
 class _Task:
-    __slots__ = ("task_id", "name", "arg", "future", "retries")
+    __slots__ = ("task_id", "name", "arg", "future", "retries", "trace")
 
-    def __init__(self, task_id, name, arg, future):
+    def __init__(self, task_id, name, arg, future, trace=None):
         self.task_id = task_id
         self.name = name
         self.arg = arg
         self.future = future
         self.retries = 0
+        self.trace: Optional[TraceContext] = trace
 
 
 class _WorkerState:
@@ -396,16 +432,31 @@ class WorkerPool:
 
     # -- public -------------------------------------------------------------
 
-    def submit(self, name: str, arg: Any, future: Optional[PoolFuture] = None) -> PoolFuture:
-        """Queue task ``name(arg)``; returns (or completes into) a future."""
+    def submit(
+        self,
+        name: str,
+        arg: Any,
+        future: Optional[PoolFuture] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> PoolFuture:
+        """Queue task ``name(arg)``; returns (or completes into) a future.
+
+        ``trace`` parents the worker's span tree under a specific span of
+        a specific tracer; when omitted and a tracer is ambiently active
+        on the calling thread, the task is traced under that thread's
+        current span."""
         future = future if future is not None else PoolFuture()
+        if trace is None:
+            tr = obs_trace.current_tracer()
+            if tr is not None:
+                trace = TraceContext(tr, tr.current())
         with self._lock:
             if self._closing or self._broken:
                 raise PoolClosed(
                     "pool is broken (worker crash loop)" if self._broken
                     else "pool is shut down"
                 )
-            self._pending.append(_Task(next(self._task_ids), name, arg, future))
+            self._pending.append(_Task(next(self._task_ids), name, arg, future, trace))
             self.stats.counter("pool.tasks").inc()
             self.stats.gauge("pool.queue_depth").set(len(self._pending))
         return future
@@ -491,7 +542,7 @@ class WorkerPool:
                 return
 
     def _handle_message(self, msg) -> None:
-        kind, wid, task_id, payload, dur = msg
+        kind, wid, task_id, payload, dur, spans = msg
         worker = self._workers.get(wid)
         if kind == "ready":
             if worker is not None:
@@ -506,6 +557,14 @@ class WorkerPool:
             return
         worker.inflight = None
         self._busy_s += dur
+        if spans and task.trace is not None:
+            # re-parent the worker's span trees under the submitting span
+            # BEFORE completing the future, so a caller blocked on
+            # result() observes a fully assembled trace
+            try:
+                task.trace.tracer.adopt(task.trace.span, spans)
+            except Exception:  # pragma: no cover - tracing never kills the pool
+                pass
         if kind == "done":
             ok, value = payload
             if ok:
@@ -567,7 +626,7 @@ class WorkerPool:
             if task is None:
                 return
             w.inflight = task
-            w.inq.put((task.task_id, task.name, task.arg))
+            w.inq.put((task.task_id, task.name, task.arg, task.trace is not None))
 
     def _maybe_finish(self) -> bool:
         with self._lock:

@@ -29,6 +29,9 @@ import time
 from collections import deque
 from typing import Any, Dict, Optional
 
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceContext
+
 from .pool import PoolClosed, PoolFuture, WorkerPool
 from .stats import MetricsRegistry
 
@@ -40,9 +43,10 @@ class QueueFull(RuntimeError):
 
 
 class _Request:
-    __slots__ = ("name", "arg", "nbytes", "priority", "future", "t_enqueue", "batchable")
+    __slots__ = ("name", "arg", "nbytes", "priority", "future", "t_enqueue",
+                 "batchable", "trace")
 
-    def __init__(self, name, arg, nbytes, priority, future, batchable):
+    def __init__(self, name, arg, nbytes, priority, future, batchable, trace=None):
         self.name = name
         self.arg = arg
         self.nbytes = nbytes
@@ -50,6 +54,7 @@ class _Request:
         self.future = future
         self.t_enqueue = time.perf_counter()
         self.batchable = batchable
+        self.trace: Optional[TraceContext] = trace
 
 
 class Scheduler:
@@ -113,15 +118,21 @@ class Scheduler:
         nbytes: int = 0,
         batchable: bool = True,
         future: Optional[PoolFuture] = None,
+        trace: Optional[TraceContext] = None,
     ) -> PoolFuture:
         if priority not in PRIORITIES:
             raise ValueError(
                 f"priority must be one of {PRIORITIES}, got {priority!r}"
             )
         future = future if future is not None else PoolFuture()
+        if trace is None:
+            tr = obs_trace.current_tracer()
+            if tr is not None:
+                trace = TraceContext(tr, tr.current())
         req = _Request(
             name, arg, nbytes, priority, future,
             batchable and nbytes <= self.batch_bytes,
+            trace,
         )
         with self._cv:
             if self._closing:
@@ -239,18 +250,35 @@ class Scheduler:
             sum(len(lane) for lane in self._lanes.values())
         )
 
+    def _record_waits(self, batch) -> None:
+        """One finished ``scheduler.wait`` span per traced request: the
+        time between submission and hand-off to the pool (queue wait plus
+        any micro-batching delay), parented under the request's span."""
+        now = time.perf_counter()
+        for req in batch:
+            if req.trace is not None:
+                req.trace.tracer.record(
+                    "scheduler.wait", req.t_enqueue, now, parent=req.trace.span,
+                    priority=req.priority, batched=len(batch) > 1,
+                )
+
     def _dispatch(self, batch) -> None:
         self.stats.counter("scheduler.dispatches").inc()
+        self._record_waits(batch)
         try:
             if len(batch) == 1:
                 req = batch[0]
-                inner = self.pool.submit(req.name, req.arg)
+                inner = self.pool.submit(req.name, req.arg, trace=req.trace)
                 inner.add_done_callback(lambda f, r=req: self._complete_one(f, r))
             else:
                 self.stats.counter("scheduler.batches").inc()
                 self.stats.counter("scheduler.batched_requests").inc(len(batch))
+                # a micro-batch is one worker dispatch; its span tree
+                # lands under the first traced member's request span
+                trace = next((r.trace for r in batch if r.trace is not None), None)
                 inner = self.pool.submit(
-                    "pool.batch", (batch[0].name, [r.arg for r in batch])
+                    "pool.batch", (batch[0].name, [r.arg for r in batch]),
+                    trace=trace,
                 )
                 inner.add_done_callback(lambda f, b=tuple(batch): self._complete_batch(f, b))
         except PoolClosed as e:

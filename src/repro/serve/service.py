@@ -21,6 +21,7 @@ from repro.core import stream as _stream
 from repro.core.compressor import DEFAULT_BLOCK
 from repro.core.errors import InvalidInputError
 from repro.core.quantize import ErrorBound, validate_input
+from repro.obs.trace import TraceContext, Tracer
 
 from . import chunked as _chunked
 from .cache import DecodeCache, content_key
@@ -91,11 +92,22 @@ class CompressionService:
     ...     recon = svc.decompress(blob).result()   # second call: cache hit
     """
 
-    def __init__(self, config: Optional[ServiceConfig] = None, **overrides):
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        tracer: Optional[Tracer] = None,
+        **overrides,
+    ):
         cfg = config if config is not None else ServiceConfig()
         if overrides:
             cfg = replace(cfg, **overrides)
         self.config = cfg
+        #: When set, every request records a ``service.compress`` /
+        #: ``service.decompress`` span, and worker span trees (codec
+        #: stages included) re-parent under it.  Also
+        #: :func:`repro.obs.activate` the tracer to capture spans from
+        #: code running on the caller's own thread (cache lookups).
+        self.tracer = tracer
         self.stats = MetricsRegistry()
         self.pool = WorkerPool(
             nworkers=cfg.workers,
@@ -138,6 +150,15 @@ class CompressionService:
         t0 = time.perf_counter()
         self.stats.counter("service.requests").inc()
         self.stats.counter("service.bytes_in").inc(data.nbytes)
+        span = (
+            self.tracer.begin(
+                "service.compress", bytes_in=int(data.nbytes), mode=mode,
+                priority=priority,
+            )
+            if self.tracer is not None
+            else None
+        )
+        trace = TraceContext(self.tracer, span) if span is not None else None
 
         if data.nbytes <= cfg.chunk_bytes:
             arg = {
@@ -148,7 +169,8 @@ class CompressionService:
                 "group_blocks": cfg.group_blocks,
             }
             master = self.scheduler.submit(
-                "chunk.compress", arg, priority=priority, nbytes=data.nbytes
+                "chunk.compress", arg, priority=priority, nbytes=data.nbytes,
+                trace=trace,
             )
         else:
             spans, axis = _chunked.plan_chunks(
@@ -172,6 +194,7 @@ class CompressionService:
                     priority=priority,
                     nbytes=view.nbytes,
                     batchable=False,
+                    trace=trace,
                 )
                 for view in views
             ]
@@ -206,8 +229,14 @@ class CompressionService:
             self.stats.histogram("service.compress_latency_s").observe(
                 time.perf_counter() - t0
             )
-            if f.exception() is None:
+            err = f.exception()
+            if err is None:
                 self.stats.counter("service.bytes_out").inc(int(f.result().size))
+            if span is not None:
+                self.tracer.end(
+                    span, ok=err is None,
+                    bytes_out=int(f.result().size) if err is None else 0,
+                )
 
         master.add_done_callback(account)
         return master
@@ -230,14 +259,31 @@ class CompressionService:
         t0 = time.perf_counter()
         self.stats.counter("service.requests").inc()
         self.stats.counter("service.bytes_in").inc(buf.nbytes)
+        span = (
+            self.tracer.begin(
+                "service.decompress", bytes_in=int(buf.nbytes), priority=priority,
+            )
+            if self.tracer is not None
+            else None
+        )
+        trace = TraceContext(self.tracer, span) if span is not None else None
         key = content_key(buf) if cache else None
         if key is not None:
-            hit = self.cache.get(key)
+            if span is not None:
+                # make the request span current so the cache's own
+                # span (if ambient tracing is on) nests under it
+                with self.tracer.attach(span):
+                    hit = self.cache.get(key)
+            else:
+                hit = self.cache.get(key)
             if hit is not None:
                 self.stats.histogram("service.decompress_latency_s").observe(
                     time.perf_counter() - t0
                 )
                 self.stats.counter("service.bytes_out").inc(hit.nbytes)
+                if span is not None:
+                    self.tracer.end(span, ok=True, cache_hit=True,
+                                    bytes_out=int(hit.nbytes))
                 return _resolved(hit)
 
         if _chunked.is_chunked(buf):
@@ -245,7 +291,7 @@ class CompressionService:
             futures = [
                 self.scheduler.submit(
                     "chunk.decompress", c, priority=priority,
-                    nbytes=int(c.size), batchable=False,
+                    nbytes=int(c.size), batchable=False, trace=trace,
                 )
                 for c in chunks.chunks
             ]
@@ -261,18 +307,29 @@ class CompressionService:
             master = _gather(futures, assemble)
         else:
             master = self.scheduler.submit(
-                "chunk.decompress", buf, priority=priority, nbytes=int(buf.size)
+                "chunk.decompress", buf, priority=priority, nbytes=int(buf.size),
+                trace=trace,
             )
 
         def account(f: PoolFuture) -> None:
             self.stats.histogram("service.decompress_latency_s").observe(
                 time.perf_counter() - t0
             )
-            if f.exception() is None:
+            err = f.exception()
+            if err is None:
                 arr = f.result()
                 self.stats.counter("service.bytes_out").inc(arr.nbytes)
                 if key is not None:
-                    self.cache.put(key, arr)
+                    if span is not None:
+                        with self.tracer.attach(span):
+                            self.cache.put(key, arr)
+                    else:
+                        self.cache.put(key, arr)
+            if span is not None:
+                self.tracer.end(
+                    span, ok=err is None, cache_hit=False,
+                    bytes_out=int(f.result().nbytes) if err is None else 0,
+                )
 
         master.add_done_callback(account)
         return master

@@ -1,0 +1,139 @@
+"""Exporters: JSON dump, folded stacks, Prometheus text, stage table."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    coverage,
+    folded,
+    prometheus_text,
+    spans_to_json,
+    stage_rows,
+    stage_table,
+    summarize,
+    walk,
+)
+from repro.obs.trace import Tracer
+from repro.serve.stats import MetricsRegistry
+
+
+def _sample_tracer() -> Tracer:
+    """request(0..1.0) -> compress(0..0.6) -> quantize(0..0.2), fle(0.2..0.6);
+    plus a second lone quantize root."""
+    tr = Tracer()
+    req = tr.begin("request", bytes_in=1000)
+    comp = tr.begin("compress", parent=req)
+    q = tr.record("quantize", 0.0, 0.2, parent=comp)
+    f = tr.record("fle", 0.2, 0.6, parent=comp, bytes_out=100)
+    comp.t0, comp.t1 = 0.0, 0.6
+    req.t0, req.t1 = 0.0, 1.0
+    tr.record("quantize", 5.0, 5.1)
+    assert q.done and f.done
+    return tr
+
+
+class TestWalkAndJson:
+    def test_walk_depth_first(self):
+        tr = _sample_tracer()
+        assert [s.name for s in walk(tr)] == [
+            "request", "compress", "quantize", "fle", "quantize",
+        ]
+
+    def test_json_roundtrips(self):
+        tr = _sample_tracer()
+        data = json.loads(spans_to_json(tr))
+        assert len(data) == 2
+        assert data[0]["name"] == "request"
+        assert data[0]["children"][0]["children"][1]["attrs"] == {"bytes_out": 100}
+        # accepts a span list as well as a tracer
+        assert json.loads(spans_to_json(tr.roots())) == data
+
+
+class TestFolded:
+    def test_paths_weighted_by_self_time_us(self):
+        lines = dict(
+            line.rsplit(" ", 1) for line in folded(_sample_tracer()).splitlines()
+        )
+        assert int(lines["request"]) == pytest.approx(400_000, abs=1)
+        assert "request;compress" not in lines  # zero self time: dropped
+        assert int(lines["request;compress;quantize"]) == pytest.approx(200_000, abs=1)
+        assert int(lines["request;compress;fle"]) == pytest.approx(400_000, abs=1)
+        assert int(lines["quantize"]) == pytest.approx(100_000, abs=1)
+
+    def test_zero_self_time_paths_dropped(self):
+        tr = Tracer()
+        root = tr.record("a", 0.0, 1.0)
+        tr.record("b", 0.0, 1.0, parent=root)  # child consumes all of a
+        out = folded(tr)
+        assert "a;b 1000000" in out
+        assert "\na " not in out and not out.startswith("a ")
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("pool.tasks").inc(3)
+        reg.gauge("queue_depth").set(2)
+        reg.gauge("queue_depth").set(1)
+        h = reg.histogram("latency_s")
+        # log2 buckets start at 1us; 100s overflows the last (~67s) bound
+        for v in (2e-06, 1e-05, 100.0):
+            h.observe(v)
+        text = prometheus_text(reg, prefix="x")
+        lines = text.splitlines()
+        assert "x_pool_tasks_total 3.0" in lines
+        assert "x_queue_depth 1.0" in lines
+        assert "x_queue_depth_max 2.0" in lines
+        # cumulative buckets: exact-bound 2us lands at le=2e-06,
+        # 1e-05 at le=1.6e-05, and the overflow only under +Inf
+        assert 'x_latency_s_bucket{le="2e-06"} 1' in lines
+        assert 'x_latency_s_bucket{le="1.6e-05"} 2' in lines
+        assert 'x_latency_s_bucket{le="+Inf"} 3' in lines
+        assert "x_latency_s_count 3" in lines
+        assert "x_latency_s_sum 100.000012" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == "\n"
+
+
+class TestStageTable:
+    def test_rows_aggregate_by_name(self):
+        rows = {r["name"]: r for r in stage_rows(_sample_tracer())}
+        assert rows["quantize"]["count"] == 2
+        assert rows["quantize"]["total_s"] == pytest.approx(0.3)
+        assert rows["request"]["self_s"] == pytest.approx(0.4)
+        assert rows["request"]["bytes_in"] == 1000
+        assert rows["fle"]["bytes_out"] == 100
+        # pipeline order: first depth-first appearance
+        assert [r["name"] for r in stage_rows(_sample_tracer())] == [
+            "request", "compress", "quantize", "fle",
+        ]
+
+    def test_self_time_sums_to_wall_minus_gap(self):
+        tr = _sample_tracer()
+        rows = stage_rows(tr)
+        total_self = sum(r["self_s"] for r in rows)
+        # 1.0s request tree + 0.1s lone root, no overlap double-counting
+        assert total_self == pytest.approx(1.1)
+
+    def test_table_renders_gap_row(self):
+        table = stage_table(_sample_tracer(), wall_s=1.2)
+        assert "(untraced)" in table
+        assert "request" in table.splitlines()[2]
+        # gap = 1.2 - 1.1 = 0.1 s = 100 ms
+        gap_line = [line for line in table.splitlines() if "(untraced)" in line][0]
+        assert "100.000" in gap_line
+
+    def test_coverage(self):
+        tr = _sample_tracer()
+        # roots: 1.0 + 0.1 = 1.1 of 1.1 wall
+        assert coverage(tr, 1.1) == pytest.approx(1.0)
+        assert coverage(tr, 2.2) == pytest.approx(0.5)
+        assert coverage(tr, 0.0) == 0.0
+
+    def test_summarize(self):
+        table, cov = summarize(_sample_tracer(), 1.1)
+        assert isinstance(table, str) and "(untraced)" in table
+        assert cov == pytest.approx(1.0)

@@ -87,3 +87,110 @@ class TestDecodeCache:
         assert snap["gauges"]["cache.bytes"]["value"] == 40
         assert snap["gauges"]["cache.entries"]["value"] == 1
         assert snap["gauges"]["cache.hit_rate"]["value"] == 1.0
+
+
+class TestContentKeyDtypes:
+    """The key must hash raw bytes; value-casting float buffers to uint8
+    (the old behaviour) collapsed distinct streams onto one key."""
+
+    def test_float_arrays_hash_their_raw_bytes(self):
+        a = np.array([1.5, 2.5], dtype=np.float32)
+        assert content_key(a) == content_key(a.tobytes())
+        assert content_key(a) == content_key(a.view(np.uint8))
+
+    def test_distinct_float_buffers_get_distinct_keys(self):
+        # both round/cast to the same integers; raw bytes differ
+        a = np.array([1.5, 2.5], dtype=np.float32)
+        b = np.array([1.7, 2.7], dtype=np.float32)
+        assert content_key(a) != content_key(b)
+
+    def test_distinct_small_floats_get_distinct_keys(self):
+        # uint8 value-cast would collapse both to [0, 0]
+        a = np.array([0.1, 0.2], dtype=np.float64)
+        b = np.array([0.3, 0.4], dtype=np.float64)
+        assert content_key(a) != content_key(b)
+
+    def test_non_contiguous_array_hashes_like_contiguous_copy(self):
+        base = np.arange(64, dtype=np.float32)
+        strided = base[::2]
+        assert not strided.flags.c_contiguous
+        assert content_key(strided) == content_key(strided.copy())
+
+    def test_int_dtypes_supported(self):
+        a = np.arange(16, dtype=np.int64)
+        assert content_key(a) == content_key(a.tobytes())
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            content_key(np.array([object()], dtype=object))
+
+
+class TestCacheThreadSafety:
+    def test_concurrent_put_get_stress(self):
+        """8 threads × 10k mixed ops against a small budget: internal
+        accounting (bytes, entries) must match a serial recount."""
+        import threading
+
+        cache = DecodeCache(max_bytes=40 * 64)  # room for ~64 entries
+        n_threads, per_thread = 8, 10_000
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def run(tid):
+            rng = np.random.default_rng(tid)
+            barrier.wait()
+            try:
+                for k in range(per_thread):
+                    key = f"k{rng.integers(0, 128)}"
+                    if k % 3 == 0:
+                        cache.put(key, _arr(10, float(tid)))
+                    else:
+                        got = cache.get(key)
+                        if got is not None:
+                            assert got.nbytes == 40
+                    if k % 1024 == 0:
+                        # the racy accessors the bug report named
+                        assert len(cache) >= 0
+                        assert ("k0" in cache) in (True, False)
+                        assert cache.bytes >= 0
+                        assert 0.0 <= cache.hit_rate <= 1.0
+            except Exception as e:  # pragma: no cover - surfaced below
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.bytes <= cache.max_bytes
+        assert cache.bytes == 40 * len(cache)
+        assert cache.hits + cache.misses == sum(
+            1 for _ in range(n_threads) for k in range(per_thread) if k % 3 != 0
+        )
+
+    def test_eviction_counter_published_as_delta(self):
+        """The registry counter must equal the cache's eviction total even
+        though publishes happen incrementally (the old code assigned the
+        raw count on every publish, clobbering concurrent increments)."""
+        stats = MetricsRegistry()
+        cache = DecodeCache(max_bytes=800, stats=stats)  # two 400B entries
+        for i in range(6):
+            cache.put(f"k{i}", _arr(100, float(i)))
+        assert cache.evictions == 4
+        assert stats.counter("cache.evictions").value == 4
+        # further churn keeps them in lockstep
+        cache.put("k9", _arr(100, 9.0))
+        assert stats.counter("cache.evictions").value == cache.evictions == 5
+
+    def test_eviction_counter_survives_external_increments(self):
+        # a counter is shared state: direct assignment would erase this
+        stats = MetricsRegistry()
+        stats.counter("cache.evictions").inc(100)
+        cache = DecodeCache(max_bytes=800, stats=stats)
+        for i in range(3):
+            cache.put(f"k{i}", _arr(100, float(i)))
+        assert cache.evictions == 1
+        assert stats.counter("cache.evictions").value == 101

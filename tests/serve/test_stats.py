@@ -3,6 +3,8 @@
 import json
 import time
 
+import pytest
+
 from repro.serve.stats import Counter, Gauge, Histogram, MetricsRegistry
 
 
@@ -75,3 +77,134 @@ class TestRegistry:
         assert back["gauges"]["g"] == {"value": 7.0, "max": 7.0}
         assert back["histograms"]["h"]["count"] == 1
         assert back["uptime_s"] >= 0
+
+
+class TestThreadSafety:
+    """Lost-update races: N threads hammer one metric; totals must be exact.
+
+    Python's ``value += n`` is not atomic (LOAD/ADD/STORE interleave across
+    threads), so without per-metric locks these counts drift low."""
+
+    N_THREADS = 8
+    PER_THREAD = 10_000
+
+    def _hammer(self, fn):
+        import threading
+
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def run(i):
+            barrier.wait()
+            for k in range(self.PER_THREAD):
+                fn(i, k)
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_exact_total(self):
+        c = Counter()
+        self._hammer(lambda i, k: c.inc())
+        assert c.value == self.N_THREADS * self.PER_THREAD
+
+    def test_counter_exact_weighted_total(self):
+        c = Counter()
+        self._hammer(lambda i, k: c.inc(0.5))
+        assert c.value == pytest.approx(self.N_THREADS * self.PER_THREAD * 0.5)
+
+    def test_gauge_high_water_mark_exact(self):
+        g = Gauge()
+        self._hammer(lambda i, k: g.set(i * self.PER_THREAD + k))
+        assert g.max == (self.N_THREADS - 1) * self.PER_THREAD + self.PER_THREAD - 1
+
+    def test_histogram_exact_count_and_sum(self):
+        h = Histogram()
+        self._hammer(lambda i, k: h.observe(0.001))
+        n = self.N_THREADS * self.PER_THREAD
+        assert h.count == n
+        assert h.sum == pytest.approx(n * 0.001)
+        assert sum(h.counts) == n
+
+    def test_histogram_snapshot_internally_consistent(self):
+        """buckets() must never expose a torn (counts, count, sum) triple
+        while observers race with writers."""
+        import threading
+
+        h = Histogram()
+        stop = threading.Event()
+        torn = []
+
+        def read():
+            while not stop.is_set():
+                _bounds, counts, count, total = h.buckets()
+                if sum(counts) != count:
+                    torn.append((sum(counts), count))
+                # sum of 0.001-valued observations must track count
+                if abs(total - count * 0.001) > 1e-9 * max(count, 1):
+                    torn.append(("sum", total, count))
+
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for t in readers:
+            t.start()
+        try:
+            self._hammer(lambda i, k: h.observe(0.001))
+        finally:
+            stop.set()
+            for t in readers:
+                t.join()
+        assert not torn
+
+
+class TestHistogramBuckets:
+    def test_exact_bucket_boundary_lands_in_its_bucket(self):
+        # bounds are 1e-6 * 2**k; an observation exactly on a bound must
+        # count toward that bound's bucket (le semantics), not the next
+        h = Histogram()
+        h.observe(h.bounds[3])
+        assert h.counts[3] == 1
+        assert h.quantile(1.0) == h.bounds[3]
+
+    def test_quantiles_across_buckets(self):
+        h = Histogram()
+        for _ in range(90):
+            h.observe(1e-6)    # bucket 0
+        for _ in range(10):
+            h.observe(1e-3)    # a much higher bucket
+        assert h.quantile(0.5) == 1e-6
+        assert h.quantile(0.89) == 1e-6
+        # p95 falls in the 1e-3 observation's bucket, clamped to max
+        assert h.quantile(0.95) == 1e-3
+        assert h.quantile(1.0) == 1e-3
+
+    def test_overflow_bucket_quantile_clamps_to_max(self):
+        h = Histogram()
+        h.observe(0.5)
+        h.observe(1e9)  # overflow: beyond the last ~67s bound
+        assert h.counts[-1] == 1
+        assert h.quantile(0.25) == h.bounds[19]  # 0.5 lands in the ~0.52s bucket
+        assert h.quantile(1.0) == 1e9  # overflow quantile = observed max
+        s = h.summary()
+        assert s["max_s"] == 1e9
+        assert s["count"] == 2
+
+    def test_registry_concurrent_autovivify(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def run():
+            barrier.wait()
+            for _ in range(1000):
+                reg.counter("same").inc()
+
+        threads = [threading.Thread(target=run) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("same").value == 8000

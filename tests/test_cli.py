@@ -170,3 +170,54 @@ class TestServeBench:
         assert "serve-bench:" in text
         assert "throughput" in text
         assert report_path.exists()
+
+
+class TestTrace:
+    def test_trace_synthetic_stage_table(self, capsys):
+        rc = main(["trace", "--size-mb", "0.5", "--workers", "1"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        for stage in ("service.compress", "codec.quantize", "codec.fle",
+                      "service.decompress", "codec.fle_decode",
+                      "codec.dequantize", "(untraced)"):
+            assert stage in text
+        assert "Pass error check!" in text
+        # acceptance: span self-times account for >= 95% of traced wall
+        cov = float(text.split("trace coverage:")[1].split("%")[0])
+        assert cov >= 95.0
+
+    def test_trace_process_backend_ships_worker_spans(self, capsys):
+        rc = main([
+            "trace", "--size-mb", "0.5", "--workers", "2",
+            "--backend", "process",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        # codec stages only exist inside worker processes here, so their
+        # presence proves the cross-process ship-back + re-parenting
+        assert "pool.task.chunk.compress" in text
+        assert "codec.fle" in text
+        cov = float(text.split("trace coverage:")[1].split("%")[0])
+        assert cov >= 95.0
+
+    def test_trace_exports(self, tmp_path, capsys):
+        import json
+
+        spans = tmp_path / "spans.json"
+        fold = tmp_path / "stacks.folded"
+        prom = tmp_path / "metrics.txt"
+        rc = main([
+            "trace", "--size-mb", "0.25", "--workers", "1",
+            "--json", str(spans), "--folded", str(fold), "--metrics", str(prom),
+        ])
+        assert rc == 0
+        roots = json.loads(spans.read_text())
+        assert {r["name"] for r in roots} >= {"service.compress", "service.decompress"}
+        assert any(";codec.fle " in line for line in fold.read_text().splitlines())
+        assert "repro_pool_tasks_total" in prom.read_text()
+
+    def test_trace_raw_file_input(self, raw_field, capsys):
+        path, _data = raw_field
+        rc = main(["trace", str(path), "--workers", "1"])
+        assert rc == 0
+        assert "Pass error check!" in capsys.readouterr().out
