@@ -148,6 +148,11 @@ def cmd_decompress(args) -> int:
                 f"chunked container: {chunked.nchunks} chunk(s), "
                 f"format v2 streams (header+group checksums)"
             )
+            bad = chunked.verify()
+            if bad:
+                print(f"integrity check FAILED: chunk(s) {bad} fail their manifest CRC32")
+                print("hint: retransmit the damaged chunks (each chunk is independent)")
+                return 1
             recon = decompress_chunked(chunked)
         else:
             header = StreamHeader.unpack(stream)
@@ -264,6 +269,46 @@ def cmd_trace(args) -> int:
         return 0
     print("ERROR CHECK FAILED")
     return 1
+
+
+def cmd_fuzz(args) -> int:
+    """Property-based differential fuzzing across every codec path."""
+    from .qa import FuzzConfig, replay, run_fuzz
+    from .qa.corpus import corpus_entries
+
+    if args.replay:
+        failures = 0
+        for target in args.replay:
+            target_path = Path(target)
+            entries = [target_path] if target_path.is_file() else corpus_entries(target_path)
+            if not entries:
+                print(f"{target}: no corpus entries")
+                continue
+            for entry in entries:
+                failure = replay(entry)
+                if failure is None:
+                    print(f"PASS {entry}")
+                else:
+                    failures += 1
+                    print(f"FAIL {entry}\n     {failure}")
+        print(f"replay: {failures} failing entr{'y' if failures == 1 else 'ies'}")
+        return 1 if failures else 0
+
+    cfg = FuzzConfig(
+        seed=args.seed,
+        iters=args.iters,
+        paths=tuple(args.paths) if args.paths else FuzzConfig().paths,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        workers=args.workers,
+    )
+    report = run_fuzz(cfg)
+    print(report.summary())
+    if not report.ok and cfg.corpus_dir:
+        print(f"(shrunk counterexamples saved under {cfg.corpus_dir})")
+    return 0 if report.ok else 1
 
 
 def cmd_faultcheck(args) -> int:
@@ -476,6 +521,39 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--folded", help="write flamegraph folded stacks to this path")
     tr.add_argument("--metrics", help="write Prometheus-style metrics text to this path")
     tr.set_defaults(fn=cmd_trace)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="property-based differential fuzzing: all codec paths must agree",
+    )
+    fz.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    fz.add_argument("--iters", type=int, default=200, help="generated cases (default 200)")
+    fz.add_argument(
+        "--paths",
+        action="append",
+        choices=["roundtrip", "chunked", "random_access", "corruption"],
+        help="restrict to one oracle path (repeatable; default all)",
+    )
+    fz.add_argument(
+        "--time-budget", type=float, default=None,
+        help="stop after this many seconds (default unbounded)",
+    )
+    fz.add_argument(
+        "--corpus-dir", default="qa_corpus",
+        help="where shrunk counterexamples are written (default ./qa_corpus; "
+        "created only on failure)",
+    )
+    fz.add_argument("--no-shrink", action="store_true", help="skip counterexample minimization")
+    fz.add_argument("--max-failures", type=int, default=5, help="stop after N failures")
+    fz.add_argument(
+        "--workers", type=int, default=0,
+        help="also differential-check the worker-pool chunked path with N thread workers",
+    )
+    fz.add_argument(
+        "--replay", action="append", metavar="FILE_OR_DIR",
+        help="replay saved corpus entries instead of fuzzing (repeatable)",
+    )
+    fz.set_defaults(fn=cmd_fuzz)
 
     fc = sub.add_parser("faultcheck", help="fault-injection campaign: every fault detected?")
     fc.add_argument("--trials", type=int, default=25, help="trials per injector x workload")

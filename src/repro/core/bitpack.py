@@ -32,7 +32,8 @@ def bit_length(mag: np.ndarray) -> np.ndarray:
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a ``(..., 8k)`` array of 0/1 values into ``(..., k)`` bytes,
     LSB-first within each byte."""
-    b = bits.reshape(bits.shape[:-1] + (-1, 8)).astype(np.uint8)
+    # explicit byte count: reshape(-1) cannot be inferred on size-0 arrays
+    b = bits.reshape(bits.shape[:-1] + (bits.shape[-1] // 8, 8)).astype(np.uint8)
     return (b * _BIT_WEIGHTS).sum(axis=-1, dtype=np.uint16).astype(np.uint8)
 
 
@@ -40,7 +41,7 @@ def unpack_bits(packed: np.ndarray, nbits: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`: ``(..., k)`` bytes -> ``(..., nbits)``
     0/1 uint8 values (``nbits`` must be ``8k``)."""
     bits = (packed[..., :, None] >> np.arange(8, dtype=np.uint8)) & np.uint8(1)
-    return bits.reshape(packed.shape[:-1] + (-1,))[..., :nbits]
+    return bits.reshape(packed.shape[:-1] + (packed.shape[-1] * 8,))[..., :nbits]
 
 
 def pack_signs(deltas: np.ndarray) -> np.ndarray:

@@ -21,7 +21,13 @@ from .injectors import (
     Truncation,
     make_injector,
 )
-from .check import FaultCheckResult, FaultTrial, run_faultcheck
+from .check import (
+    FaultCheckResult,
+    FaultTrial,
+    check_recovery,
+    classify_decode,
+    run_faultcheck,
+)
 
 __all__ = [
     "FaultInjector",
@@ -34,4 +40,6 @@ __all__ = [
     "run_faultcheck",
     "FaultCheckResult",
     "FaultTrial",
+    "classify_decode",
+    "check_recovery",
 ]

@@ -91,10 +91,16 @@ def _workloads(n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
     }
 
 
-def _classify(
+def classify_decode(
     stream: np.ndarray, corrupt: np.ndarray, clean: np.ndarray
 ) -> Tuple[str, str]:
-    """Outcome of decoding one corrupted stream against the clean decode."""
+    """Outcome of decoding one corrupted stream against the clean decode.
+
+    Returns ``("detected", ...)`` for a typed error, ``("harmless", ...)``
+    when the corruption was a no-op or decoded bit-identically, and
+    ``("MISSED", ...)`` for silent garbage.  Shared by :func:`run_faultcheck`
+    and the :mod:`repro.qa` corruption oracle.
+    """
     if corrupt.size == stream.size and np.array_equal(corrupt, stream):
         return "harmless", "injector was a no-op"
     try:
@@ -106,13 +112,15 @@ def _classify(
     return "MISSED", "silent garbage: decode differs from clean decode"
 
 
-def _check_recovery(
-    corrupt: np.ndarray, clean: np.ndarray
+def check_recovery(
+    corrupt: np.ndarray, clean: np.ndarray, block: int = 32
 ) -> Optional[str]:
     """In recover mode, intact groups must match the clean decode exactly.
 
-    Returns an error string on mismatch, None when recovery held (or was
-    legitimately impossible: damaged header/TOC, truncated layout...).
+    ``block`` is the stream's elements-per-block (needed to map corrupt
+    block-group ranges to element ranges).  Returns an error string on
+    mismatch, None when recovery held (or was legitimately impossible:
+    damaged header/TOC, truncated layout...).
     """
     try:
         report = verify(corrupt)
@@ -128,7 +136,7 @@ def _check_recovery(
         return f"recover shape {out.shape} != clean {clean.shape}"
     flat_out = out.reshape(-1)
     flat_clean = clean.reshape(-1)
-    L = 32  # run_faultcheck compresses with the default block size
+    L = block
     mask = np.ones(flat_out.size, dtype=bool)
     for lo_blk, hi_blk in report.corrupt_block_ranges():
         mask[lo_blk * L : hi_blk * L] = False
@@ -174,9 +182,9 @@ def run_faultcheck(
                 inj_seed = seed * 1_000_003 + tag + t
                 inj = make_injector(iname, seed=inj_seed)
                 corrupt = inj.apply(stream)
-                outcome, detail = _classify(stream, corrupt, clean)
+                outcome, detail = classify_decode(stream, corrupt, clean)
                 if outcome in ("detected", "harmless"):
-                    mismatch = _check_recovery(corrupt, clean)
+                    mismatch = check_recovery(corrupt, clean, block=32)
                     if mismatch is not None:
                         outcome, detail = "RECOVER-MISMATCH", mismatch
                 result.trials.append(

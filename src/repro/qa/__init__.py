@@ -1,0 +1,48 @@
+"""Property-based differential fuzzing for every codec path (``repro.qa``).
+
+The codec now ships four independent entry points that must agree
+byte-for-byte -- the monolithic :func:`repro.compress` /
+:func:`repro.decompress` pair, the ``CSZ2CHNK`` chunked container (serial
+and worker-pool), :class:`~repro.core.random_access.RandomAccessor`, and
+the verify/recover integrity policies.  Example-based tests pin known
+behaviours; this package *generates* adversarial inputs and asserts the
+cross-path invariants on each one:
+
+* :mod:`repro.qa.generators` -- a seeded generator of hostile float arrays
+  (denormals, NaN/Inf edges, constant blocks, near-error-bound
+  oscillations, dtype/shape sweeps, tiny and huge block counts);
+* :mod:`repro.qa.oracles` -- the differential invariants, each a function
+  that raises :class:`~repro.qa.oracles.OracleFailure` with a diagnosis;
+* :mod:`repro.qa.shrink` -- delta-debugging minimizer that reduces a
+  failing array while the failure reproduces;
+* :mod:`repro.qa.corpus` -- persistence of shrunk counterexamples as
+  ``.npz`` files under ``tests/data/qa_corpus/``, each replayable forever;
+* :mod:`repro.qa.harness` -- the campaign loop behind the ``repro fuzz``
+  CLI and the CI ``fuzz-smoke`` job.
+
+Everything is deterministic: a campaign is fully described by
+``(seed, iters, paths)``, and a persisted counterexample replays without
+the campaign that found it.
+"""
+
+from .corpus import load_case, replay, save_failure
+from .generators import FAMILIES, FuzzCase, draw_case
+from .harness import FuzzConfig, FuzzReport, run_fuzz
+from .oracles import ORACLES, OracleFailure, applicable_oracles
+from .shrink import shrink_case
+
+__all__ = [
+    "FAMILIES",
+    "FuzzCase",
+    "draw_case",
+    "ORACLES",
+    "OracleFailure",
+    "applicable_oracles",
+    "shrink_case",
+    "save_failure",
+    "load_case",
+    "replay",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+]

@@ -1,0 +1,106 @@
+"""Counterexample corpus: persisted, replayable shrunk failures.
+
+Every failure the harness finds is minimized and written as one ``.npz``
+under the corpus directory (``tests/data/qa_corpus/`` in this repo): the
+exact array bytes plus a JSON metadata record naming the oracle, the codec
+parameters and the campaign coordinates that produced it.  A corpus entry
+is therefore self-contained -- :func:`replay` re-runs the saved oracle on
+the saved bytes with no generator involved -- and once the underlying bug
+is fixed, the committed entry becomes a permanent regression test
+(``tests/qa/test_corpus_replay.py`` replays the whole directory).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import errors as _errors
+from .generators import FuzzCase
+from .oracles import ORACLES, OracleContext, OracleFailure
+
+_META_VERSION = 1
+
+
+def _digest(case: FuzzCase) -> str:
+    h = zlib.crc32(np.ascontiguousarray(case.data).tobytes())
+    h = zlib.crc32(json.dumps(case.params, sort_keys=True).encode(), h)
+    return f"{h & 0xFFFFFFFF:08x}"
+
+
+def save_failure(
+    case: FuzzCase,
+    failure: OracleFailure,
+    corpus_dir,
+    extra: Optional[Dict] = None,
+) -> Path:
+    """Persist a (shrunk) failing case; returns the written path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "meta_version": _META_VERSION,
+        "oracle": failure.oracle,
+        "detail": failure.detail,
+        "family": case.family,
+        "seed": case.seed,
+        "index": case.index,
+        "params": case.params,
+        "expect_error": case.expect_error.__name__ if case.expect_error else None,
+        "dtype": np.dtype(case.data.dtype).name,
+        "shape": list(case.data.shape),
+        "repro": (
+            f"repro fuzz --replay <this file>   # or: repro fuzz "
+            f"--seed {case.seed} --iters {case.index + 1} --paths {failure.oracle}"
+        ),
+    }
+    if extra:
+        meta.update(extra)
+    name = f"{failure.oracle}-{case.family}-s{case.seed}-i{case.index}-{_digest(case)}.npz"
+    path = corpus_dir / name
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, data=case.data, meta=json.dumps(meta, sort_keys=True))
+    return path
+
+
+def load_case(path) -> Tuple[FuzzCase, Dict]:
+    """Reconstruct the saved case and its metadata record."""
+    with np.load(Path(path), allow_pickle=False) as npz:
+        data = npz["data"]
+        meta = json.loads(str(npz["meta"]))
+    expect = meta.get("expect_error")
+    case = FuzzCase(
+        family=meta["family"],
+        seed=int(meta["seed"]),
+        index=int(meta["index"]),
+        data=data,
+        params=dict(meta["params"]),
+        expect_error=getattr(_errors, expect) if expect else None,
+    )
+    return case, meta
+
+
+def replay(path, pool=None) -> Optional[OracleFailure]:
+    """Re-run a corpus entry's oracle on its saved bytes.
+
+    Returns the :class:`OracleFailure` when the entry still fails (the bug
+    is back, or was never fixed) and None when it passes.
+    """
+    case, meta = load_case(path)
+    oracle = ORACLES[meta["oracle"]]
+    try:
+        oracle(case, OracleContext(pool=pool))
+    except OracleFailure as f:
+        return f
+    return None
+
+
+def corpus_entries(corpus_dir) -> List[Path]:
+    """All corpus files under ``corpus_dir`` (sorted; [] when absent)."""
+    d = Path(corpus_dir)
+    if not d.is_dir():
+        return []
+    return sorted(p for p in d.iterdir() if p.suffix == ".npz")

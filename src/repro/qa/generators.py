@@ -1,0 +1,290 @@
+"""Seeded adversarial input generation for the fuzzing harness.
+
+A case is drawn deterministically from ``(campaign seed, iteration)``:
+the same pair always yields the same array, the same codec parameters and
+the same expected outcome, on every platform and in every process.  The
+family cycles with the iteration index so a short campaign still covers
+every generator at least once.
+
+The families target the codec's decision points rather than uniform
+noise: block-constant regions flip the zero-block fast path, spikes flip
+the Plain/Outlier selection, near-bound oscillations sit on quantizer
+rounding ties, denormals stress the float64 quantization arithmetic, and
+tiny/huge sizes hit partial trailing blocks and multi-group checksum
+layouts.  Non-finite inputs are *expected* to raise
+:class:`~repro.core.errors.InvalidInputError`; any other escape is a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.errors import InvalidInputError
+from ..core.quantize import ErrorBound
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated input plus the codec parameters to exercise it with."""
+
+    family: str
+    seed: int
+    index: int
+    data: np.ndarray
+    params: Dict = field(default_factory=dict)
+    #: Exception type ``compress`` must raise (None = must succeed).
+    expect_error: Optional[Type[BaseException]] = None
+
+    @property
+    def bound_kwargs(self) -> Dict[str, float]:
+        """The ``rel=`` / ``abs=`` keyword for :func:`repro.compress`."""
+        if "rel" in self.params:
+            return {"rel": self.params["rel"]}
+        return {"abs": self.params["abs"]}
+
+    @property
+    def codec_kwargs(self) -> Dict:
+        """Full keyword set for :func:`repro.compress`."""
+        kw = dict(self.bound_kwargs)
+        kw["mode"] = self.params["mode"]
+        kw["block"] = self.params["block"]
+        kw["predictor_ndim"] = self.params["predictor_ndim"]
+        kw["group_blocks"] = self.params["group_blocks"]
+        return kw
+
+    def resolved_eb(self) -> float:
+        """The absolute error bound the codec will enforce for this case."""
+        if "abs" in self.params:
+            return float(self.params["abs"])
+        eb = ErrorBound.relative(self.params["rel"])
+        return eb.resolve(self.data.astype(np.float64, copy=False).reshape(-1))
+
+    def with_data(self, data: np.ndarray) -> "FuzzCase":
+        """A copy of this case over different data (used by the shrinker)."""
+        return replace(self, data=data)
+
+    def describe(self) -> str:
+        p = self.params
+        bound = f"rel={p['rel']:g}" if "rel" in p else f"abs={p['abs']:g}"
+        return (
+            f"{self.family}[seed={self.seed}, i={self.index}] "
+            f"shape={tuple(self.data.shape)} {self.data.dtype} "
+            f"{p['mode']}/{bound} block={p['block']} "
+            f"ndim={p['predictor_ndim']} G={p['group_blocks']}"
+        )
+
+
+def case_rng(seed: int, index: int) -> np.random.Generator:
+    """The case's private generator; also used by oracles that need extra
+    randomness (slice positions, injector seeds) so everything replays."""
+    return np.random.default_rng(np.random.SeedSequence([int(seed), int(index)]))
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+def _size(rng: np.random.Generator, lo: int = 256, hi: int = 24_000) -> int:
+    return int(rng.integers(lo, hi))
+
+
+def _walk(rng, n, dtype):
+    return np.cumsum(rng.normal(size=n)).astype(dtype)
+
+
+def fam_walk(rng, n, dtype):
+    """Smooth random walk: the regime Outlier-FLE was designed for."""
+    return _walk(rng, n, dtype)
+
+
+def fam_noise(rng, n, dtype):
+    """White noise at a random scale: Plain/Outlier selection near a tie."""
+    return (rng.normal(size=n) * 10.0 ** rng.integers(-6, 7)).astype(dtype)
+
+
+def fam_constant(rng, n, dtype):
+    """A constant field (zero range): REL bounds fall back to |c|-scaled
+    steps and every block takes the zero-payload fast path."""
+    c = rng.choice([0.0, 1.0, -1.0, 3.5e-5, -7.25, 1.0e12, float(rng.normal())])
+    return np.full(n, c, dtype=dtype)
+
+
+def fam_sparse(rng, n, dtype):
+    """Mostly zeros with rare spikes: mixes zero blocks with outlier blocks."""
+    data = np.zeros(n, dtype=dtype)
+    k = max(1, n // 200)
+    idx = rng.choice(n, size=k, replace=False)
+    data[idx] = (rng.normal(size=k) * 100).astype(dtype)
+    return data
+
+
+def fam_denormal(rng, n, dtype):
+    """Subnormal magnitudes: quantization arithmetic near underflow."""
+    tiny = float(np.finfo(dtype).tiny)
+    scale = tiny * 10.0 ** rng.integers(-2, 3)
+    data = (rng.normal(size=n) * scale).astype(dtype)
+    data[:: max(1, n // 7)] = np.array(tiny, dtype=dtype) / 4  # true denormals
+    return data
+
+
+def fam_near_bound(rng, n, dtype):
+    """Values sitting exactly on (and a hair off) quantizer rounding ties.
+
+    With an ABS bound of 1, the tie points are the odd integers; exact
+    ties, ties minus one ULP and ties plus one ULP all appear.
+    """
+    k = rng.integers(-500, 500, size=n).astype(np.float64)
+    x = 2.0 * k + 1.0  # exact ties
+    side = rng.integers(0, 3, size=n)
+    x = np.where(side == 1, np.nextafter(x, -np.inf), x)
+    x = np.where(side == 2, np.nextafter(x, np.inf), x)
+    return x.astype(dtype)
+
+
+def fam_steps(rng, n, dtype):
+    """Piecewise-constant plateaus with large jumps: first-delta outliers at
+    block boundaries, zeros inside plateaus."""
+    nsteps = int(rng.integers(2, 20))
+    edges = np.sort(rng.choice(np.arange(1, n), size=min(nsteps, n - 1), replace=False))
+    levels = rng.normal(size=edges.size + 1) * 10.0 ** rng.integers(0, 5)
+    return np.repeat(levels, np.diff(np.concatenate([[0], edges, [n]]))).astype(dtype)
+
+
+def fam_spikes(rng, n, dtype):
+    """A smooth walk with huge isolated spikes: forces Outlier-FLE's
+    adaptive 1..4-byte widths and the selection comparison both ways."""
+    data = _walk(rng, n, dtype).astype(np.float64)
+    k = max(1, n // 100)
+    idx = rng.choice(n, size=k, replace=False)
+    data[idx] += rng.choice([-1.0, 1.0], size=k) * 10.0 ** rng.integers(3, 7, size=k)
+    return data.astype(dtype)
+
+
+def fam_tiny(rng, n, dtype):
+    """Sizes around block boundaries: 1-element fields, exact multiples,
+    and single-element trailing blocks."""
+    return _walk(rng, n, dtype)  # n chosen by the driver, not here
+
+
+def fam_multigroup(rng, n, dtype):
+    """Enough blocks to cross several checksum groups (driver shrinks
+    group_blocks so this stays test-sized)."""
+    return _walk(rng, n, dtype)
+
+
+def fam_extreme_range(rng, n, dtype):
+    """Dynamic range spanning ~30 decades: REL bound resolution and the
+    float64 quantization path at both ends of the exponent scale."""
+    exponents = rng.uniform(-25, 25, size=n)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return (signs * 10.0 ** exponents).astype(dtype)
+
+
+def fam_ndim2(rng, n, dtype):
+    """2-D Lorenzo tiles (driver sets predictor_ndim=2 and a square block)."""
+    t = 8
+    rows = int(rng.integers(2, 9)) * t
+    cols = int(rng.integers(2, 9)) * t
+    base = rng.normal(size=(rows, cols))
+    return np.cumsum(np.cumsum(base, axis=0), axis=1).astype(dtype)
+
+
+def fam_ndim3(rng, n, dtype):
+    """3-D Lorenzo tiles (4x4x4 blocks)."""
+    t = 4
+    dims = tuple(int(rng.integers(2, 6)) * t for _ in range(3))
+    base = rng.normal(size=dims)
+    return np.cumsum(base, axis=0).astype(dtype)
+
+
+def fam_nonfinite(rng, n, dtype):
+    """NaN / +-Inf contamination: the codec must refuse with
+    InvalidInputError, never crash or emit a stream."""
+    data = _walk(rng, n, dtype).astype(np.float64)
+    k = max(1, n // 50)
+    idx = rng.choice(n, size=k, replace=False)
+    data[idx] = rng.choice([np.nan, np.inf, -np.inf], size=k)
+    return data.astype(dtype)
+
+
+#: name -> generator; order defines the family cycle of a campaign.
+FAMILIES = {
+    "walk": fam_walk,
+    "noise": fam_noise,
+    "constant": fam_constant,
+    "sparse": fam_sparse,
+    "denormal": fam_denormal,
+    "near_bound": fam_near_bound,
+    "steps": fam_steps,
+    "spikes": fam_spikes,
+    "tiny": fam_tiny,
+    "multigroup": fam_multigroup,
+    "extreme_range": fam_extreme_range,
+    "ndim2": fam_ndim2,
+    "ndim3": fam_ndim3,
+    "nonfinite": fam_nonfinite,
+}
+
+_FAMILY_ORDER: Tuple[str, ...] = tuple(FAMILIES)
+
+_BLOCKS_1D = (8, 16, 32, 64)
+_GROUPS = (4, 8, 16, 64, 256)
+_RELS = (1e-2, 1e-3, 1e-4)
+
+
+def draw_case(seed: int, index: int, family: Optional[str] = None) -> FuzzCase:
+    """Draw the ``index``-th case of campaign ``seed`` (deterministic)."""
+    if family is None:
+        family = _FAMILY_ORDER[index % len(_FAMILY_ORDER)]
+    if family not in FAMILIES:
+        raise ValueError(f"unknown family {family!r}; choose from {sorted(FAMILIES)}")
+    rng = case_rng(seed, index)
+
+    dtype = np.float64 if rng.random() < 0.3 else np.float32
+    mode = "plain" if rng.random() < 0.35 else "outlier"
+    predictor_ndim = 1
+    block = int(rng.choice(_BLOCKS_1D))
+    group_blocks = int(rng.choice(_GROUPS))
+
+    if family == "ndim2":
+        predictor_ndim, block = 2, int(rng.choice([16, 64]))
+    elif family == "ndim3":
+        predictor_ndim, block = 3, 64
+    elif family == "tiny":
+        n = int(rng.choice([1, 2, 3, block - 1, block, block + 1, 2 * block + 1]))
+        n = max(1, n)
+    elif family == "multigroup":
+        group_blocks = int(rng.choice([4, 8]))
+        n = block * group_blocks * int(rng.integers(3, 7)) + int(rng.integers(0, block))
+
+    if family not in ("tiny", "multigroup"):
+        n = _size(rng)
+    data = FAMILIES[family](rng, n, dtype)
+
+    params: Dict = {
+        "mode": mode,
+        "block": block,
+        "predictor_ndim": predictor_ndim,
+        "group_blocks": group_blocks,
+    }
+    if family == "near_bound":
+        params["abs"] = 1.0  # the family's tie points are built for eb=1
+    elif rng.random() < 0.3 and family != "nonfinite":
+        finite = data[np.isfinite(data)]
+        scale = float(np.abs(finite).max()) if finite.size else 1.0
+        params["abs"] = max(scale, 1e-30) * 10.0 ** -int(rng.integers(2, 5))
+    else:
+        params["rel"] = float(rng.choice(_RELS))
+
+    expect_error = InvalidInputError if family == "nonfinite" else None
+    return FuzzCase(
+        family=family,
+        seed=int(seed),
+        index=int(index),
+        data=data,
+        params=params,
+        expect_error=expect_error,
+    )

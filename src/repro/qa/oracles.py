@@ -1,0 +1,326 @@
+"""Differential oracles: the invariants every codec path must satisfy.
+
+Each oracle is a function ``oracle(case, ctx)`` that either returns
+normally or raises :class:`OracleFailure` with enough detail to triage.
+Any exception that is *not* a typed :class:`~repro.core.errors.CuSZp2Error`
+escaping a codec entry point is itself a failure -- the decoder contract
+says hostile input produces typed errors, never tracebacks from deep
+inside NumPy.
+
+The four oracles mirror the four shipped entry points:
+
+``roundtrip``
+    compress -> decompress respects the error bound pointwise, preserves
+    shape/dtype, and is deterministic (same input -> same bytes).
+``chunked``
+    monolithic, serial-chunked, worker-pool-chunked and
+    container-round-tripped decodes are all bit-identical; per-chunk
+    decodes equal the matching slices of the monolithic decode.
+``random_access``
+    :class:`RandomAccessor` slices equal full-decode slices bit-for-bit.
+``corruption``
+    every injected fault is detected or harmless, and recover mode
+    reconstructs intact groups bit-identically (never silently wrong).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core import compress, decompress
+from ..core.errors import CuSZp2Error
+from ..core.random_access import RandomAccessor
+from ..faults import make_injector
+from ..faults.check import check_recovery, classify_decode
+from ..serve.chunked import ChunkedStream, compress_chunked, decompress_chunked
+from .generators import FuzzCase, case_rng
+
+
+class OracleFailure(AssertionError):
+    """A differential invariant was violated for a concrete case."""
+
+    def __init__(self, oracle: str, case: FuzzCase, detail: str):
+        self.oracle = oracle
+        self.case = case
+        self.detail = detail
+        super().__init__(f"[{oracle}] {case.describe()}: {detail}")
+
+
+@dataclass
+class OracleContext:
+    """Shared per-campaign resources (an optional worker pool) plus a
+    one-entry compression cache so the oracles of one case compress once."""
+
+    pool: Optional[object] = None  # repro.serve.pool.WorkerPool
+    _key: Optional[Tuple] = field(default=None, repr=False)
+    _stream: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def stream_for(self, case: FuzzCase) -> np.ndarray:
+        # id(case.data) distinguishes shrinker variants of the same case
+        key = (case.seed, case.index, id(case.data))
+        if self._key != key:
+            self._stream = compress(case.data, **case.codec_kwargs)
+            self._key = key
+        return self._stream
+
+
+def _fail(oracle: str, case: FuzzCase, detail: str) -> OracleFailure:
+    return OracleFailure(oracle, case, detail)
+
+
+def _guard(oracle: str, case: FuzzCase, fn: Callable, what: str):
+    """Run ``fn``; untyped exceptions become failures, typed errors re-raise."""
+    try:
+        return fn()
+    except CuSZp2Error:
+        raise
+    except OracleFailure:
+        raise
+    except Exception:
+        raise _fail(
+            oracle, case, f"{what} escaped with an untyped exception:\n"
+            + traceback.format_exc(limit=6)
+        ) from None
+
+
+def _max_error_ok(original: np.ndarray, recon: np.ndarray, eb_abs: float) -> Optional[str]:
+    """None when the pointwise error respects the bound, else a diagnosis.
+
+    Like the CUDA original (which reconstructs with a floating multiply),
+    the guarantee is ``eb`` plus half an ULP of the reconstructed value.
+    """
+    a = original.astype(np.float64, copy=False).reshape(-1)
+    b = recon.astype(np.float64, copy=False).reshape(-1)
+    err = np.abs(a - b)
+    # half an ULP in the reconstruction's NATIVE dtype: the final cast of
+    # q * 2eb to float32/float64 may round that far beyond the bound
+    native = np.abs(recon.reshape(-1))
+    half_ulp = 0.5 * float(np.spacing(native.max() if native.size else recon.dtype.type(0)))
+    limit = eb_abs * (1 + 1e-12) + half_ulp
+    worst = int(np.argmax(err)) if err.size else 0
+    if err.size and float(err[worst]) > limit:
+        return (
+            f"error bound violated: |x-x'|={float(err[worst]):g} > {limit:g} "
+            f"at element {worst} (x={a[worst]!r}, x'={b[worst]!r}, eb={eb_abs:g})"
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+def oracle_roundtrip(case: FuzzCase, ctx: OracleContext) -> None:
+    name = "roundtrip"
+    if case.expect_error is not None:
+        try:
+            compress(case.data, **case.codec_kwargs)
+        except case.expect_error:
+            return
+        except Exception as e:
+            raise _fail(
+                name, case,
+                f"expected {case.expect_error.__name__}, got {type(e).__name__}: {e}",
+            ) from None
+        raise _fail(
+            name, case, f"expected {case.expect_error.__name__}, but compress succeeded"
+        )
+
+    def _do():
+        stream = ctx.stream_for(case)
+        again = compress(case.data, **case.codec_kwargs)
+        if not np.array_equal(stream, again):
+            raise _fail(name, case, "compression is nondeterministic: two runs differ")
+        recon = decompress(stream)
+        if recon.dtype != case.data.dtype:
+            raise _fail(name, case, f"dtype {case.data.dtype} decoded as {recon.dtype}")
+        if case.data.ndim <= 3 and recon.shape != case.data.shape:
+            raise _fail(name, case, f"shape {case.data.shape} decoded as {recon.shape}")
+        diag = _max_error_ok(case.data, recon, case.resolved_eb())
+        if diag:
+            raise _fail(name, case, diag)
+
+    try:
+        _guard(name, case, _do, "compress/decompress")
+    except CuSZp2Error as e:
+        raise _fail(
+            name, case, f"codec rejected a finite input: {type(e).__name__}: {e}"
+        ) from None
+
+
+def oracle_chunked(case: FuzzCase, ctx: OracleContext) -> None:
+    name = "chunked"
+    if case.expect_error is not None:
+        return  # compress refuses; nothing differential to check
+
+    def _do():
+        mono = ctx.stream_for(case)
+        recon_mono = decompress(mono)
+        n = case.data.size
+        # 3+ chunks whenever the input allows it (group-aligned by planner).
+        chunk_elems = max(1, n // 3)
+        chunked = compress_chunked(
+            case.data, chunk_elems=chunk_elems, **case.codec_kwargs
+        )
+        recon_chunk = decompress_chunked(chunked)
+        if recon_chunk.shape != recon_mono.shape or recon_chunk.dtype != recon_mono.dtype:
+            raise _fail(
+                name, case,
+                f"chunked decode shape/dtype {recon_chunk.shape}/{recon_chunk.dtype} "
+                f"!= monolithic {recon_mono.shape}/{recon_mono.dtype}",
+            )
+        if recon_chunk.tobytes() != recon_mono.tobytes():
+            bad = int(
+                np.flatnonzero(recon_chunk.reshape(-1) != recon_mono.reshape(-1))[0]
+            )
+            raise _fail(
+                name, case,
+                f"chunked decode differs from monolithic at flat element {bad} "
+                f"({chunked.nchunks} chunks)",
+            )
+        # per-chunk decodes must equal the matching monolithic slices
+        flat_mono = recon_mono.reshape(-1)
+        for i, (lo, hi) in enumerate(chunked.element_spans()):
+            part = chunked.decode_chunk(i).reshape(-1)
+            if part.tobytes() != flat_mono[lo:hi].tobytes():
+                raise _fail(
+                    name, case,
+                    f"chunk {i} decodes differently from monolithic slice [{lo}:{hi})",
+                )
+        # container serialization round-trips and self-verifies
+        container = chunked.to_bytes()
+        reread = ChunkedStream.from_bytes(container)
+        bad_chunks = reread.verify()
+        if bad_chunks:
+            raise _fail(name, case, f"container chunks fail CRC after round trip: {bad_chunks}")
+        if decompress_chunked(reread).tobytes() != recon_mono.tobytes():
+            raise _fail(name, case, "container round trip changed the decode")
+        # worker-pool fan-out must produce the very same chunk streams
+        if ctx.pool is not None:
+            pooled = compress_chunked(
+                case.data, chunk_elems=chunk_elems, pool=ctx.pool, **case.codec_kwargs
+            )
+            for i, (a, b) in enumerate(zip(chunked.chunks, pooled.chunks)):
+                if a.tobytes() != b.tobytes():
+                    raise _fail(
+                        name, case, f"worker-pool chunk {i} bytes differ from serial"
+                    )
+            if decompress_chunked(pooled, pool=ctx.pool).tobytes() != recon_mono.tobytes():
+                raise _fail(name, case, "worker-pool decode differs from monolithic")
+
+    try:
+        _guard(name, case, _do, "chunked engine")
+    except CuSZp2Error as e:
+        raise _fail(
+            name, case, f"chunked path rejected a finite input: {type(e).__name__}: {e}"
+        ) from None
+
+
+def oracle_random_access(case: FuzzCase, ctx: OracleContext) -> None:
+    name = "random_access"
+    if case.expect_error is not None or case.params["predictor_ndim"] != 1:
+        return
+
+    def _do():
+        stream = ctx.stream_for(case)
+        full = decompress(stream).reshape(-1)
+        ra = RandomAccessor(stream)
+        rng = case_rng(case.seed ^ 0x5A5A5A, case.index)
+        n = full.size
+        L = ra.block
+        # boundary blocks plus random interior slices
+        slices = [(0, min(L, n)), (max(0, n - L), n), (0, n)]
+        for _ in range(6):
+            a = int(rng.integers(0, n))
+            b = int(rng.integers(a, min(n, a + 4 * L) + 1))
+            slices.append((a, b))
+        for lo, hi in slices:
+            got = ra.decode_range(lo, hi)
+            want = full[lo:hi]
+            if got.tobytes() != want.tobytes():
+                bad = int(np.flatnonzero(got != want)[0]) if got.size == want.size else -1
+                raise _fail(
+                    name, case,
+                    f"decode_range({lo}, {hi}) differs from full decode "
+                    f"(first mismatch at offset {bad})",
+                )
+        # block-granular API agrees too
+        for idx in {0, ra.nblocks - 1, int(rng.integers(0, ra.nblocks))}:
+            blk = ra.decode_block(idx)
+            lo = idx * L
+            want = full[lo : lo + blk.size]
+            if blk.tobytes() != want.tobytes():
+                raise _fail(name, case, f"decode_block({idx}) differs from full decode")
+
+    try:
+        _guard(name, case, _do, "random access")
+    except CuSZp2Error as e:
+        raise _fail(
+            name, case,
+            f"random access rejected an intact stream: {type(e).__name__}: {e}",
+        ) from None
+
+
+_INJECTOR_PLAN = ("bitflip", "truncate", "burst", "header")
+
+
+def oracle_corruption(case: FuzzCase, ctx: OracleContext) -> None:
+    name = "corruption"
+    if case.expect_error is not None:
+        return
+
+    def _do():
+        stream = ctx.stream_for(case)
+        clean = decompress(stream)
+        rng = case_rng(case.seed ^ 0xC0FFEE, case.index)
+        for iname in _INJECTOR_PLAN:
+            inj_seed = int(rng.integers(0, 2**31))
+            corrupt = make_injector(iname, seed=inj_seed).apply(stream)
+            outcome, detail = classify_decode(stream, corrupt, clean)
+            if outcome == "MISSED":
+                raise _fail(
+                    name, case,
+                    f"{iname}(seed={inj_seed}) produced silent garbage: {detail}",
+                )
+            mismatch = check_recovery(corrupt, clean, block=case.params["block"])
+            if mismatch is not None:
+                raise _fail(
+                    name, case, f"{iname}(seed={inj_seed}) recover mode: {mismatch}"
+                )
+            if case.params["predictor_ndim"] == 1:
+                # accessor construction over damaged bytes: typed error or service
+                try:
+                    ra = RandomAccessor(corrupt, on_corruption="recover")
+                    ra.decode_blocks(np.arange(min(4, ra.nblocks)))
+                except CuSZp2Error:
+                    pass
+
+    _guard(name, case, _do, "corruption handling")
+
+
+#: name -> oracle; drives --paths selection and corpus replay.
+ORACLES: Dict[str, Callable[[FuzzCase, OracleContext], None]] = {
+    "roundtrip": oracle_roundtrip,
+    "chunked": oracle_chunked,
+    "random_access": oracle_random_access,
+    "corruption": oracle_corruption,
+}
+
+
+def applicable_oracles(case: FuzzCase, paths=None):
+    """The subset of ``paths`` (default: all) that applies to ``case``."""
+    names = list(paths) if paths else list(ORACLES)
+    out = []
+    for nm in names:
+        if nm not in ORACLES:
+            raise ValueError(f"unknown oracle {nm!r}; choose from {sorted(ORACLES)}")
+        if nm == "random_access" and case.params["predictor_ndim"] != 1:
+            continue
+        if nm != "roundtrip" and case.expect_error is not None:
+            continue
+        out.append(nm)
+    return out

@@ -1,0 +1,149 @@
+"""Counterexample minimization (a small, deterministic ddmin variant).
+
+Given a failing :class:`~repro.qa.generators.FuzzCase` and the oracle that
+rejected it, the shrinker searches for the smallest, simplest array that
+still fails the *same* oracle: first structurally (delete contiguous
+chunks, coarse to fine), then value-wise (zero out regions, then round
+survivors to short decimals).  Every candidate is re-run through the
+oracle, so a shrunk case is failing by construction and replays from its
+saved bytes alone -- no campaign state needed.
+
+Multi-dimensional cases shrink along axis 0 only, in tile multiples, so
+the array stays a valid Lorenzo field throughout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .generators import FuzzCase
+from .oracles import OracleContext, OracleFailure
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized case plus bookkeeping for the report."""
+
+    case: FuzzCase
+    failure: OracleFailure
+    original_size: int
+    attempts: int
+
+    @property
+    def shrunk_size(self) -> int:
+        return int(self.case.data.size)
+
+
+def _still_fails(
+    case: FuzzCase,
+    data: np.ndarray,
+    oracle: Callable,
+    oracle_name: str,
+) -> Optional[OracleFailure]:
+    """Run the oracle on a candidate; the failure must be the same oracle."""
+    try:
+        oracle(case.with_data(data), OracleContext())
+    except OracleFailure as f:
+        return f if f.oracle == oracle_name else None
+    except Exception:
+        return None  # a *different* breakage; don't chase it while shrinking
+    return None
+
+
+def _axis0_unit(case: FuzzCase) -> int:
+    """Smallest deletable axis-0 extent that keeps the array codec-valid."""
+    if case.data.ndim <= 1:
+        return 1
+    t = round(case.params["block"] ** (1.0 / case.params["predictor_ndim"]))
+    return max(int(t), 1)
+
+
+def shrink_case(
+    case: FuzzCase,
+    oracle: Callable,
+    failure: OracleFailure,
+    max_attempts: int = 400,
+    time_budget: float = 20.0,
+) -> ShrinkResult:
+    """Minimize ``case.data`` while ``oracle`` keeps failing.
+
+    Deterministic and bounded: at most ``max_attempts`` oracle runs or
+    ``time_budget`` seconds, whichever comes first.
+    """
+    oracle_name = failure.oracle
+    best = np.array(case.data, copy=True)
+    best_failure = failure
+    attempts = 0
+    deadline = time.monotonic() + time_budget
+    unit = _axis0_unit(case)
+
+    def try_candidate(data: np.ndarray) -> bool:
+        nonlocal best, best_failure, attempts
+        if attempts >= max_attempts or time.monotonic() > deadline:
+            return False
+        if data.size == 0 or data.shape[0] < unit:
+            return False
+        attempts += 1
+        f = _still_fails(case, data, oracle, oracle_name)
+        if f is not None:
+            best, best_failure = data, f
+            return True
+        return False
+
+    # -- phase 1: structural deletion (ddmin over axis 0) -------------------
+    ncuts = 2
+    while best.shape[0] > unit and attempts < max_attempts:
+        n0 = best.shape[0]
+        piece = max((n0 // ncuts) // unit * unit, unit)
+        progressed = False
+        lo = 0
+        while lo < best.shape[0] and attempts < max_attempts:
+            hi = min(lo + piece, best.shape[0])
+            candidate = np.concatenate([best[:lo], best[hi:]], axis=0)
+            if try_candidate(candidate):
+                progressed = True  # keep lo: the tail shifted into place
+            else:
+                lo = hi
+        if not progressed:
+            if piece <= unit:
+                break
+            ncuts *= 2
+        if time.monotonic() > deadline:
+            break
+
+    # -- phase 2: zero out surviving regions --------------------------------
+    flat = best.reshape(-1)
+    span = max(flat.size // 8, 1)
+    lo = 0
+    while lo < flat.size and attempts < max_attempts and time.monotonic() <= deadline:
+        candidate = flat.copy()
+        candidate[lo : lo + span] = 0
+        if not np.array_equal(candidate, flat) and try_candidate(
+            candidate.reshape(best.shape)
+        ):
+            flat = best.reshape(-1)
+        lo += span
+
+    # -- phase 3: round survivors to short decimals -------------------------
+    flat = best.reshape(-1)
+    for decimals in (0, 2, 6):
+        if attempts >= max_attempts or time.monotonic() > deadline:
+            break
+        with np.errstate(all="ignore"):
+            candidate = np.round(flat.astype(np.float64), decimals).astype(best.dtype)
+        if not np.array_equal(candidate, flat) and try_candidate(
+            candidate.reshape(best.shape)
+        ):
+            flat = best.reshape(-1)
+            break  # coarsest successful rounding is the simplest
+
+    return ShrinkResult(
+        case=case.with_data(best),
+        failure=best_failure,
+        original_size=int(np.asarray(case.data).size),
+        attempts=attempts,
+    )

@@ -186,6 +186,43 @@ class ChunkedStream:
     def decompress(self, pool=None) -> np.ndarray:
         return decompress_chunked(self, pool=pool)
 
+    # -- differential-testing seam ------------------------------------------
+    #
+    # repro.qa compares chunked output against the monolithic codec chunk
+    # by chunk; these accessors expose the container's internals without
+    # going through a full reassembling decode.
+
+    def verify(self) -> List[int]:
+        """CRC-check every chunk stream against its manifest entry; returns
+        the indices of damaged chunks (empty = container intact)."""
+        bad = []
+        for i, (entry, chunk) in enumerate(zip(self.manifest.entries, self.chunks)):
+            if (
+                int(chunk.size) != entry.nbytes
+                or (zlib.crc32(chunk.tobytes()) & 0xFFFFFFFF) != entry.crc32
+            ):
+                bad.append(i)
+        return bad
+
+    def decode_chunk(self, i: int) -> np.ndarray:
+        """Decode chunk ``i`` in isolation (flat elements for axis="flat",
+        axis-0 rows for axis="rows")."""
+        return decompress_chunk(self.chunks[i])
+
+    def element_spans(self) -> List[Tuple[int, int]]:
+        """Flat element range ``[lo, hi)`` each chunk covers in the field."""
+        m = self.manifest
+        nelems = 1
+        for s in m.shape:
+            nelems *= int(s)
+        per_row = nelems // m.shape[0] if m.axis == "rows" else 1
+        spans, pos = [], 0
+        for e in m.entries:
+            n = e.nelems * per_row
+            spans.append((pos, pos + n))
+            pos += n
+        return spans
+
     # -- serialization ------------------------------------------------------
 
     def to_bytes(self) -> np.ndarray:

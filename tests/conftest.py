@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(12345)
+    return seeded_rng(12345)
 
 
 @pytest.fixture

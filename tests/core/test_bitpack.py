@@ -1,6 +1,8 @@
 """Unit tests for the bit-plane packing primitives."""
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.core import bitpack
@@ -28,7 +30,7 @@ class TestPackBits:
         assert bitpack.pack_bits(bits).tolist() == [0x81]
 
     def test_round_trip(self):
-        rng = np.random.default_rng(0)
+        rng = seeded_rng(0)
         bits = rng.integers(0, 2, size=(5, 64)).astype(np.uint8)
         packed = bitpack.pack_bits(bits)
         assert packed.shape == (5, 8)
@@ -47,7 +49,7 @@ class TestSigns:
         assert sign_bytes[0, 0] == 0b01001010
 
     def test_round_trip(self):
-        rng = np.random.default_rng(1)
+        rng = seeded_rng(1)
         deltas = rng.integers(-100, 100, size=(9, 32)).astype(np.int64)
         neg = bitpack.unpack_signs(bitpack.pack_signs(deltas), 32)
         assert np.array_equal(neg, deltas < 0)
@@ -73,7 +75,7 @@ class TestPlanes:
 
     @pytest.mark.parametrize("fl", [1, 2, 5, 8, 16, 31])
     def test_round_trip_all_widths(self, fl):
-        rng = np.random.default_rng(fl)
+        rng = seeded_rng(fl)
         mag = rng.integers(0, 2**fl, size=(7, 32)).astype(np.int64)
         payload = bitpack.pack_planes(mag, fl)
         assert payload.shape == (7, fl * 4)

@@ -1,0 +1,135 @@
+"""Degenerate-shape and limit-value tests for the FLE/bitpack layer.
+
+These inputs live at the boundaries the vectorized implementations are
+easiest to get wrong: empty group dimensions (``reshape(-1)`` cannot be
+inferred on size-0 arrays — a real bug this file pinned down), magnitudes
+at the 31-bit cap where one more bit would overflow the sign+31-bit budget
+of a quantization code, every block preferring outlier mode at once, and
+field lengths that leave a single element in the trailing block.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bitpack, blockfmt, fle
+from repro.core.compressor import compress, decompress
+from repro.core.errors import QuantizationOverflowError
+from tests.helpers import assert_error_bounded, seeded_rng
+
+
+class TestZeroLength:
+    """Empty group dimension: zero blocks in, zero bytes out, no crash."""
+
+    def test_pack_bits_empty_group(self):
+        assert bitpack.pack_bits(np.zeros((0, 32), np.uint8)).shape == (0, 4)
+        assert bitpack.unpack_bits(np.zeros((0, 4), np.uint8), 32).shape == (0, 32)
+
+    def test_pack_signs_empty_group(self):
+        signs = bitpack.pack_signs(np.zeros((0, 32), np.int64))
+        assert signs.shape == (0, 4)
+        assert bitpack.unpack_signs(signs, 32).shape == (0, 32)
+
+    def test_pack_planes_empty_group(self):
+        assert bitpack.pack_planes(np.zeros((0, 32), np.int64), 5).shape == (0, 20)
+        out = bitpack.unpack_planes(np.zeros((0, 20), np.uint8), 5, 32)
+        assert out.shape == (0, 32) and out.dtype == np.int64
+
+    @pytest.mark.parametrize("use_outlier", [False, True])
+    def test_encode_zero_blocks(self, use_outlier):
+        d = np.zeros((0, 32), dtype=np.int64)
+        offsets, payload = fle.encode_blocks(d, use_outlier)
+        assert offsets.size == 0 and payload.size == 0
+        assert fle.decode_blocks(offsets, payload, 32).shape == (0, 32)
+        assert fle.block_payload_sizes(offsets, 32).size == 0
+
+
+class TestAllOutlierBlocks:
+    """Every block selecting outlier mode simultaneously (no plain group)."""
+
+    def test_round_trip_and_mode(self):
+        d = np.zeros((6, 8), dtype=np.int64)
+        d[:, 0] = 4000  # large first element, tiny rest: outlier clearly wins
+        d[:, 1] = 1
+        offsets, payload = fle.encode_blocks(d, True)
+        mode, _, _ = blockfmt.decode_offset_bytes(offsets)
+        assert np.all(mode == blockfmt.MODE_OUTLIER)
+        assert np.array_equal(fle.decode_blocks(offsets, payload, 8), d)
+
+    def test_mixed_outlier_widths_all_outlier(self):
+        # distinct outlier byte counts per block exercise every (fl, onb) group
+        d = np.zeros((4, 16), dtype=np.int64)
+        d[:, 0] = [200, 70_000, 20_000_000, 2**31 - 1]
+        d[:, 1] = 1
+        offsets, payload = fle.encode_blocks(d, True)
+        mode, onb, _ = blockfmt.decode_offset_bytes(offsets)
+        assert np.all(mode == blockfmt.MODE_OUTLIER)
+        assert sorted(onb.tolist()) == [1, 3, 4, 4]
+        assert np.array_equal(fle.decode_blocks(offsets, payload, 16), d)
+
+
+class TestMaxBitWidth:
+    """Magnitudes at the 2**31 - 1 cap: fl = 31 planes + sign = 32 bits."""
+
+    def test_fl31_round_trip_plain(self):
+        d = np.full((2, 8), 2**31 - 1, dtype=np.int64)
+        d[1] *= -1
+        offsets, payload = fle.encode_blocks(d, False)
+        _, _, flv = blockfmt.decode_offset_bytes(offsets)
+        assert flv.tolist() == [31, 31]
+        # 1 sign byte + 31 plane bytes per 8-element block: full 32 bits/value
+        assert payload.size == 2 * 32
+        assert np.array_equal(fle.decode_blocks(offsets, payload, 8), d)
+
+    def test_fl31_round_trip_outlier(self):
+        d = np.zeros((1, 8), dtype=np.int64)
+        d[0, 0] = -(2**31 - 1)  # max-width outlier, zero residual planes
+        offsets, payload = fle.encode_blocks(d, True)
+        mode, onb, flv = blockfmt.decode_offset_bytes(offsets)
+        assert mode[0] == blockfmt.MODE_OUTLIER and onb[0] == 4 and flv[0] == 0
+        assert np.array_equal(fle.decode_blocks(offsets, payload, 8), d)
+
+    def test_planes_saturated_values(self):
+        mag = np.full((3, 8), 2**31 - 1, dtype=np.int64)
+        payload = bitpack.pack_planes(mag, 31)
+        assert np.all(payload == 0xFF)
+        assert np.array_equal(bitpack.unpack_planes(payload, 31, 8), mag)
+
+    @pytest.mark.parametrize("use_outlier", [False, True])
+    def test_one_past_cap_raises(self, use_outlier):
+        d = np.zeros((1, 8), dtype=np.int64)
+        d[0, 3] = 2**31
+        with pytest.raises(QuantizationOverflowError):
+            fle.encode_blocks(d, use_outlier)
+
+    def test_cap_with_outlier_also_at_cap(self):
+        d = np.full((1, 8), 2**31 - 1, dtype=np.int64)
+        assert np.array_equal(
+            fle.decode_blocks(*fle.encode_blocks(d, True), 8), d
+        )
+
+
+class TestSingleElementTrailingBlocks:
+    """Codec-level: field lengths leaving exactly one element in the last
+    block (n % block == 1), including the degenerate one-element field."""
+
+    @pytest.mark.parametrize("n", [1, 9, 33, 257])
+    def test_round_trip_n_mod_block_is_one(self, n):
+        x = np.cumsum(seeded_rng("trailing", n).normal(size=n)).astype(np.float32)
+        stream = compress(x, rel=1e-3, block=8)
+        recon = decompress(stream)
+        assert recon.shape == x.shape and recon.dtype == x.dtype
+        eb = 1e-3 * (float(x.max() - x.min()) if n > 1 else abs(float(x[0])) or 1.0)
+        assert_error_bounded(x, recon, eb)
+
+    def test_trailing_element_is_only_nonzero(self):
+        # all padding plus one live value in the final partial block
+        x = np.zeros(65, dtype=np.float32)
+        x[-1] = 3.25
+        recon = decompress(compress(x, abs=1e-4, block=32))
+        assert_error_bounded(x, recon, 1e-4)
+        assert np.all(np.abs(recon[:-1]) <= 1e-4 + 1e-7)
+
+    def test_single_element_outlier_mode(self):
+        x = np.array([123.456], dtype=np.float32)
+        recon = decompress(compress(x, rel=1e-3, mode="outlier", block=8))
+        assert recon.shape == (1,)

@@ -11,6 +11,8 @@ The decoder's contract has two layers:
 """
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -22,7 +24,7 @@ from repro.faults import BurstErasure, Truncation
 
 
 def make_stream(seed=0, n=3000):
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     data = np.cumsum(rng.normal(size=n)).astype(np.float32)
     return compress(data, rel=1e-3, mode="outlier")
 
@@ -155,7 +157,7 @@ class TestBaselineDecoderSafety:
         from repro.core.quantize import ErrorBound
 
         codec = FZGPU(ErrorBound.relative(1e-3))
-        rng = np.random.default_rng(1)
+        rng = seeded_rng(1)
         buf = codec.compress(np.cumsum(rng.normal(size=2000)).astype(np.float32)).copy()
         buf[pos % buf.size] = (int(buf[pos % buf.size]) + delta) % 256
         try:
@@ -181,7 +183,7 @@ class TestArchiveAndTileHostility:
     def test_archive_corruption(self, pos, delta):
         from repro.core.archive import DatasetArchive, pack
 
-        rng = np.random.default_rng(2)
+        rng = seeded_rng(2)
         buf = pack(
             {"a": rng.normal(size=1500).astype(np.float32),
              "b": rng.normal(size=800).astype(np.float32)},
@@ -200,7 +202,7 @@ class TestArchiveAndTileHostility:
     def test_tile_accessor_corruption(self, pos, delta):
         from repro.core.tile_access import TileAccessor
 
-        rng = np.random.default_rng(3)
+        rng = seeded_rng(3)
         vol = np.cumsum(rng.normal(size=(16, 16, 16)), axis=0).astype(np.float32)
         buf = compress(vol, rel=1e-2, predictor_ndim=3, block=64).copy()
         buf[pos % buf.size] = (int(buf[pos % buf.size]) + delta) % 256

@@ -11,6 +11,8 @@ the corrupt ones, reporting what happened in a structured
 import zlib
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro import compress, decompress
@@ -26,7 +28,7 @@ from repro.core.errors import CuSZp2Error
 
 
 def small_stream(n=2000, group_blocks=8, seed=0, **kw):
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     data = np.cumsum(rng.normal(size=n)).astype(np.float32)
     return data, compress(data, rel=1e-3, mode="outlier", group_blocks=group_blocks, **kw)
 

@@ -1,6 +1,8 @@
 """Unit tests for the 1-D/2-D/3-D blockwise difference predictors."""
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.core import predictor
@@ -38,7 +40,7 @@ class TestDiff1D:
         assert d[1, 0] == 100
 
     def test_round_trip(self):
-        rng = np.random.default_rng(0)
+        rng = seeded_rng(0)
         blocks = rng.integers(-1000, 1000, size=(17, 32)).astype(np.int64)
         assert np.array_equal(predictor.undiff_1d(predictor.diff_1d(blocks)), blocks)
 
@@ -52,7 +54,7 @@ class TestDiff1D:
 
 class TestLorenzo2D:
     def test_matches_explicit_stencil(self):
-        rng = np.random.default_rng(3)
+        rng = seeded_rng(3)
         tiles = rng.integers(-50, 50, size=(4, 8, 8)).astype(np.int64)
         d = predictor.lorenzo_diff_2d(tiles)
         padded = np.pad(tiles, ((0, 0), (1, 0), (1, 0)))
@@ -62,7 +64,7 @@ class TestLorenzo2D:
         assert np.array_equal(d, expected)
 
     def test_round_trip(self):
-        rng = np.random.default_rng(4)
+        rng = seeded_rng(4)
         tiles = rng.integers(-9, 9, size=(5, 8, 8)).astype(np.int64)
         assert np.array_equal(
             predictor.lorenzo_undiff_2d(predictor.lorenzo_diff_2d(tiles)), tiles
@@ -71,7 +73,7 @@ class TestLorenzo2D:
 
 class TestLorenzo3D:
     def test_matches_explicit_stencil(self):
-        rng = np.random.default_rng(5)
+        rng = seeded_rng(5)
         t = rng.integers(-50, 50, size=(3, 4, 4, 4)).astype(np.int64)
         d = predictor.lorenzo_diff_3d(t)
         p = np.pad(t, ((0, 0), (1, 0), (1, 0), (1, 0)))
@@ -84,7 +86,7 @@ class TestLorenzo3D:
         assert np.array_equal(d, expected)
 
     def test_round_trip(self):
-        rng = np.random.default_rng(6)
+        rng = seeded_rng(6)
         t = rng.integers(-9, 9, size=(7, 4, 4, 4)).astype(np.int64)
         assert np.array_equal(
             predictor.lorenzo_undiff_3d(predictor.lorenzo_diff_3d(t)), t
@@ -103,7 +105,7 @@ class TestUnifiedInterface:
         ],
     )
     def test_forward_inverse_round_trip(self, ndim, dims, block):
-        rng = np.random.default_rng(7)
+        rng = seeded_rng(7)
         n = int(np.prod(dims))
         q = rng.integers(-500, 500, size=n).astype(np.int64)
         d = predictor.forward(q, dims, ndim, block)

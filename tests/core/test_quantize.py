@@ -1,6 +1,8 @@
 """Unit tests for the lossy conversion stage (the only lossy step)."""
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.core.errors import ErrorBoundError, InvalidInputError, QuantizationOverflowError
@@ -81,7 +83,7 @@ class TestQuantize:
         assert abs(recon[0] - 1.12) < 0.1
 
     def test_round_trip_respects_bound(self):
-        rng = np.random.default_rng(1)
+        rng = seeded_rng(1)
         data = rng.uniform(-100, 100, size=10_000)
         eb = 0.05
         recon = dequantize(quantize(data, eb), eb, np.dtype(np.float64))

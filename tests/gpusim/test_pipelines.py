@@ -6,6 +6,8 @@ artifacts, so they run in milliseconds without allocating gigabytes.
 """
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.gpusim import A100_40GB, RTX_3080, RTX_3090, Artifacts, profile
@@ -30,7 +32,7 @@ class TestArtifacts:
     def test_from_real_stream(self):
         from repro import compress
 
-        data = np.cumsum(np.random.default_rng(0).normal(size=50_000)).astype(np.float32)
+        data = np.cumsum(seeded_rng(0).normal(size=50_000)).astype(np.float32)
         buf = compress(data, rel=1e-3, mode="outlier")
         a = Artifacts.from_cuszp2_stream(data, buf)
         assert a.nelems == 50_000

@@ -1,6 +1,31 @@
 """Assertion helpers shared across test modules."""
 
+import zlib
+
 import numpy as np
+
+
+def seeded_rng(*key) -> np.random.Generator:
+    """The one way tests obtain randomness.
+
+    Every test that needs random data calls ``seeded_rng(...)`` with an
+    explicit key instead of ``np.random.default_rng`` / module-level
+    ``np.random`` functions, so no test depends on global RNG state and
+    every data draw is replayable from the key alone.  A single int key
+    yields the exact same stream as ``np.random.default_rng(key)`` (so
+    historical seeds keep their data); strings are folded in via CRC32,
+    letting tests use self-describing keys like
+    ``seeded_rng("cache-thread", tid)``.
+    """
+    if not key:
+        raise TypeError("seeded_rng requires an explicit key")
+    words = [
+        k if isinstance(k, (int, np.integer)) else zlib.crc32(str(k).encode())
+        for k in key
+    ]
+    if len(words) == 1:
+        return np.random.default_rng(words[0])
+    return np.random.default_rng(np.random.SeedSequence(words))
 
 
 def value_range(data: np.ndarray) -> float:

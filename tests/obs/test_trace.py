@@ -4,6 +4,8 @@ import threading
 import time
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.obs import trace as obs_trace
@@ -333,7 +335,7 @@ class TestServiceIntegration:
         from repro.serve.service import CompressionService
 
         tr = Tracer()
-        rng = np.random.default_rng(0)
+        rng = seeded_rng(0)
         data = np.cumsum(rng.standard_normal(1 << 16)).astype(np.float32)
         activate(tr)
         try:

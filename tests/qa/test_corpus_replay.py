@@ -1,0 +1,77 @@
+"""Corpus persistence round-trips, and the committed corpus replays green.
+
+The second half is the regression mechanism described in
+``tests/data/qa_corpus/README.md``: every shrunk counterexample committed
+after a bug fix is re-run here forever.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.qa import draw_case, load_case, replay, save_failure
+from repro.qa.corpus import corpus_entries
+from repro.qa.oracles import OracleFailure
+
+COMMITTED_CORPUS = Path(__file__).resolve().parent.parent / "data" / "qa_corpus"
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_case(self, tmp_path):
+        case = draw_case(9, 4)
+        failure = OracleFailure("roundtrip", case, "demo")
+        path = save_failure(case, failure, tmp_path)
+        assert path.name.startswith("roundtrip-")
+        loaded, meta = load_case(path)
+        assert np.array_equal(loaded.data, case.data)
+        assert loaded.params == case.params
+        assert loaded.family == case.family
+        assert loaded.expect_error is None
+        assert meta["oracle"] == "roundtrip" and meta["detail"] == "demo"
+        assert "repro fuzz" in meta["repro"]
+
+    def test_expect_error_survives_round_trip(self, tmp_path):
+        from repro.core.errors import InvalidInputError
+
+        case = draw_case(0, 0, family="nonfinite")
+        path = save_failure(case, OracleFailure("roundtrip", case, "d"), tmp_path)
+        loaded, _ = load_case(path)
+        assert loaded.expect_error is InvalidInputError
+
+    def test_filename_digest_tracks_content(self, tmp_path):
+        case = draw_case(9, 4)
+        f = OracleFailure("roundtrip", case, "demo")
+        p1 = save_failure(case, f, tmp_path)
+        p2 = save_failure(case.with_data(case.data[:16].copy()), f, tmp_path)
+        assert p1.name != p2.name  # different bytes, different entry
+
+    def test_corpus_entries_listing(self, tmp_path):
+        assert corpus_entries(tmp_path / "absent") == []
+        case = draw_case(1, 1)
+        save_failure(case, OracleFailure("chunked", case, "d"), tmp_path)
+        (tmp_path / "notes.txt").write_text("ignored")
+        assert [p.suffix for p in corpus_entries(tmp_path)] == [".npz"]
+
+    def test_replay_green_case_returns_none(self, tmp_path):
+        # a healthy case saved as if it had failed: replay runs the real
+        # oracle, which passes on the fixed codec
+        case = draw_case(2, 0)
+        path = save_failure(case, OracleFailure("roundtrip", case, "d"), tmp_path)
+        assert replay(path) is None
+
+
+class TestCommittedCorpus:
+    def test_corpus_directory_is_seeded(self):
+        assert corpus_entries(COMMITTED_CORPUS), (
+            "tests/data/qa_corpus must hold at least one entry"
+        )
+
+    @pytest.mark.parametrize(
+        "entry",
+        corpus_entries(COMMITTED_CORPUS),
+        ids=lambda p: p.name,
+    )
+    def test_every_committed_entry_replays_green(self, entry):
+        failure = replay(entry)
+        assert failure is None, f"{entry.name} regressed: {failure}"

@@ -1,0 +1,104 @@
+"""The generator layer: deterministic draws, full family coverage, and
+case parameters that always describe a codec-valid configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInputError
+from repro.qa import FAMILIES, draw_case
+from repro.qa.generators import case_rng
+
+
+class TestDeterminism:
+    def test_same_coordinates_same_case(self):
+        for i in (0, 3, 17, 41):
+            a = draw_case(123, i)
+            b = draw_case(123, i)
+            assert a.family == b.family
+            assert a.params == b.params
+            assert a.data.dtype == b.data.dtype
+            assert np.array_equal(a.data, b.data, equal_nan=True)
+
+    def test_different_seeds_differ(self):
+        a, b = draw_case(0, 0), draw_case(1, 0)
+        assert a.data.shape != b.data.shape or not np.array_equal(a.data, b.data)
+
+    def test_case_rng_streams_are_independent(self):
+        x = case_rng(5, 0).normal(size=8)
+        y = case_rng(5, 1).normal(size=8)
+        assert not np.array_equal(x, y)
+        assert np.array_equal(x, case_rng(5, 0).normal(size=8))
+
+
+class TestFamilyCoverage:
+    def test_one_cycle_covers_every_family(self):
+        fams = {draw_case(0, i).family for i in range(len(FAMILIES))}
+        assert fams == set(FAMILIES)
+
+    def test_explicit_family_override(self):
+        case = draw_case(0, 0, family="spikes")
+        assert case.family == "spikes"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            draw_case(0, 0, family="nope")
+
+    def test_nonfinite_expects_typed_error(self):
+        case = draw_case(0, 0, family="nonfinite")
+        assert case.expect_error is InvalidInputError
+        assert not np.isfinite(case.data).all()
+
+    def test_all_other_families_expect_success(self):
+        for fam in FAMILIES:
+            if fam == "nonfinite":
+                continue
+            case = draw_case(7, 0, family=fam)
+            assert case.expect_error is None, fam
+            assert np.isfinite(case.data).all(), fam
+
+
+class TestParameterValidity:
+    @pytest.mark.parametrize("index", range(28))
+    def test_drawn_params_are_codec_valid(self, index):
+        case = draw_case(99, index)
+        p = case.params
+        assert p["block"] % 8 == 0 and p["block"] > 0
+        assert p["mode"] in ("plain", "outlier")
+        assert p["group_blocks"] > 0
+        if p["predictor_ndim"] == 2:
+            assert p["block"] in (16, 64)
+            assert all(s % int(p["block"] ** 0.5) == 0 for s in case.data.shape)
+        if p["predictor_ndim"] == 3:
+            assert p["block"] == 64
+            assert all(s % 4 == 0 for s in case.data.shape)
+        assert ("rel" in p) != ("abs" in p)  # exactly one bound kind
+        if case.expect_error is None:
+            assert case.resolved_eb() > 0
+
+    def test_tiny_family_hits_block_boundaries(self):
+        sizes = {draw_case(s, 0, family="tiny").data.size for s in range(40)}
+        assert 1 in sizes  # the degenerate single-element field shows up
+        assert any(n > 1 for n in sizes)
+
+    def test_multigroup_spans_groups(self):
+        case = draw_case(3, 0, family="multigroup")
+        blocks = -(-case.data.size // case.params["block"])
+        assert blocks > case.params["group_blocks"]
+
+
+class TestFuzzCaseHelpers:
+    def test_bound_and_codec_kwargs(self):
+        case = draw_case(11, 1)
+        kw = case.codec_kwargs
+        assert set(kw) == {next(iter(case.bound_kwargs)), "mode", "block",
+                           "predictor_ndim", "group_blocks"}
+
+    def test_with_data_keeps_params(self):
+        case = draw_case(0, 0)
+        small = case.with_data(case.data[:8])
+        assert small.params == case.params and small.family == case.family
+        assert small.data.size == 8
+
+    def test_describe_names_the_case(self):
+        s = draw_case(42, 6).describe()
+        assert "seed=42" in s and "i=6" in s

@@ -1,0 +1,82 @@
+"""The acceptance test for the whole harness: a deliberately injected
+codec bug must be caught, shrunk, persisted and replayable.
+
+The mutation drops the top magnitude bit-plane in the decode path (for
+blocks with fl >= 3) -- a realistic silent-corruption defect: streams
+still parse, CRCs still match (the bytes are intact; the *decoder* is
+wrong), only the reconstructed values drift out of bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bitpack
+from repro.qa import FuzzConfig, load_case, replay, run_fuzz
+from repro.qa.corpus import corpus_entries
+
+_ORIG_UNPACK = bitpack.unpack_planes
+
+
+def _drop_top_plane(payload, fl, length):
+    mag = _ORIG_UNPACK(payload, fl, length)
+    if fl >= 3:
+        mag = mag & ~(np.int64(1) << np.int64(fl - 1))
+    return mag
+
+
+@pytest.fixture
+def mutated_codec(monkeypatch):
+    monkeypatch.setattr(bitpack, "unpack_planes", _drop_top_plane)
+    yield
+    # monkeypatch restores on teardown
+
+
+class TestMutationIsCaught:
+    def test_fuzz_catches_shrinks_and_persists(self, mutated_codec, tmp_path):
+        corpus = tmp_path / "corpus"
+        report = run_fuzz(
+            FuzzConfig(
+                seed=0,
+                iters=5,
+                paths=("roundtrip",),
+                corpus_dir=str(corpus),
+                max_failures=1,
+            )
+        )
+        assert not report.ok
+        assert report.stopped_early == "max_failures (1) reached"
+        [failure] = report.failures
+        assert failure.oracle == "roundtrip"
+        assert "error bound violated" in failure.detail
+
+        # shrunk to a replayable counterexample far smaller than the draw
+        assert failure.shrunk_size < failure.original_size
+        assert failure.shrunk_size <= 64
+
+        # persisted entry is self-contained and still failing
+        [entry] = corpus_entries(corpus)
+        assert str(entry) == failure.corpus_path
+        case, meta = load_case(entry)
+        assert meta["oracle"] == "roundtrip"
+        assert case.data.size == failure.shrunk_size
+        refail = replay(entry)
+        assert refail is not None and refail.oracle == "roundtrip"
+
+    def test_replay_passes_once_codec_is_fixed(self, tmp_path):
+        # same campaign against the *unmutated* codec: green; and an entry
+        # recorded under mutation replays green after the "fix"
+        corpus = tmp_path / "corpus"
+        import unittest.mock as mock
+
+        with mock.patch.object(bitpack, "unpack_planes", _drop_top_plane):
+            report = run_fuzz(
+                FuzzConfig(seed=0, iters=5, paths=("roundtrip",),
+                           corpus_dir=str(corpus), max_failures=1)
+            )
+        assert not report.ok
+        [entry] = corpus_entries(corpus)
+        assert replay(entry) is None  # fixed codec: permanent regression test
+
+    def test_campaign_is_green_without_mutation(self):
+        report = run_fuzz(FuzzConfig(seed=0, iters=5, paths=("roundtrip",)))
+        assert report.ok, report.summary()

@@ -1,0 +1,92 @@
+"""The oracles themselves: they pass on healthy cases, filter correctly,
+and reuse one compression per case via the context cache."""
+
+import numpy as np
+import pytest
+
+from repro.qa import ORACLES, applicable_oracles, draw_case
+from repro.qa.oracles import OracleContext, OracleFailure
+
+
+class TestOraclesPassOnHealthyCodec:
+    @pytest.mark.parametrize("oname", sorted(ORACLES))
+    def test_first_cycle_is_green(self, oname):
+        ctx = OracleContext()
+        for i in range(14):  # one full family cycle
+            case = draw_case(0, i)
+            if oname in applicable_oracles(case, (oname,)):
+                ORACLES[oname](case, ctx)  # must not raise
+
+    def test_nonfinite_case_roundtrip_checks_refusal(self):
+        case = draw_case(0, 0, family="nonfinite")
+        ORACLES["roundtrip"](case, OracleContext())  # passes: codec refuses
+
+    def test_roundtrip_fails_when_expected_error_missing(self):
+        # healthy finite data wrongly labelled expect_error: the oracle must
+        # flag that compress succeeded where a refusal was promised
+        from repro.core.errors import InvalidInputError
+
+        case = draw_case(0, 0)  # walk, finite
+        bad = type(case)(
+            family=case.family, seed=case.seed, index=case.index,
+            data=case.data, params=case.params, expect_error=InvalidInputError,
+        )
+        with pytest.raises(OracleFailure, match="compress succeeded"):
+            ORACLES["roundtrip"](bad, OracleContext())
+
+
+class TestApplicability:
+    def test_random_access_skipped_for_nd(self):
+        case2 = draw_case(0, 0, family="ndim2")
+        assert "random_access" not in applicable_oracles(case2)
+        case1 = draw_case(0, 0, family="walk")
+        assert "random_access" in applicable_oracles(case1)
+
+    def test_expect_error_keeps_only_roundtrip(self):
+        case = draw_case(0, 0, family="nonfinite")
+        assert applicable_oracles(case) == ["roundtrip"]
+
+    def test_paths_filter_respected(self):
+        case = draw_case(0, 0, family="walk")
+        assert applicable_oracles(case, ("chunked",)) == ["chunked"]
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            applicable_oracles(draw_case(0, 0), ("nope",))
+
+
+class TestContextCache:
+    def test_stream_compressed_once_per_case(self):
+        case = draw_case(0, 0)
+        ctx = OracleContext()
+        first = ctx.stream_for(case)
+        assert ctx.stream_for(case) is first  # cached, not recompressed
+
+    def test_cache_distinguishes_shrunk_variants(self):
+        case = draw_case(0, 0)
+        ctx = OracleContext()
+        full = ctx.stream_for(case)
+        small = ctx.stream_for(case.with_data(case.data[:64].copy()))
+        assert small.size < full.size
+
+
+class TestFailureObject:
+    def test_failure_carries_triage_info(self):
+        case = draw_case(5, 2)
+        f = OracleFailure("roundtrip", case, "demo detail")
+        assert f.oracle == "roundtrip" and f.case is case
+        assert "demo detail" in str(f) and "seed=5" in str(f)
+        assert isinstance(f, AssertionError)
+
+    def test_error_bound_oracle_uses_native_ulp(self):
+        # float32 reconstruction near 1e6: half a float32 ULP (~0.03) dwarfs
+        # the float64 spacing; the oracle must grant the native slack or
+        # every large-magnitude case would false-positive
+        from repro.qa.oracles import _max_error_ok
+
+        x = np.full(16, 1.0e6, dtype=np.float32)
+        recon = np.nextafter(x, np.inf)  # off by exactly one f32 ULP
+        ulp = float(np.spacing(np.float32(1.0e6)))
+        assert _max_error_ok(x, recon, eb_abs=ulp / 2) is None
+        diag = _max_error_ok(x, recon, eb_abs=ulp / 8)
+        assert diag is not None and "error bound violated" in diag

@@ -1,0 +1,124 @@
+"""The shrinker: minimizes while preserving the failure, never chases a
+different oracle, and respects codec-validity units for N-D fields."""
+
+import numpy as np
+import pytest
+
+from repro.qa import draw_case, shrink_case
+from repro.qa.oracles import OracleFailure
+from repro.qa.shrink import _axis0_unit
+
+
+def poison_oracle(case, ctx):
+    """A stand-in defect: fails whenever the array contains a value > 100."""
+    if np.any(case.data > 100):
+        raise OracleFailure("poison", case, "poison value present")
+
+
+def make_poisoned_case(n=2000, at=1234):
+    case = draw_case(0, 0)  # walk family, 1-D
+    data = np.zeros(n, dtype=np.float32)
+    data[at] = 500.0
+    return case.with_data(data)
+
+
+class TestShrinkMinimizes:
+    def test_single_poison_element_survives(self):
+        case = make_poisoned_case()
+        failure = None
+        try:
+            poison_oracle(case, None)
+        except OracleFailure as f:
+            failure = f
+        result = shrink_case(case, poison_oracle, failure)
+        assert result.original_size == 2000
+        assert result.shrunk_size <= 8  # ddmin isolates the poison region
+        assert np.any(result.case.data > 100)  # still failing by construction
+        assert result.failure.oracle == "poison"
+        assert result.attempts > 0
+
+    def test_shrunk_case_keeps_codec_params(self):
+        case = make_poisoned_case()
+        try:
+            poison_oracle(case, None)
+        except OracleFailure as f:
+            result = shrink_case(case, poison_oracle, f)
+        assert result.case.params == case.params
+        assert result.case.family == case.family
+
+    def test_deterministic(self):
+        def run():
+            case = make_poisoned_case()
+            try:
+                poison_oracle(case, None)
+            except OracleFailure as f:
+                return shrink_case(case, poison_oracle, f)
+
+        a, b = run(), run()
+        assert np.array_equal(a.case.data, b.case.data)
+        assert a.attempts == b.attempts
+
+
+class TestShrinkSafety:
+    def test_different_oracle_not_chased(self):
+        # an oracle that fails as "poison" on the original but as "other" on
+        # any smaller array: the shrinker must keep the original
+        def flaky(case, ctx):
+            if case.data.size == 2000:
+                raise OracleFailure("poison", case, "original failure")
+            raise OracleFailure("other", case, "different failure")
+
+        case = make_poisoned_case()
+        try:
+            flaky(case, None)
+        except OracleFailure as f:
+            result = shrink_case(case, flaky, f)
+        assert result.shrunk_size == 2000
+        assert result.failure.oracle == "poison"
+
+    def test_oracle_crash_treated_as_not_failing(self):
+        def crashy(case, ctx):
+            if case.data.size == 2000:
+                raise OracleFailure("poison", case, "original")
+            raise RuntimeError("unrelated crash on candidates")
+
+        case = make_poisoned_case()
+        try:
+            crashy(case, None)
+        except OracleFailure as f:
+            result = shrink_case(case, crashy, f)
+        assert result.shrunk_size == 2000  # never adopted a crashing candidate
+
+    def test_attempt_budget_respected(self):
+        case = make_poisoned_case()
+        try:
+            poison_oracle(case, None)
+        except OracleFailure as f:
+            result = shrink_case(case, poison_oracle, f, max_attempts=5)
+        assert result.attempts <= 5
+
+
+class TestAxisUnits:
+    @pytest.mark.parametrize(
+        "family,expected", [("walk", 1), ("ndim2", None), ("ndim3", 4)]
+    )
+    def test_nd_units_match_tile_edges(self, family, expected):
+        case = draw_case(0, 0, family=family)
+        unit = _axis0_unit(case)
+        if family == "ndim2":
+            expected = round(case.params["block"] ** 0.5)  # 4 or 8
+        assert unit == expected
+
+    def test_nd_shrink_keeps_tile_multiple_rows(self):
+        case = draw_case(0, 0, family="ndim2")
+        t = round(case.params["block"] ** 0.5)
+        data = np.zeros_like(case.data)
+        data[-1, -1] = 500.0
+        case = case.with_data(data)
+        try:
+            poison_oracle(case, None)
+        except OracleFailure as f:
+            result = shrink_case(case, poison_oracle, f)
+        assert result.case.data.shape[0] % t == 0
+        assert result.case.data.shape[0] >= t
+        assert np.any(result.case.data > 100)

@@ -7,6 +7,8 @@ race-hunting harness.
 """
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.gpusim.vm import DeadlockError, GlobalMemory, VirtualGPU
@@ -34,7 +36,7 @@ class TestBothProtocols:
 
     @pytest.mark.parametrize("seed", range(25))
     def test_many_random_schedules(self, module, seed):
-        rng = np.random.default_rng(seed)
+        rng = seeded_rng(seed)
         n = int(rng.integers(1, 40))
         sums = rng.integers(0, 1000, size=n)
         resident = int(rng.integers(1, n + 1))

@@ -1,6 +1,8 @@
 """Decode cache: content addressing, LRU byte-budget eviction."""
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.serve import DecodeCache, content_key
@@ -137,7 +139,7 @@ class TestCacheThreadSafety:
         errors = []
 
         def run(tid):
-            rng = np.random.default_rng(tid)
+            rng = seeded_rng(tid)
             barrier.wait()
             try:
                 for k in range(per_thread):

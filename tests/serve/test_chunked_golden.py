@@ -1,0 +1,102 @@
+"""Golden-byte compatibility for CSZ2CHNK chunked containers.
+
+``tests/data/golden_chunked*.csz2chnk`` were produced by the container
+writer at the time the format was introduced and are committed as byte
+fixtures (mirroring the v1 codec fixtures in ``test_v1_compat.py``).
+Every future revision must keep decoding them bit-for-bit: chunked
+archives on disk do not get rewritten when the software updates, so any
+drift in the container header, manifest JSON, CRC placement or chunk
+stream layout is a compatibility break this file catches.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.chunked import (
+    CHUNK_MAGIC,
+    ChunkedStream,
+    decompress_chunked,
+    is_chunked,
+)
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def load(name):
+    return np.fromfile(DATA / name, dtype=np.uint8)
+
+
+class TestGoldenChunked1D:
+    def test_magic_and_parse(self):
+        buf = load("golden_chunked.csz2chnk")
+        assert is_chunked(buf)
+        assert buf[: len(CHUNK_MAGIC)].tobytes() == CHUNK_MAGIC
+        ch = ChunkedStream.from_bytes(buf)
+        assert ch.nchunks == 4
+        assert ch.manifest.axis == "flat"
+        assert ch.manifest.mode == "outlier"
+        assert ch.manifest.group_blocks == 16
+
+    def test_chunks_pass_manifest_crcs(self):
+        ch = ChunkedStream.from_bytes(load("golden_chunked.csz2chnk"))
+        assert ch.verify() == []
+
+    def test_decodes_bit_identically(self):
+        ch = ChunkedStream.from_bytes(load("golden_chunked.csz2chnk"))
+        expected = np.fromfile(DATA / "golden_chunked_expected.f32", dtype=np.float32)
+        out = decompress_chunked(ch)
+        assert out.dtype == np.float32
+        assert np.array_equal(out.reshape(-1), expected)
+
+    def test_chunkwise_decode_matches_slices(self):
+        ch = ChunkedStream.from_bytes(load("golden_chunked.csz2chnk"))
+        expected = np.fromfile(DATA / "golden_chunked_expected.f32", dtype=np.float32)
+        for i, (lo, hi) in enumerate(ch.element_spans()):
+            assert np.array_equal(ch.decode_chunk(i).reshape(-1), expected[lo:hi])
+
+    def test_reserialization_is_byte_stable(self):
+        # parse -> serialize must reproduce the committed container exactly
+        buf = load("golden_chunked.csz2chnk")
+        assert np.array_equal(ChunkedStream.from_bytes(buf).to_bytes(), buf)
+
+    def test_cli_decodes_golden_container(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "g.csz2"
+        load("golden_chunked.csz2chnk").tofile(src)
+        assert main(["decompress", str(src), "-o", str(tmp_path / "g.f32")]) == 0
+        out = capsys.readouterr().out
+        assert "chunked container: 4 chunk(s)" in out
+        got = np.fromfile(tmp_path / "g.f32", dtype=np.float32)
+        expected = np.fromfile(DATA / "golden_chunked_expected.f32", dtype=np.float32)
+        assert np.array_equal(got, expected)
+
+    def test_corrupted_chunk_is_reported_by_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        buf = load("golden_chunked.csz2chnk").copy()
+        buf[-20] ^= 0xFF  # damage the last chunk's stream bytes
+        src = tmp_path / "bad.csz2"
+        buf.tofile(src)
+        assert main(["decompress", str(src), "-o", str(tmp_path / "bad.f32")]) == 1
+        assert "fail their manifest CRC32" in capsys.readouterr().out
+
+
+class TestGoldenChunked2D:
+    def test_parse_rows_axis(self):
+        ch = ChunkedStream.from_bytes(load("golden_chunked_2d.csz2chnk"))
+        assert ch.nchunks == 3
+        assert ch.manifest.axis == "rows"
+        assert ch.manifest.shape == (48, 256)
+        assert ch.manifest.predictor_ndim == 2
+        assert ch.verify() == []
+
+    def test_decodes_bit_identically(self):
+        ch = ChunkedStream.from_bytes(load("golden_chunked_2d.csz2chnk"))
+        expected = np.fromfile(
+            DATA / "golden_chunked_2d_expected.f32", dtype=np.float32
+        ).reshape(48, 256)
+        out = decompress_chunked(ch)
+        assert out.shape == (48, 256)
+        assert np.array_equal(out, expected)

@@ -9,13 +9,15 @@ import os
 import time
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro.serve import WorkerPool, compress_chunked
 
 
 def _field(mb: int) -> np.ndarray:
-    rng = np.random.default_rng(7)
+    rng = seeded_rng(7)
     n = mb * (1 << 20) // 4
     return np.cumsum(rng.normal(size=n)).astype(np.float32)
 

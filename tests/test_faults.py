@@ -6,6 +6,8 @@ harmless, and recover mode never mis-reconstructs an intact group.
 """
 
 import numpy as np
+
+from tests.helpers import seeded_rng
 import pytest
 
 from repro import compress
@@ -23,7 +25,7 @@ from repro.faults import (
 
 @pytest.fixture(scope="module")
 def stream():
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     data = np.cumsum(rng.normal(size=4000)).astype(np.float32)
     return compress(data, rel=1e-3, mode="outlier", group_blocks=16)
 
