@@ -8,6 +8,21 @@ bits of elements ``8j .. 8j+7``; element ``8j + k`` contributes bit ``k``
 tensor ops -- the software analogue of the paper's claim that FLE's
 regularity is what makes full vectorization possible (Section IV-B).
 
+Two observations make the conversions fast:
+
+* The LSB-first byte layout is exactly :func:`np.packbits` /
+  :func:`np.unpackbits` with ``bitorder="little"``, which handle the 0/1
+  aggregations (sign bits) directly.
+* Plane packing is, per little-endian magnitude byte ``b`` and per group
+  of 8 elements, an 8x8 *bit-matrix transpose*: byte ``b`` of elements
+  ``8j..8j+7`` in, planes ``8b..8b+7`` of group ``j`` out.  Viewing each
+  8-byte group as one uint64 turns that into the classic shift/mask
+  transpose (Hacker's Delight 7-3) -- a handful of whole-array uint64
+  ops, with no ``(g, fl, L)`` per-bit intermediate in any dtype wider
+  than the uint8 plane slabs themselves.  Fixed lengths that are
+  multiples of 8 are fully byte-aligned and skip the partial-top-byte
+  trimming.
+
 All functions operate on whole groups of blocks at once: shape
 ``(g, L)`` magnitudes -> shape ``(g, fl * L // 8)`` payload bytes.
 """
@@ -16,11 +31,16 @@ from __future__ import annotations
 
 import numpy as np
 
-_BIT_WEIGHTS = (np.uint8(1) << np.arange(8, dtype=np.uint8)).astype(np.uint8)
+_T8_M1 = np.uint64(0x00AA00AA00AA00AA)
+_T8_M2 = np.uint64(0x0000CCCC0000CCCC)
+_T8_M3 = np.uint64(0x00000000F0F0F0F0)
+_T8_S1 = np.uint64(7)
+_T8_S2 = np.uint64(14)
+_T8_S3 = np.uint64(28)
 
 
 def bit_length(mag: np.ndarray) -> np.ndarray:
-    """Per-element bit length of non-negative int64 magnitudes, exactly.
+    """Per-element bit length of non-negative integer magnitudes, exactly.
 
     Uses ``frexp`` on the float64 image, which is exact for integers below
     2**53 (our magnitudes are capped at 2**31 - 1 well before this point).
@@ -32,28 +52,55 @@ def bit_length(mag: np.ndarray) -> np.ndarray:
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a ``(..., 8k)`` array of 0/1 values into ``(..., k)`` bytes,
     LSB-first within each byte."""
-    # explicit byte count: reshape(-1) cannot be inferred on size-0 arrays
-    b = bits.reshape(bits.shape[:-1] + (bits.shape[-1] // 8, 8)).astype(np.uint8)
-    return (b * _BIT_WEIGHTS).sum(axis=-1, dtype=np.uint16).astype(np.uint8)
+    if bits.dtype != np.uint8 and bits.dtype != np.bool_:
+        bits = bits.astype(np.uint8)
+    return np.packbits(bits, axis=-1, bitorder="little")
 
 
 def unpack_bits(packed: np.ndarray, nbits: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`: ``(..., k)`` bytes -> ``(..., nbits)``
-    0/1 uint8 values (``nbits`` must be ``8k``)."""
-    bits = (packed[..., :, None] >> np.arange(8, dtype=np.uint8)) & np.uint8(1)
-    return bits.reshape(packed.shape[:-1] + (packed.shape[-1] * 8,))[..., :nbits]
+    0/1 uint8 values (``nbits`` must be at most ``8k``)."""
+    if packed.dtype != np.uint8:
+        packed = packed.astype(np.uint8)
+    return np.unpackbits(packed, axis=-1, count=nbits, bitorder="little")
 
 
 def pack_signs(deltas: np.ndarray) -> np.ndarray:
     """Aggregate sign bits of ``(g, L)`` signed deltas into ``(g, L//8)``
     bytes.  Bit value 1 marks a negative integer (paper's convention is one
     bit per integer; the polarity is internal to the stream format)."""
-    return pack_bits((deltas < 0).astype(np.uint8))
+    return pack_bits(deltas < 0)
 
 
 def unpack_signs(sign_bytes: np.ndarray, length: int) -> np.ndarray:
     """Recover the ``(g, L)`` boolean negativity mask."""
-    return unpack_bits(sign_bytes, length).astype(bool)
+    # unpackbits yields 0/1 uint8, which reinterprets as bool for free
+    return unpack_bits(sign_bytes, length).view(np.bool_)
+
+
+def _transpose8(tiles: np.ndarray) -> np.ndarray:
+    """Transpose each uint64 as an 8x8 bit matrix (byte i, bit j) ->
+    (byte j, bit i).  Self-inverse; ~18 whole-array uint64 ops."""
+    x = tiles
+    t = (x ^ (x >> _T8_S1)) & _T8_M1
+    x = x ^ t ^ (t << _T8_S1)
+    t = (x ^ (x >> _T8_S2)) & _T8_M2
+    x = x ^ t ^ (t << _T8_S2)
+    t = (x ^ (x >> _T8_S3)) & _T8_M3
+    return x ^ t ^ (t << _T8_S3)
+
+
+def _byte_image(mag: np.ndarray) -> np.ndarray:
+    """``(g, L)`` magnitudes as their ``(g, L, 4)`` little-endian byte
+    image.  int32/uint32 input reinterprets in place (magnitudes are
+    non-negative, so the int32 bit pattern is the uint32 one); wider
+    integers are narrowed (all magnitudes fit 31 bits)."""
+    g, length = mag.shape
+    if mag.dtype in (np.int32, np.uint32) and mag.flags.c_contiguous:
+        u4 = mag
+    else:
+        u4 = mag.astype("<u4")
+    return u4.view(np.uint8).reshape(g, length, 4)
 
 
 def pack_planes(mag: np.ndarray, fl: int) -> np.ndarray:
@@ -62,22 +109,48 @@ def pack_planes(mag: np.ndarray, fl: int) -> np.ndarray:
     g, length = mag.shape
     if fl == 0:
         return np.empty((g, 0), dtype=np.uint8)
-    planes = np.arange(fl, dtype=np.uint64)
-    bits = (mag.astype(np.uint64)[:, None, :] >> planes[None, :, None]) & np.uint64(1)
-    return pack_bits(bits.astype(np.uint8)).reshape(g, fl * length // 8)
+    nb = (fl + 7) // 8
+    image = _byte_image(mag)
+    out = np.empty((g, fl, length // 8), dtype=np.uint8)
+    for b in range(nb):
+        slab = np.ascontiguousarray(image[:, :, b])  # byte b of every element
+        tiles = slab.reshape(g, length // 8, 8).view("<u8")[..., 0]
+        planes = _transpose8(tiles).view(np.uint8).reshape(g, length // 8, 8)
+        hi = min(8, fl - 8 * b)  # byte-aligned fl keeps all 8 planes
+        out[:, 8 * b : 8 * b + hi, :] = planes[:, :, :hi].transpose(0, 2, 1)
+    return out.reshape(g, fl * length // 8)
 
 
-def unpack_planes(payload: np.ndarray, fl: int, length: int) -> np.ndarray:
-    """Decode ``(g, fl * L // 8)`` bit-plane bytes back to ``(g, L)`` int64
-    magnitudes."""
+def unpack_planes(
+    payload: np.ndarray, fl: int, length: int, dtype=np.int64
+) -> np.ndarray:
+    """Decode ``(g, fl * L // 8)`` bit-plane bytes back to ``(g, L)``
+    integer magnitudes (``dtype`` int64 by default; decoders that know the
+    magnitudes are narrow pass int32 to halve downstream traffic)."""
     g = payload.shape[0]
     if fl == 0:
-        return np.zeros((g, length), dtype=np.int64)
-    bits = unpack_bits(payload.reshape(g, fl, length // 8), length)
-    weights = (np.int64(1) << np.arange(fl, dtype=np.int64))
-    return np.tensordot(bits.astype(np.int64), weights, axes=([1], [0]))
+        return np.zeros((g, length), dtype=dtype)
+    nb = (fl + 7) // 8
+    planes = payload.reshape(g, fl, length // 8)
+    image = np.zeros((g, length, 4), dtype=np.uint8)
+    for b in range(nb):
+        hi = min(8, fl - 8 * b)
+        if hi == 8:  # byte-aligned: every plane of this slab is present
+            tilebytes = np.ascontiguousarray(
+                planes[:, 8 * b : 8 * b + 8, :].transpose(0, 2, 1)
+            )
+        else:
+            tilebytes = np.zeros((g, length // 8, 8), dtype=np.uint8)
+            tilebytes[:, :, :hi] = planes[:, 8 * b :, :].transpose(0, 2, 1)
+        tiles = tilebytes.reshape(g, length).view("<u8")
+        image[:, :, b] = _transpose8(tiles).view(np.uint8).reshape(g, length)
+    mag32 = image.reshape(g, 4 * length).view("<i4")
+    # magnitudes are < 2**31, so the int32 view is already exact
+    return mag32 if dtype == np.int32 else mag32.astype(dtype)
 
 
 def apply_signs(mag: np.ndarray, negative: np.ndarray) -> np.ndarray:
-    """Combine magnitudes and negativity mask into signed int64 deltas."""
-    return np.where(negative, -mag, mag)
+    """Combine magnitudes and negativity mask into signed deltas, negating
+    in place (``mag`` is always a decoder-owned scratch array)."""
+    np.negative(mag, out=mag, where=negative)
+    return mag

@@ -140,14 +140,25 @@ class CuSZp2:
         ) as sp:
             dims, orig_ndim = _resolve_dims(data, cfg)
             with obs_trace.maybe_span("codec.quantize"):
-                flat = validate_input(data)
-                eb_abs = self.error_bound.resolve(flat)
-                q = quantize(flat, eb_abs)
+                flat, lo, hi = validate_input(data, return_minmax=True)
+                eb_abs = self.error_bound.resolve(flat, minmax=(lo, hi))
 
             use_outlier = cfg.mode == "outlier"
             if cfg.predictor_ndim == 1:
-                offsets, payload = self._encode_1d_chunked(q, cfg, use_outlier)
+                # quantization happens inside the chunk loop so each quant
+                # chunk is still cache-hot when the predictor and encoder
+                # consume it
+                offsets, payload = self._encode_1d_chunked(
+                    flat, eb_abs, (lo, hi), cfg, use_outlier
+                )
             else:
+                with obs_trace.maybe_span("codec.quantize"):
+                    # the ndim-D predictor sums at most 2**ndim integers per
+                    # delta, so quantize can safely emit narrow int32 codes;
+                    # the field extrema feed its monotone range check
+                    q = quantize(
+                        flat, eb_abs, int32_terms=2**cfg.predictor_ndim, minmax=(lo, hi)
+                    )
                 with obs_trace.maybe_span("codec.predict"):
                     dblocks = predictor.forward(q, dims, cfg.predictor_ndim, cfg.block)
                 with obs_trace.maybe_span("codec.fle"):
@@ -181,25 +192,53 @@ class CuSZp2:
     def _read_orig_ndim(buf: np.ndarray) -> int:
         return int(np.frombuffer(buf[10:12].tobytes(), dtype=np.uint16)[0])
 
-    def _encode_1d_chunked(self, q: np.ndarray, cfg: CompressorConfig, use_outlier: bool):
-        with obs_trace.maybe_span("codec.predict"):
-            qblocks = predictor.blockize_1d(q, cfg.block)
-        nblocks = qblocks.shape[0]
-        offset_parts, payload_parts = [], []
+    def _encode_1d_chunked(
+        self,
+        flat: np.ndarray,
+        eb_abs: float,
+        minmax: tuple,
+        cfg: CompressorConfig,
+        use_outlier: bool,
+    ):
+        n = flat.shape[0]
+        block = cfg.block
+        nblocks = -(-n // block)
+        offsets = np.empty(nblocks, dtype=np.uint8)
+        # Preallocated payload buffer with amortized doubling: one byte per
+        # element (compression ratio 4 on float32) covers typical fields,
+        # and growth recopies at most O(log) times.
+        payload = np.empty(max(1024, nblocks * block), dtype=np.uint8)
+        pos = 0
         for lo in range(0, nblocks, cfg.chunk_blocks):
-            chunk = qblocks[lo : lo + cfg.chunk_blocks]
+            hi = min(lo + cfg.chunk_blocks, nblocks)
+            with obs_trace.maybe_span("codec.quantize"):
+                # global minmax keeps the int32/int64 decision and overflow
+                # check identical across chunks (1-D differences sum 2 terms)
+                qchunk = quantize(
+                    flat[lo * block : min(hi * block, n)],
+                    eb_abs,
+                    int32_terms=2,
+                    minmax=minmax,
+                )
             with obs_trace.maybe_span("codec.predict"):
-                dblocks = predictor.diff_1d(chunk)
+                dblocks = predictor.diff_1d(predictor.blockize_1d(qchunk, block))
             with obs_trace.maybe_span("codec.fle"):
                 offs, pay = fle.encode_blocks(dblocks, use_outlier)
-            offset_parts.append(offs)
-            payload_parts.append(pay)
-        return np.concatenate(offset_parts), np.concatenate(payload_parts)
+            offsets[lo : lo + offs.size] = offs
+            end = pos + pay.size
+            if end > payload.size:
+                grown = np.empty(max(end, 2 * payload.size), dtype=np.uint8)
+                grown[:pos] = payload[:pos]
+                payload = grown
+            payload[pos:end] = pay
+            pos = end
+        return offsets, payload[:pos]
 
     # -- decompression -------------------------------------------------------
 
-    def decompress(self, buf) -> np.ndarray:
-        return decompress(buf)
+    def decompress(self, buf, **kwargs) -> np.ndarray:
+        kwargs.setdefault("chunk_blocks", self.config.chunk_blocks)
+        return decompress(buf, **kwargs)
 
 
 # ---------------------------------------------------------------------------
@@ -261,6 +300,8 @@ def decompress(
         raise InvalidInputError(
             f"on_corruption must be 'raise' or 'recover', got {on_corruption!r}"
         )
+    if not isinstance(chunk_blocks, (int, np.integer)) or chunk_blocks < 1:
+        raise InvalidInputError(f"chunk_blocks must be >= 1, got {chunk_blocks!r}")
     if not isinstance(buf, np.ndarray):
         buf = np.frombuffer(bytes(buf), dtype=np.uint8)
     with obs_trace.maybe_span("codec.decompress", bytes_in=int(buf.size)) as root:
@@ -280,6 +321,10 @@ def decompress(
             if not report.ok:
                 if on_corruption == "recover":
                     out, _ = _recover(buf, fill_value=fill_value)
+                    if root is not None:
+                        # the early return bypasses the normal epilogue, so
+                        # traces of recovered requests must be completed here
+                        root.set(bytes_out=int(out.nbytes), recovered=True)
                     return out
                 raise IntegrityError(report.summary(), report)
         with obs_trace.maybe_span("codec.split"):
@@ -292,16 +337,22 @@ def decompress(
 
         if header.predictor_ndim == 1:
             nblocks = offsets.shape[0]
-            parts = []
+            block = header.block
+            # preallocated output; prefix sums accumulate directly into it
+            # (dtype chosen once over the whole stream, so every chunk's
+            # delta dtype is at most as wide)
+            q = np.empty(nblocks * block, dtype=fle.delta_dtype(offsets, block))
             for lo in range(0, nblocks, chunk_blocks):
                 hi = min(lo + chunk_blocks, nblocks)
                 with obs_trace.maybe_span("codec.fle_decode"):
                     dblocks = fle.decode_blocks(
-                        offsets[lo:hi], payload[bounds[lo] : bounds[hi]], header.block
+                        offsets[lo:hi], payload[bounds[lo] : bounds[hi]], block
                     )
                 with obs_trace.maybe_span("codec.undiff"):
-                    parts.append(predictor.undiff_1d(dblocks).reshape(-1))
-            q = np.concatenate(parts)[: header.nelems]
+                    predictor.undiff_1d(
+                        dblocks, out=q[lo * block : hi * block].reshape(-1, block)
+                    )
+            q = q[: header.nelems]
         else:
             with obs_trace.maybe_span("codec.fle_decode"):
                 dblocks = fle.decode_blocks(offsets, payload[: bounds[-1]], header.block)

@@ -18,7 +18,13 @@ this module performs the Lossless Encoding step of the cuSZp2 pipeline:
 
 Everything is vectorized by grouping blocks with identical
 ``(mode, fixed-length, outlier-width)`` signatures and encoding or decoding
-each group as one tensor operation.
+each group as one tensor operation.  Group payload rows move through
+*contiguous run copies*: blocks of one signature overwhelmingly appear in
+runs on real fields (smooth regions share a fixed length), and a run of
+adjacent blocks occupies one contiguous byte range of the payload, so most
+scatter/gather traffic is plain ``memcpy``-style slice assignment rather
+than fancy indexing.  Fragmented groups fall back to a single flat-index
+copy -- no ``(n, w)`` index matrix and no ``np.add.at`` anywhere.
 """
 
 from __future__ import annotations
@@ -31,35 +37,68 @@ from . import bitpack, blockfmt
 from .errors import QuantizationOverflowError, StreamFormatError
 from .quantize import MAX_QUANT_MAGNITUDE
 
+#: Above this many runs per row (as a fraction of rows) the run loop would
+#: degrade to Python-loop speed, so scatter/gather switch to one flat copy.
+_RUN_FALLBACK_DIVISOR = 4
 
-def _check_magnitudes(mag: np.ndarray) -> None:
-    if mag.size and int(mag.max()) > int(MAX_QUANT_MAGNITUDE):
+
+def _check_row_max(row_max: np.ndarray) -> None:
+    if row_max.size and int(row_max.max()) > int(MAX_QUANT_MAGNITUDE):
         raise QuantizationOverflowError(
             "a block delta exceeds 2**31 - 1 and cannot be represented by the "
             "5-bit fixed-length field; increase the error bound"
         )
 
 
-def _block_bitlengths(mag: np.ndarray) -> np.ndarray:
-    """Per-block fixed length: bit length of the max magnitude in the row."""
-    return bitpack.bit_length(mag.max(axis=1))
+def _contiguous_runs(starts: np.ndarray, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Maximal runs of rows whose payload segments are byte-adjacent.
+
+    ``starts`` is ascending; rows ``i`` and ``i+1`` are adjacent exactly
+    when ``starts[i+1] - starts[i] == width``.  Returns ``(lo, hi)`` row
+    index bounds per run.
+    """
+    breaks = np.flatnonzero(np.diff(starts) != width)
+    lo = np.concatenate(([0], breaks + 1))
+    hi = np.concatenate((breaks + 1, [starts.size]))
+    return lo, hi
+
+
+def _flat_indices(starts: np.ndarray, width: int) -> np.ndarray:
+    """Flat payload index of every byte of every row (fragmented fallback).
+    One broadcast add materializes the whole index in a single pass."""
+    return (starts[:, None] + np.arange(width, dtype=np.int64)).reshape(-1)
 
 
 def _scatter_rows(out: np.ndarray, starts: np.ndarray, rows: np.ndarray) -> None:
     """Write each payload row ``rows[i]`` at ``out[starts[i]: starts[i]+w]``."""
-    if rows.size == 0:
+    n, w = rows.shape
+    if n == 0 or w == 0:
         return
-    w = rows.shape[1]
-    out[starts[:, None] + np.arange(w)[None, :]] = rows
+    flat = np.ascontiguousarray(rows).reshape(-1)
+    lo, hi = _contiguous_runs(starts, w)
+    if lo.size > max(8, n // _RUN_FALLBACK_DIVISOR):
+        out[_flat_indices(starts, w)] = flat
+        return
+    for a, b in zip(lo.tolist(), hi.tolist()):
+        s = int(starts[a])
+        out[s : s + (b - a) * w] = flat[a * w : b * w]
 
 
 def _gather_rows(buf: np.ndarray, starts: np.ndarray, width: int) -> np.ndarray:
     if starts.size == 0 or width == 0:
         return np.empty((starts.size, width), dtype=np.uint8)
-    idx = starts[:, None] + np.arange(width)[None, :]
-    if idx.size and int(idx.max()) >= buf.size:
+    if int(starts.max()) + width > buf.size:
         raise StreamFormatError("payload truncated: block data extends past end of stream")
-    return buf[idx]
+    n = starts.size
+    out = np.empty(n * width, dtype=np.uint8)
+    lo, hi = _contiguous_runs(starts, width)
+    if lo.size > max(8, n // _RUN_FALLBACK_DIVISOR):
+        out[:] = buf[_flat_indices(starts, width)]
+    else:
+        for a, b in zip(lo.tolist(), hi.tolist()):
+            s = int(starts[a])
+            out[a * width : b * width] = buf[s : s + (b - a) * width]
+    return out.reshape(n, width)
 
 
 def encode_blocks(dblocks: np.ndarray, use_outlier: bool) -> Tuple[np.ndarray, np.ndarray]:
@@ -71,20 +110,26 @@ def encode_blocks(dblocks: np.ndarray, use_outlier: bool) -> Tuple[np.ndarray, n
     """
     nblocks, L = dblocks.shape
     mag = np.abs(dblocks)
-    _check_magnitudes(mag)
-    fl_plain = _block_bitlengths(mag).astype(np.int64)
 
     if use_outlier:
+        # one pass over the magnitudes yields every reduction we need: the
+        # residual row max (excluding the outlier column), the plain row
+        # max (its elementwise max with column 0) and the global check
+        rest_max = mag[:, 1:].max(axis=1)
+        row_max = np.maximum(rest_max, mag[:, 0])
+        _check_row_max(row_max)
+        fl_plain = bitpack.bit_length(row_max).astype(np.int64)
+        fl_rest = bitpack.bit_length(rest_max).astype(np.int64)
         omag = mag[:, 0].astype(np.int64)
         onb = blockfmt.outlier_byte_count(omag)
-        mag_rest = mag.copy()
-        mag_rest[:, 0] = 0
-        fl_rest = _block_bitlengths(mag_rest).astype(np.int64)
         sign_bytes = L // 8
         cost_plain = np.where(fl_plain == 0, 0, sign_bytes * (1 + fl_plain))
         cost_outlier = sign_bytes + onb + fl_rest * sign_bytes
         mode = (cost_outlier < cost_plain).astype(np.uint8)
     else:
+        row_max = mag.max(axis=1)
+        _check_row_max(row_max)
+        fl_plain = bitpack.bit_length(row_max).astype(np.int64)
         omag = np.zeros(nblocks, dtype=np.int64)
         onb = np.zeros(nblocks, dtype=np.int64)
         fl_rest = fl_plain  # unused
@@ -94,7 +139,9 @@ def encode_blocks(dblocks: np.ndarray, use_outlier: bool) -> Tuple[np.ndarray, n
     offsets = blockfmt.encode_offset_bytes(mode, np.maximum(onb, 1), fl)
     sizes = blockfmt.payload_sizes(mode, np.where(mode == 1, onb, 0), fl, L)
     starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
-    payload = np.zeros(int(sizes.sum()), dtype=np.uint8)
+    # every payload byte belongs to exactly one block row (sizes are exact),
+    # so the buffer needs no zero fill
+    payload = np.empty(int(sizes.sum()), dtype=np.uint8)
 
     signs_all = bitpack.pack_signs(dblocks)
 
@@ -120,16 +167,36 @@ def encode_blocks(dblocks: np.ndarray, use_outlier: bool) -> Tuple[np.ndarray, n
                 obytes = (
                     (omag[idx, None] >> (8 * np.arange(k, dtype=np.int64))) & 0xFF
                 ).astype(np.uint8)
+                # fancy indexing already copied the group's rows, so the
+                # outlier column can be zeroed in place
+                mag_rest = mag[idx]
+                mag_rest[:, 0] = 0
                 rows = np.concatenate(
-                    [signs_all[idx], obytes, bitpack.pack_planes(mag_rest[idx], f)], axis=1
+                    [signs_all[idx], obytes, bitpack.pack_planes(mag_rest, f)], axis=1
                 )
                 _scatter_rows(payload, starts[idx], rows)
 
     return offsets, payload
 
 
+def delta_dtype(offsets: np.ndarray, block: int) -> np.dtype:
+    """Narrowest integer dtype whose per-block prefix sums provably cannot
+    overflow for this stream: every cumsum partial over a block is bounded
+    by ``outlier + L * (2**fl_max - 1)``, so int32 is safe whenever that
+    bound fits -- which is every realistic stream.  The bound is taken over
+    the *stream's* offset bytes, not the data, so even corrupt (or
+    adversarial) payloads stay exact in the chosen dtype."""
+    if offsets.size == 0:
+        return np.dtype(np.int32)
+    _, onb, fl = blockfmt.decode_offset_bytes(offsets)
+    if int(onb.max()) <= 3 and block << int(fl.max()) < 1 << 30:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
 def decode_blocks(offsets: np.ndarray, payload: np.ndarray, block: int) -> np.ndarray:
-    """Invert :func:`encode_blocks` back to ``(nblocks, L)`` int64 deltas."""
+    """Invert :func:`encode_blocks` back to ``(nblocks, L)`` signed deltas
+    (int32 when :func:`delta_dtype` proves it exact, else int64)."""
     nblocks = offsets.shape[0]
     L = block
     sign_bytes = L // 8
@@ -141,7 +208,8 @@ def decode_blocks(offsets: np.ndarray, payload: np.ndarray, block: int) -> np.nd
             f"offset bytes describe {total} payload bytes but stream holds {payload.size}"
         )
     starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
-    deltas = np.zeros((nblocks, L), dtype=np.int64)
+    dtype = delta_dtype(offsets, block)
+    deltas = np.zeros((nblocks, L), dtype=dtype)
 
     fl64 = fl.astype(np.int64)
     keys = mode.astype(np.int64) * 512 + fl64 * 8 + onb.astype(np.int64)
@@ -155,11 +223,11 @@ def decode_blocks(offsets: np.ndarray, payload: np.ndarray, block: int) -> np.nd
         rows = _gather_rows(payload, starts[idx], width)
         negative = bitpack.unpack_signs(rows[:, :sign_bytes], L)
         if m == blockfmt.MODE_PLAIN:
-            mag = bitpack.unpack_planes(rows[:, sign_bytes:], f, L)
+            mag = bitpack.unpack_planes(rows[:, sign_bytes:], f, L, dtype)
         else:
             obytes = rows[:, sign_bytes : sign_bytes + k].astype(np.int64)
             omag = (obytes << (8 * np.arange(k, dtype=np.int64))[None, :]).sum(axis=1)
-            mag = bitpack.unpack_planes(rows[:, sign_bytes + k :], f, L)
+            mag = bitpack.unpack_planes(rows[:, sign_bytes + k :], f, L, dtype)
             mag[:, 0] = omag
         deltas[idx] = bitpack.apply_signs(mag, negative)
     return deltas

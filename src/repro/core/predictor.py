@@ -39,13 +39,21 @@ def blockize_1d(q: np.ndarray, block: int) -> np.ndarray:
 
 def diff_1d(qblocks: np.ndarray) -> np.ndarray:
     """First-order difference within each row; ``d[:, 0]`` keeps the raw
-    quant value (difference against an implicit zero)."""
-    return np.diff(qblocks, axis=1, prepend=np.zeros((qblocks.shape[0], 1), dtype=qblocks.dtype))
+    quant value (difference against an implicit zero).  Written as one
+    subtract into a preallocated result -- ``np.diff(..., prepend=...)``
+    would concatenate a full padded copy first."""
+    d = np.empty_like(qblocks)
+    d[:, 0] = qblocks[:, 0]
+    np.subtract(qblocks[:, 1:], qblocks[:, :-1], out=d[:, 1:])
+    return d
 
 
-def undiff_1d(dblocks: np.ndarray) -> np.ndarray:
-    """Invert :func:`diff_1d` (prefix sum along each row)."""
-    return np.cumsum(dblocks, axis=1)
+def undiff_1d(dblocks: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    """Invert :func:`diff_1d` (prefix sum along each row).  ``out`` lets
+    callers accumulate straight into a preallocated result (accumulation
+    happens in ``out``'s dtype, so an int64 ``out`` is overflow-proof even
+    for int32 deltas)."""
+    return np.cumsum(dblocks, axis=1, out=out)
 
 
 # ---------------------------------------------------------------------------

@@ -51,12 +51,14 @@ class ErrorBound:
         """Absolute bound: the pointwise error is at most ``eb``."""
         return cls("abs", float(eb))
 
-    def resolve(self, data: np.ndarray) -> float:
+    def resolve(self, data: np.ndarray, minmax: tuple = None) -> float:
         """Return the absolute error bound for ``data``.
 
         For a REL bound on constant data (range zero) any positive bound
         reproduces the data exactly after quantization; we fall back to
         ``lam * max(|c|, 1)`` so the quantizer still has a usable step.
+        ``minmax`` lets callers that already know the data bounds (e.g. from
+        :func:`validate_input`) skip the reductions.
         """
         if not np.isfinite(self.value) or self.value <= 0.0:
             raise ErrorBoundError(f"error bound must be finite and > 0, got {self.value!r}")
@@ -64,17 +66,27 @@ class ErrorBound:
             return self.value
         if self.kind != "rel":
             raise ErrorBoundError(f"unknown error-bound kind {self.kind!r}")
-        lo = float(np.min(data))
-        hi = float(np.max(data))
+        if minmax is not None:
+            lo, hi = float(minmax[0]), float(minmax[1])
+        else:
+            lo = float(np.min(data))
+            hi = float(np.max(data))
         rng = hi - lo
         if rng == 0.0:
             return self.value * max(abs(hi), 1.0)
         return self.value * rng
 
 
-def validate_input(data: np.ndarray) -> np.ndarray:
+def validate_input(data: np.ndarray, *, return_minmax: bool = False):
     """Check that ``data`` is a non-empty finite float32/float64 array and
-    return it as a flattened C-contiguous view/copy."""
+    return it as a flattened C-contiguous view/copy.
+
+    With ``return_minmax=True`` the result is ``(flat, lo, hi)``: the
+    finiteness check is performed via min/max reductions (NaN poisons the
+    reduction, infinities show up directly), and the bounds are handed back
+    so the caller can reuse them for REL-bound resolution and quantizer
+    range checks without re-scanning the data.
+    """
     if not isinstance(data, np.ndarray):
         raise InvalidInputError(f"expected a numpy array, got {type(data).__name__}")
     if data.dtype not in (np.float32, np.float64):
@@ -82,33 +94,123 @@ def validate_input(data: np.ndarray) -> np.ndarray:
     if data.size == 0:
         raise InvalidInputError("cannot compress an empty array")
     flat = np.ascontiguousarray(data).reshape(-1)
-    if not np.isfinite(flat).all():
+    lo = float(np.min(flat))
+    hi = float(np.max(flat))
+    if not (np.isfinite(lo) and np.isfinite(hi)):
         raise InvalidInputError("input contains NaN or infinity; cuSZp2 requires finite data")
+    if return_minmax:
+        return flat, lo, hi
     return flat
 
 
-def quantize(data: np.ndarray, eb_abs: float) -> np.ndarray:
-    """Convert floats to quantization integers (int64) under absolute bound
+#: Chunk size (elements) for the streaming float<->int conversion loops.
+#: Sized so the float64 scratch (8 MiB) stays resident in last-level cache
+#: while the loop touches each input/output element exactly once.
+_CONVERT_CHUNK = 1 << 20
+
+
+def _quantize_scalar(x: float, eb_abs: float) -> float:
+    """The quantizer mapping applied to one float64 scalar with the exact
+    same operation sequence as the vectorized path (divide, add, floor --
+    each correctly rounded), so scalar and elementwise results agree
+    bit-for-bit."""
+    v = np.float64(x) / np.float64(2.0 * eb_abs)
+    v = v + np.float64(0.5)
+    return float(np.floor(v))
+
+
+def quantize(
+    data: np.ndarray, eb_abs: float, *, int32_terms: int = 0, minmax: tuple = None
+) -> np.ndarray:
+    """Convert floats to quantization integers under absolute bound
     ``eb_abs``.  Raises :class:`QuantizationOverflowError` when an integer
-    would exceed the signed-32-bit magnitude the stream format supports."""
+    would exceed the signed-32-bit magnitude the stream format supports.
+
+    Returns int64 by default.  A caller whose downstream predictor sums at
+    most ``int32_terms`` quantization integers per delta may pass that
+    count (2 for 1-D differences, ``2**ndim`` for Lorenzo): when every
+    ``|q| <= (2**31 - 1) // int32_terms`` the result is returned as int32
+    instead -- the deltas provably fit, and the narrower integers halve
+    the memory traffic of every later pipeline stage.  The values are
+    identical either way.
+
+    ``minmax`` is the ``(min, max)`` of ``data`` if the caller already knows
+    it.  The quantizer map ``x -> floor(x / (2*eb) + 0.5)`` is monotone
+    nondecreasing (each step is), so the data extrema map to the quant
+    extrema: range/overflow checks collapse to two scalar evaluations and
+    the conversion streams straight into the integer output one cache-sized
+    chunk at a time instead of materializing a full float64 copy.
+    """
     if eb_abs <= 0.0 or not np.isfinite(eb_abs):
         raise ErrorBoundError(f"absolute error bound must be finite and > 0, got {eb_abs!r}")
-    scaled = data.astype(np.float64, copy=False) / (2.0 * eb_abs)
-    q = np.floor(scaled + 0.5)
-    # Check in float space first: float64 can exceed int64 range.
-    bad = np.abs(q) > float(MAX_QUANT_MAGNITUDE)
-    if bad.any():
-        idx = int(np.argmax(bad))
+    bound = float(MAX_QUANT_MAGNITUDE)
+
+    if minmax is not None:
+        lo = _quantize_scalar(minmax[0], eb_abs)
+        hi = _quantize_scalar(minmax[1], eb_abs)
+    else:
+        # One float64 scratch array, transformed in place: copy, scale, round.
+        q = data.astype(np.float64)
+        q /= 2.0 * eb_abs
+        q += 0.5
+        np.floor(q, out=q)
+        # Check in float space first: float64 can exceed int64 range.  min/max
+        # reductions avoid materializing an |q| temporary on the happy path.
+        lo, hi = float(q.min()), float(q.max())
+
+    if hi > bound or lo < -bound:
+        if minmax is not None:
+            q = np.floor(data.astype(np.float64) / (2.0 * eb_abs) + 0.5)
+        idx = int(np.argmax(np.abs(q) > bound))
         raise QuantizationOverflowError(
             f"quantization integer {q.flat[idx]:.0f} at element {idx} exceeds "
             f"2**31 - 1; increase the error bound (eb={eb_abs:g})"
         )
-    return q.astype(np.int64)
+
+    out_dtype = np.int64
+    if int32_terms > 0:
+        safe = float(int(MAX_QUANT_MAGNITUDE) // int32_terms)
+        if -safe <= lo and hi <= safe:
+            out_dtype = np.int32
+
+    if minmax is None:
+        return q.astype(out_dtype)
+
+    # Streaming conversion: the bounds are already proven, so each chunk is
+    # divided/offset/floored in a float64 scratch that stays hot in cache and
+    # cast (truncation of an integral float == its value) into the output.
+    n = data.shape[0]
+    out = np.empty(n, dtype=out_dtype)
+    scratch = np.empty(min(n, _CONVERT_CHUNK), dtype=np.float64)
+    step = 2.0 * eb_abs
+    for a in range(0, n, _CONVERT_CHUNK):
+        b = min(a + _CONVERT_CHUNK, n)
+        s = scratch[: b - a]
+        np.divide(data[a:b], step, out=s, dtype=np.float64)
+        s += 0.5
+        np.floor(s, out=s)
+        out[a:b] = s
+    return out
 
 
 def dequantize(q: np.ndarray, eb_abs: float, dtype: np.dtype) -> np.ndarray:
-    """Reconstruct floats from quantization integers."""
-    return (q.astype(np.float64) * (2.0 * eb_abs)).astype(dtype)
+    """Reconstruct floats from quantization integers.
+
+    The multiply is performed in float64 (then cast once to the target
+    dtype, both correctly rounded) chunk by chunk, so the float64
+    intermediate lives in cache instead of being a second full-size array.
+    """
+    n = q.shape[0] if q.ndim == 1 else q.size
+    flat = q.reshape(-1)
+    out = np.empty(n, dtype=dtype)
+    scratch = np.empty(min(n, _CONVERT_CHUNK), dtype=np.float64)
+    step = 2.0 * eb_abs
+    for a in range(0, n, _CONVERT_CHUNK):
+        b = min(a + _CONVERT_CHUNK, n)
+        s = scratch[: b - a]
+        np.multiply(flat[a:b], step, out=s, dtype=np.float64)
+        out[a:b] = s
+    return out.reshape(q.shape)
 
 
 def max_quantized_error(original: np.ndarray, reconstructed: np.ndarray) -> float:

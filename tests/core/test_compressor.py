@@ -142,6 +142,35 @@ class TestChunking:
         b = decompress(buf)
         assert np.array_equal(a, b)
 
+    def test_nonpositive_chunk_blocks_rejected(self, rng):
+        data = rng.normal(size=1000).astype(np.float32)
+        buf = compress(data, rel=1e-3)
+        for bad in (0, -3, 2.5, "8"):
+            with pytest.raises(InvalidInputError, match="chunk_blocks"):
+                decompress(buf, chunk_blocks=bad)
+
+    def test_instance_chunk_blocks_reaches_decompress(self, rng, monkeypatch):
+        from repro.core import compressor as compressor_mod
+
+        data = rng.normal(size=1000).astype(np.float32)
+        codec = CuSZp2(ErrorBound.relative(1e-3), chunk_blocks=17)
+        buf = codec.compress(data)
+        seen = {}
+        real = compressor_mod.decompress
+
+        def spy(b, **kw):
+            seen.update(kw)
+            return real(b, **kw)
+
+        monkeypatch.setattr(compressor_mod, "decompress", spy)
+        out = codec.decompress(buf)
+        assert seen["chunk_blocks"] == 17
+        assert np.array_equal(out, real(buf))
+        # an explicit override still wins over the instance setting
+        seen.clear()
+        codec.decompress(buf, chunk_blocks=5)
+        assert seen["chunk_blocks"] == 5
+
 
 class TestValidation:
     def test_both_bounds_rejected(self, smooth_f32):

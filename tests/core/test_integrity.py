@@ -169,6 +169,23 @@ class TestRecovery:
         good = ~np.isnan(out)
         assert np.array_equal(out[good], clean[good])
 
+    def test_recover_completes_decompress_span(self):
+        # the recover path returns early from decompress; its span must
+        # still carry the epilogue attributes instead of exiting half-set
+        from repro.obs.trace import Tracer, activate, deactivate
+
+        _, _, corrupt, _ = self.corrupt_one_group()
+        tr = Tracer()
+        activate(tr)
+        try:
+            out = decompress(corrupt, on_corruption="recover")
+        finally:
+            deactivate()
+        [span] = tr.find("codec.decompress")
+        assert span.done
+        assert span.attrs["recovered"] is True
+        assert span.attrs["bytes_out"] == out.nbytes
+
     def test_recover_clean_stream_is_lossless(self):
         _, buf = small_stream()
         out, report = recover_stream(buf)

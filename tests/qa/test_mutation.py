@@ -17,10 +17,10 @@ from repro.qa.corpus import corpus_entries
 _ORIG_UNPACK = bitpack.unpack_planes
 
 
-def _drop_top_plane(payload, fl, length):
-    mag = _ORIG_UNPACK(payload, fl, length)
+def _drop_top_plane(payload, fl, length, dtype=np.int64):
+    mag = _ORIG_UNPACK(payload, fl, length, dtype)
     if fl >= 3:
-        mag = mag & ~(np.int64(1) << np.int64(fl - 1))
+        mag = (mag & ~(np.int64(1) << np.int64(fl - 1))).astype(dtype)
     return mag
 
 
