@@ -140,7 +140,14 @@ def cmd_decompress(args) -> int:
 
     stream = np.fromfile(args.input, dtype=np.uint8)
     try:
-        if is_chunked(stream):
+        from .serve.chunked import is_raw, raw_from_bytes
+
+        if is_raw(stream):
+            # raw passthrough emitted by the serving degradation chain:
+            # stored uncompressed, guarded by its own payload CRC32
+            print("raw passthrough container (CSZ2RAW1, uncompressed, CRC32)")
+            recon = raw_from_bytes(stream)
+        elif is_chunked(stream):
             from .serve.chunked import ChunkedStream
 
             chunked = ChunkedStream.from_bytes(stream)
@@ -321,6 +328,32 @@ def cmd_faultcheck(args) -> int:
         injectors=args.injector or None,
     )
     print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_chaoscheck(args) -> int:
+    from .faults import ChaosCheckConfig, run_chaoscheck
+
+    cfg = ChaosCheckConfig(
+        seed=args.seed,
+        requests=args.requests,
+        deadline_s=args.deadline_s,
+        workers=args.workers,
+        backend=args.backend,
+        hang_rate=args.hang_rate,
+        crash_rate=args.crash_rate,
+        slow_rate=args.slow_rate,
+        corrupt_rate=args.corrupt_rate,
+        stall_rate=args.stall_rate,
+        time_budget_s=args.time_budget,
+    )
+    result = run_chaoscheck(cfg)
+    print(result.summary())
+    if args.events:
+        out = Path(args.events)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(result.to_json())
+        print(f"(event log written to {args.events})")
     return 0 if result.ok else 1
 
 
@@ -566,6 +599,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to one injector (repeatable; default all)",
     )
     fc.set_defaults(fn=cmd_faultcheck)
+
+    cc = sub.add_parser(
+        "chaoscheck",
+        help="behavioral chaos campaign: hangs/crashes/corruption vs the resilient service",
+    )
+    cc.add_argument("--seed", type=int, default=0)
+    cc.add_argument("--requests", type=int, default=500)
+    cc.add_argument("--deadline-s", type=float, default=0.5, help="per-request budget")
+    cc.add_argument("--workers", type=int, default=2)
+    cc.add_argument("--backend", choices=["thread", "process"], default="thread")
+    cc.add_argument("--hang-rate", type=float, default=0.02)
+    cc.add_argument("--crash-rate", type=float, default=0.05)
+    cc.add_argument("--slow-rate", type=float, default=0.10)
+    cc.add_argument("--corrupt-rate", type=float, default=0.05)
+    cc.add_argument("--stall-rate", type=float, default=0.05)
+    cc.add_argument("--time-budget", type=float, default=None,
+                    help="stop submitting after SECONDS (requests already sent still settle)")
+    cc.add_argument("--events", default=None, metavar="PATH",
+                    help="write the JSON event log (outcome per request) to PATH")
+    cc.set_defaults(fn=cmd_chaoscheck)
 
     e = sub.add_parser("evaluate", help="sweep one registry dataset (AE 1-execution.py style)")
     e.add_argument("dataset")

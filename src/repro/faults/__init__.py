@@ -10,8 +10,17 @@ either detected by the decoder or provably harmless.
 
 The same injectors drive the lossy-link model in
 :mod:`repro.collective` and the hypothesis fuzzing suite.
+
+:mod:`repro.faults.chaos` extends the idea from bytes to *behavior*:
+seeded worker hangs, crashes, slow responses, corrupted results, and
+queue stalls injected below the serving layer's scheduler, with
+:mod:`repro.faults.chaoscheck` (``repro chaoscheck``) running campaign
+oracles -- every request succeeds in time, degrades with correct bytes,
+or fails with a classified error; never hangs, never lies.
 """
 
+from .chaos import ChaosConfig, ChaosWorkerPool, SimulatedCrash
+from .chaoscheck import ChaosCheckConfig, ChaosCheckResult, run_chaoscheck
 from .injectors import (
     INJECTORS,
     BitFlip,
@@ -30,6 +39,12 @@ from .check import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosWorkerPool",
+    "ChaosCheckConfig",
+    "ChaosCheckResult",
+    "SimulatedCrash",
+    "run_chaoscheck",
     "FaultInjector",
     "BitFlip",
     "Truncation",

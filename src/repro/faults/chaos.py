@@ -1,0 +1,234 @@
+"""Behavioral chaos: seeded fault injection for the serving layer.
+
+:mod:`repro.faults.injectors` attacks *bytes at rest*; this module
+attacks *behavior in flight*.  A :class:`ChaosWorkerPool` wraps a real
+:class:`~repro.serve.pool.WorkerPool` and, with seeded probabilities,
+makes submitted tasks hang, crash, run slow, ship back corrupted
+results, or stall in the queue -- the misbehaviors the resilience layer
+(docs/RESILIENCE.md) exists to absorb.  Determinism matters: the same
+``ChaosConfig.seed`` produces the same fault schedule, so a chaos
+campaign failure reproduces exactly.
+
+Fault semantics (per drawn fault, at most one per submission):
+
+``hang``
+    The worker sleeps ``hang_s`` *before* running the task -- long
+    enough that the pool watchdog reclaims the worker at the task's
+    deadline.  Thread workers cannot be killed; they are abandoned (the
+    pool discards their late result) and a replacement is spawned.
+``crash``
+    The worker dies mid-task: :class:`SimulatedCrash` (a
+    :class:`~repro.serve.pool.WorkerCrash`) makes a process worker
+    ``os._exit`` and a thread worker announce death and unwind, so real
+    crash detection, respawn, and loss-free resubmission run.
+``slow``
+    The worker sleeps ``slow_s`` before running the task: latency
+    without failure (what breakers with a latency threshold, and tight
+    deadlines, must handle).
+``corrupt``
+    The task runs, then its *result* -- only when it is a ``uint8``
+    stream, i.e. compressed bytes -- is bit-flipped before shipping
+    back.  The router's CRC validator must catch this and retry; decode
+    results (float arrays) are never corrupted, so a wrong-bytes escape
+    can only come from a real bug, which is exactly what the chaos
+    harness is hunting.
+``stall``
+    The submission itself is delayed ``stall_s`` before reaching the
+    pool: queue stalls and scheduling hiccups, testing deadline sheds.
+
+Injection happens *below* the scheduler and router (the service's
+``pool_wrapper`` hook), so every resilience mechanism sits between the
+chaos and the caller -- nothing is mocked.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.pool import (
+    PoolFuture,
+    WorkerCrash,
+    WorkerPool,
+    _run_task,
+    register_task,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosWorkerPool",
+    "SimulatedCrash",
+    "FAULT_KINDS",
+]
+
+FAULT_KINDS = ("hang", "crash", "slow", "corrupt", "stall")
+
+
+class SimulatedCrash(WorkerCrash):
+    """Raised inside a chaotic worker to make it die for real: the worker
+    loop treats any :class:`WorkerCrash` as fatal -- a process worker
+    ``os._exit``\\ s, a thread worker announces death and returns -- so the
+    pool's genuine crash-recovery machinery (respawn, resubmission,
+    restart budget) is exercised, not simulated."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault schedule for a :class:`ChaosWorkerPool`.
+
+    Rates are independent per-submission probabilities; at most one
+    fault fires per submission (drawn in :data:`FAULT_KINDS` order from
+    a single uniform sample, so rates must sum to <= 1).
+    """
+
+    seed: int = 0
+    hang_rate: float = 0.0
+    crash_rate: float = 0.0
+    slow_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stall_rate: float = 0.0
+    hang_s: float = 2.0  # must exceed the campaign deadline
+    slow_s: float = 0.05
+    stall_s: float = 0.05
+    corrupt_flips: int = 8  # bytes flipped in a corrupted result
+
+    def __post_init__(self):
+        rates = self.rates()
+        for kind, rate in zip(FAULT_KINDS, rates):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+        if sum(rates) > 1.0 + 1e-9:
+            raise ValueError(f"fault rates must sum to <= 1, got {sum(rates)}")
+
+    def rates(self) -> Tuple[float, ...]:
+        return (self.hang_rate, self.crash_rate, self.slow_rate,
+                self.corrupt_rate, self.stall_rate)
+
+    @property
+    def total_rate(self) -> float:
+        return sum(self.rates())
+
+
+def _corrupt_result(out: Any, seed: int, flips: int) -> Any:
+    """Bit-flip a compressed (uint8) result; anything else passes through
+    untouched (never corrupt decoded payloads -- see module docstring)."""
+    if not (isinstance(out, np.ndarray) and out.dtype == np.uint8 and out.size > 0):
+        return out
+    rng = random.Random(seed)
+    dam = out.copy()
+    for _ in range(max(1, flips)):
+        pos = rng.randrange(dam.size)
+        dam[pos] ^= 1 << rng.randrange(8)
+    return dam
+
+
+@register_task("chaos.wrap")
+def _chaos_wrap(arg) -> Any:
+    """Run a wrapped task under a fault directive (inside the worker)."""
+    name, inner_arg, directive = arg
+    fault = directive.get("fault")
+    if fault == "hang":
+        time.sleep(directive["sleep_s"])
+    elif fault == "slow":
+        time.sleep(directive["sleep_s"])
+    elif fault == "crash":
+        raise SimulatedCrash(f"chaos: worker dies running {name!r}")
+    out = _run_task(name, inner_arg)
+    if fault == "corrupt":
+        out = _corrupt_result(out, directive["seed"], directive["flips"])
+    return out
+
+
+class ChaosWorkerPool:
+    """A :class:`WorkerPool` proxy that injects behavioral faults.
+
+    Drop-in at the service's ``pool_wrapper`` hook::
+
+        chaos = ChaosConfig(seed=7, hang_rate=0.05, crash_rate=0.1)
+        svc = CompressionService(
+            deadline_s=0.5,
+            pool_wrapper=lambda pool: ChaosWorkerPool(pool, chaos),
+        )
+
+    Everything except :meth:`submit` delegates to the wrapped pool.
+    Injections are counted per kind in the pool's stats registry
+    (``chaos.injected.<kind>``) and recorded in :attr:`events` as
+    ``(task_name, kind)`` tuples for campaign logs.
+    """
+
+    def __init__(self, pool: WorkerPool, config: ChaosConfig):
+        self._pool = pool
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._rng_lock = threading.Lock()
+        self.events: List[Tuple[str, str]] = []
+
+    def _draw(self) -> Tuple[Optional[str], int]:
+        """One uniform sample split across the fault kinds; also returns
+        a per-injection seed for deterministic corruption."""
+        with self._rng_lock:
+            u = self._rng.random()
+            sub = self._rng.randrange(1 << 30)
+        lo = 0.0
+        for kind, rate in zip(FAULT_KINDS, self.config.rates()):
+            if lo <= u < lo + rate:
+                return kind, sub
+            lo += rate
+        return None, sub
+
+    def submit(
+        self,
+        name: str,
+        arg: Any,
+        future: Optional[PoolFuture] = None,
+        trace=None,
+        deadline=None,
+    ) -> PoolFuture:
+        fault, sub = self._draw()
+        if fault is None:
+            return self._pool.submit(
+                name, arg, future=future, trace=trace, deadline=deadline
+            )
+        self._pool.stats.counter(f"chaos.injected.{fault}").inc()
+        with self._rng_lock:
+            self.events.append((name, fault))
+        if fault == "stall":
+            # delay the hand-off itself: the task sits outside any queue
+            # while its deadline keeps ticking
+            future = future if future is not None else PoolFuture()
+
+            def _deliver(name=name, arg=arg, future=future, trace=trace,
+                         deadline=deadline):
+                if future.cancelled():
+                    return
+                try:
+                    self._pool.submit(
+                        name, arg, future=future, trace=trace, deadline=deadline
+                    )
+                except Exception as e:  # noqa: BLE001 - late PoolClosed etc.
+                    if not future.done():
+                        future.set_exception(e)
+
+            t = threading.Timer(self.config.stall_s, _deliver)
+            t.daemon = True
+            t.start()
+            return future
+        cfg = self.config
+        directive = {
+            "fault": fault,
+            "sleep_s": cfg.hang_s if fault == "hang" else cfg.slow_s,
+            "seed": sub,
+            "flips": cfg.corrupt_flips,
+        }
+        return self._pool.submit(
+            "chaos.wrap", (name, arg, directive),
+            future=future, trace=trace, deadline=deadline,
+        )
+
+    def __getattr__(self, item):
+        return getattr(self._pool, item)

@@ -15,10 +15,14 @@ the library codec into that pipeline component:
 * :mod:`~repro.serve.cache` -- content-hashed LRU decode cache;
 * :mod:`~repro.serve.stats` -- metrics registry (latency histograms,
   queue depth, utilization, hit rates) dumpable as JSON;
+* :mod:`~repro.serve.deadline` / :mod:`~repro.serve.resilience` --
+  deadline propagation, retries with backoff, per-tier circuit breakers,
+  and the graceful-degradation chain down to raw passthrough;
 * :mod:`~repro.serve.service` -- :class:`CompressionService`, the facade
-  gluing the five together.
+  gluing the pieces together.
 
-See docs/SERVING.md for architecture and tuning guidance.
+See docs/SERVING.md for architecture and tuning guidance, and
+docs/RESILIENCE.md for the failure-handling model.
 """
 
 from .cache import DecodeCache, content_key
@@ -29,17 +33,34 @@ from .chunked import (
     compress_chunked,
     decompress_chunked,
     is_chunked,
+    is_raw,
     plan_chunks,
+    raw_from_bytes,
+    raw_to_bytes,
 )
+from .deadline import Deadline, DeadlineExceeded, WorkerTimeout
 from .pool import (
     PoolClosed,
     PoolFuture,
     ProcessBackend,
     TaskError,
     ThreadBackend,
+    WaitTimeout,
     WorkerCrash,
     WorkerPool,
     register_task,
+)
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpen,
+    CorruptResult,
+    ResilienceError,
+    ResilientRouter,
+    RetryPolicy,
+    TaskFailure,
+    classify_error,
+    is_classified,
 )
 from .scheduler import QueueFull, Scheduler
 from .service import CompressionService, ServiceConfig
@@ -48,6 +69,23 @@ from .stats import Histogram, MetricsRegistry
 __all__ = [
     "CompressionService",
     "ServiceConfig",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CorruptResult",
+    "Deadline",
+    "DeadlineExceeded",
+    "ResilienceError",
+    "ResilientRouter",
+    "RetryPolicy",
+    "TaskFailure",
+    "WaitTimeout",
+    "WorkerTimeout",
+    "classify_error",
+    "is_classified",
+    "is_raw",
+    "raw_from_bytes",
+    "raw_to_bytes",
     "ChunkedStream",
     "ChunkManifest",
     "DecodeCache",

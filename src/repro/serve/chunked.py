@@ -48,6 +48,10 @@ _FIXED_FMT = "<8sHHIQ"  # magic, version, reserved, nchunks, meta_len
 _FIXED_SIZE = struct.calcsize(_FIXED_FMT)
 _CRC_SIZE = 4
 
+RAW_MAGIC = b"CSZ2RAW1"
+_RAW_FMT = "<8sHHQ"  # magic, version, reserved, meta_len
+_RAW_SIZE = struct.calcsize(_RAW_FMT)
+
 #: Default chunk size: large enough to amortize per-chunk header overhead
 #: to noise, small enough that a handful of in-flight chunks stay cheap.
 DEFAULT_CHUNK_BYTES = 32 << 20
@@ -105,6 +109,11 @@ class ChunkEntry:
     nelems: int  # elements ("flat") or axis-0 rows ("rows")
     nbytes: int  # compressed stream bytes
     crc32: int  # CRC32 of the chunk's stream bytes
+    #: True when the chunk is a raw-passthrough payload (``CSZ2RAW1``):
+    #: the resilience chain exhausted every compressed tier and stored
+    #: the chunk uncompressed.  Flagged here so degradation is visible
+    #: in the container itself, not just in service metrics.
+    raw: bool = False
 
 
 @dataclass(frozen=True)
@@ -133,8 +142,14 @@ class ChunkManifest:
                 # hex round-trips the float exactly (JSON decimal may not)
                 "eb_abs": float(self.eb_abs).hex(),
                 "axis": self.axis,
+                # the "raw" key is emitted only when set, keeping the JSON
+                # (and the golden container fixtures) byte-identical for
+                # fully compressed streams
                 "chunks": [
-                    {"nelems": e.nelems, "nbytes": e.nbytes, "crc32": e.crc32}
+                    dict(
+                        {"nelems": e.nelems, "nbytes": e.nbytes, "crc32": e.crc32},
+                        **({"raw": True} if e.raw else {}),
+                    )
                     for e in self.entries
                 ],
             }
@@ -153,7 +168,10 @@ class ChunkManifest:
             eb_abs=float.fromhex(d["eb_abs"]),
             axis=d["axis"],
             entries=tuple(
-                ChunkEntry(int(c["nelems"]), int(c["nbytes"]), int(c["crc32"]))
+                ChunkEntry(
+                    int(c["nelems"]), int(c["nbytes"]), int(c["crc32"]),
+                    raw=bool(c.get("raw", False)),
+                )
                 for c in d["chunks"]
             ),
         )
@@ -294,6 +312,78 @@ def is_chunked(buf) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Raw passthrough (graceful-degradation floor)
+# ---------------------------------------------------------------------------
+
+def is_raw(buf) -> bool:
+    """Does ``buf`` start with the raw-passthrough magic?"""
+    if isinstance(buf, np.ndarray):
+        head = buf[: len(RAW_MAGIC)].tobytes()
+    else:
+        head = bytes(buf[: len(RAW_MAGIC)])
+    return head == RAW_MAGIC
+
+
+def raw_to_bytes(data: np.ndarray) -> np.ndarray:
+    """Store ``data`` uncompressed in a self-describing ``CSZ2RAW1``
+    container (the last rung of the degradation chain: correctness with a
+    compression ratio of ~1).  The payload carries its own CRC32 so
+    transport corruption of a degraded result is still detected."""
+    data = np.ascontiguousarray(data)
+    payload = data.tobytes()
+    meta = json.dumps(
+        {
+            "shape": list(data.shape),
+            "dtype": np.dtype(data.dtype).name,
+            "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+        }
+    ).encode()
+    head = struct.pack(_RAW_FMT, RAW_MAGIC, 1, 0, len(meta))
+    return np.frombuffer(head + meta + payload, dtype=np.uint8)
+
+
+def raw_from_bytes(buf) -> np.ndarray:
+    """Decode a ``CSZ2RAW1`` container back to its array (CRC-checked)."""
+    if not isinstance(buf, np.ndarray):
+        buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+    if buf.size < _RAW_SIZE:
+        raise StreamFormatError(
+            f"raw container is {buf.size} bytes, the header needs {_RAW_SIZE}"
+        )
+    magic, version, _res, meta_len = struct.unpack(
+        _RAW_FMT, buf[:_RAW_SIZE].tobytes()
+    )
+    if magic != RAW_MAGIC:
+        raise StreamFormatError(f"bad raw-container magic {magic!r}")
+    if version != 1:
+        raise StreamFormatError(f"unsupported raw-container version {version}")
+    meta_end = _RAW_SIZE + meta_len
+    if buf.size < meta_end:
+        raise StreamFormatError("raw container truncated inside its metadata")
+    try:
+        meta = json.loads(buf[_RAW_SIZE:meta_end].tobytes().decode())
+        shape = tuple(int(s) for s in meta["shape"])
+        dtype = np.dtype(meta["dtype"])
+        crc = int(meta["crc32"])
+    except (ValueError, KeyError, TypeError) as e:
+        raise StreamFormatError(f"raw container metadata unparseable: {e!r}") from None
+    payload = buf[meta_end:].tobytes()
+    nelems = 1
+    for s in shape:
+        nelems *= s
+    if len(payload) != nelems * dtype.itemsize:
+        raise StreamFormatError(
+            f"raw container payload is {len(payload)} bytes, metadata "
+            f"declares {nelems * dtype.itemsize}"
+        )
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        from repro.core.errors import IntegrityError
+
+        raise IntegrityError("raw container payload failed its CRC32 check")
+    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+
+
+# ---------------------------------------------------------------------------
 # Pool task functions (registered by name so process workers resolve them)
 # ---------------------------------------------------------------------------
 
@@ -317,10 +407,11 @@ def compress_chunk(arg: dict) -> np.ndarray:
 
 @register_task("chunk.decompress")
 def decompress_chunk(arg) -> np.ndarray:
-    """Decompress one self-contained chunk stream."""
+    """Decompress one self-contained chunk stream (or decode a
+    raw-passthrough chunk emitted by the degradation chain)."""
     nbytes = int(arg.size) if isinstance(arg, np.ndarray) else len(arg)
     with obs_trace.maybe_span("chunk.decompress", bytes_in=nbytes) as sp:
-        out = _decompress(arg)
+        out = raw_from_bytes(arg) if is_raw(arg) else _decompress(arg)
         if sp is not None:
             sp.set(bytes_out=int(out.nbytes))
         return out

@@ -1,0 +1,77 @@
+"""Request deadlines: the one clock every serve-layer stage agrees on.
+
+A :class:`Deadline` is an *absolute* point on ``time.perf_counter``'s
+monotonic clock.  Callers state a budget once (``Deadline.after(0.5)``)
+and the same object threads through :class:`~repro.serve.scheduler.Scheduler`,
+:class:`~repro.serve.pool.WorkerPool`, and the resilience router, so every
+stage answers the same two questions consistently:
+
+* *is it too late to start this work?* -- queues shed expired entries
+  before dispatch instead of wasting a worker on an answer nobody is
+  waiting for;
+* *is in-flight work overrunning?* -- the pool watchdog kills (process)
+  or abandons (thread) a worker whose task has outlived its deadline.
+
+Deadlines never cross the process boundary: workers do not watch the
+clock themselves (a hung worker by definition cannot), enforcement lives
+entirely in the parent's manager threads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before a result was produced.
+
+    Raised for both *sheds* (the deadline expired while the request was
+    still queued, so it was dropped before dispatch) and *overruns* (the
+    watchdog reclaimed a worker that outlived the deadline and no retry
+    budget remained).  Always a terminal, classified outcome.
+    """
+
+
+class WorkerTimeout(RuntimeError):
+    """The watchdog reclaimed a worker whose in-flight task outlived its
+    deadline.  Distinct from :class:`DeadlineExceeded` because a
+    micro-batch is killed on its *earliest* member's deadline: members
+    whose own deadline still has budget receive this retryable error,
+    while the expired member's is converted to :class:`DeadlineExceeded`.
+    """
+
+
+class Deadline:
+    """An absolute deadline on the monotonic ``perf_counter`` clock."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float):
+        self.at = float(at)
+
+    @classmethod
+    def after(cls, timeout_s: float) -> "Deadline":
+        """The deadline ``timeout_s`` seconds from now."""
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        return cls(time.perf_counter() + float(timeout_s))
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at - time.perf_counter()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:
+        return f"Deadline(in {self.remaining() * 1e3:+.1f} ms)"
+
+
+def earliest(*deadlines: Optional[Deadline]) -> Optional[Deadline]:
+    """The tightest of several optional deadlines (None = unbounded)."""
+    have = [d for d in deadlines if d is not None]
+    if not have:
+        return None
+    return min(have, key=lambda d: d.at)

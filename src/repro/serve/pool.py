@@ -36,11 +36,22 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.obs import trace as obs_trace
 from repro.obs.trace import TraceContext, Tracer
 
+from .deadline import Deadline, DeadlineExceeded, WorkerTimeout
 from .stats import MetricsRegistry
 
 
 class PoolClosed(RuntimeError):
     """Submission after shutdown (or to a broken pool)."""
+
+
+class WaitTimeout(TimeoutError):
+    """``future.result(timeout=...)`` ran out of patience.
+
+    Subclasses :class:`TimeoutError` for compatibility.  The future is
+    *not* cancelled and the task stays queued/in-flight; call
+    :meth:`PoolFuture.cancel` to drop a not-yet-dispatched task (the
+    dispatcher skips cancelled entries) or keep waiting.
+    """
 
 
 class WorkerCrash(RuntimeError):
@@ -190,7 +201,10 @@ class PoolFuture:
     def result(self, timeout: Optional[float] = None) -> Any:
         with self._cv:
             if not self._cv.wait_for(lambda: self._done, timeout):
-                raise TimeoutError("future not done within timeout")
+                raise WaitTimeout(
+                    f"future not done within {timeout}s; cancel() drops a "
+                    "not-yet-dispatched task"
+                )
             if self._exc is not None:
                 raise self._exc
             return self._result
@@ -198,7 +212,10 @@ class PoolFuture:
     def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
         with self._cv:
             if not self._cv.wait_for(lambda: self._done, timeout):
-                raise TimeoutError("future not done within timeout")
+                raise WaitTimeout(
+                    f"future not done within {timeout}s; cancel() drops a "
+                    "not-yet-dispatched task"
+                )
             return self._exc
 
 
@@ -354,19 +371,21 @@ def make_backend(backend) -> object:
 # ---------------------------------------------------------------------------
 
 class _Task:
-    __slots__ = ("task_id", "name", "arg", "future", "retries", "trace")
+    __slots__ = ("task_id", "name", "arg", "future", "retries", "trace", "deadline")
 
-    def __init__(self, task_id, name, arg, future, trace=None):
+    def __init__(self, task_id, name, arg, future, trace=None, deadline=None):
         self.task_id = task_id
         self.name = name
         self.arg = arg
         self.future = future
         self.retries = 0
         self.trace: Optional[TraceContext] = trace
+        self.deadline: Optional[Deadline] = deadline
 
 
 class _WorkerState:
-    __slots__ = ("wid", "handle", "inq", "ready", "stopping", "inflight")
+    __slots__ = ("wid", "handle", "inq", "ready", "stopping", "inflight",
+                 "spawned_at")
 
     def __init__(self, wid, handle, inq):
         self.wid = wid
@@ -375,6 +394,7 @@ class _WorkerState:
         self.ready = False
         self.stopping = False
         self.inflight: Optional[_Task] = None
+        self.spawned_at = time.perf_counter()
 
 
 class WorkerPool:
@@ -391,6 +411,22 @@ class WorkerPool:
     max_task_retries:
         Times a task is resubmitted after killing its worker before its
         future fails with :class:`WorkerCrash`.
+    max_respawns:
+        Restart budget: total worker replacements (crashes plus watchdog
+        kills) before the pool declares itself broken.  Default
+        ``4 + 2 * nworkers``; chaos campaigns pass something generous.
+    watchdog_grace_s:
+        Slack past a task's deadline before the watchdog reclaims the
+        worker running it (kills a process worker, abandons a thread
+        worker) and spawns a replacement.
+    spawn_timeout_s:
+        A worker that has not reported ready this long after spawning is
+        presumed wedged at birth (e.g. a fork child deadlocked on a lock
+        another parent thread held at fork time) and is killed and
+        replaced, charging the restart budget.  Without this, a stillborn
+        worker is invisible: the process is alive, so liveness polling
+        passes, and it has no in-flight task, so the deadline watchdog
+        never looks at it -- while dispatch skips it forever.
     """
 
     def __init__(
@@ -401,6 +437,9 @@ class WorkerPool:
         max_task_retries: int = 1,
         stats: Optional[MetricsRegistry] = None,
         poll_s: float = 0.02,
+        max_respawns: Optional[int] = None,
+        watchdog_grace_s: float = 0.05,
+        spawn_timeout_s: float = 15.0,
     ):
         if nworkers < 1:
             raise ValueError(f"nworkers must be >= 1, got {nworkers}")
@@ -410,7 +449,10 @@ class WorkerPool:
         self._warmup = warmup
         self._max_task_retries = max_task_retries
         self._poll_s = poll_s
+        self._watchdog_grace_s = watchdog_grace_s
+        self._spawn_timeout_s = spawn_timeout_s
         self._lock = threading.Lock()
+        self._ready_cv = threading.Condition(self._lock)
         self._pending: "deque[_Task]" = deque()
         self._closing = False
         self._drain = True  # finish pending work on shutdown?
@@ -421,7 +463,9 @@ class WorkerPool:
         self._busy_s = 0.0
         self._t0 = time.perf_counter()
         self._respawns = 0
-        self._max_respawns = 4 + 2 * nworkers
+        self._max_respawns = (
+            max_respawns if max_respawns is not None else 4 + 2 * nworkers
+        )
         self._outq = self.backend.make_queue()
         for _ in range(nworkers):
             self._spawn_worker()
@@ -438,13 +482,17 @@ class WorkerPool:
         arg: Any,
         future: Optional[PoolFuture] = None,
         trace: Optional[TraceContext] = None,
+        deadline: Optional[Deadline] = None,
     ) -> PoolFuture:
         """Queue task ``name(arg)``; returns (or completes into) a future.
 
         ``trace`` parents the worker's span tree under a specific span of
         a specific tracer; when omitted and a tracer is ambiently active
         on the calling thread, the task is traced under that thread's
-        current span."""
+        current span.  ``deadline`` arms shedding (an expired task is
+        dropped before dispatch with :class:`DeadlineExceeded`) and the
+        watchdog (a worker still running the task past the deadline is
+        reclaimed and the future fails with :class:`WorkerTimeout`)."""
         future = future if future is not None else PoolFuture()
         if trace is None:
             tr = obs_trace.current_tracer()
@@ -456,7 +504,9 @@ class WorkerPool:
                     "pool is broken (worker crash loop)" if self._broken
                     else "pool is shut down"
                 )
-            self._pending.append(_Task(next(self._task_ids), name, arg, future, trace))
+            self._pending.append(
+                _Task(next(self._task_ids), name, arg, future, trace, deadline)
+            )
             self.stats.counter("pool.tasks").inc()
             self.stats.gauge("pool.queue_depth").set(len(self._pending))
         return future
@@ -468,14 +518,17 @@ class WorkerPool:
         return [f.result() for f in futures]
 
     def wait_ready(self, timeout: float = 30.0) -> bool:
-        """Block until every current worker finished warmup."""
-        deadline = time.perf_counter() + timeout
-        while time.perf_counter() < deadline:
-            with self._lock:
-                if self._workers and all(w.ready for w in self._workers.values()):
-                    return True
-            time.sleep(0.005)
-        return False
+        """Block until every current worker finished warmup.
+
+        Event-driven: the manager notifies ``_ready_cv`` as each worker's
+        ready message arrives (no busy-polling); same timeout semantics
+        as before (returns False when the timeout elapses first)."""
+        with self._ready_cv:
+            return self._ready_cv.wait_for(
+                lambda: bool(self._workers)
+                and all(w.ready for w in self._workers.values()),
+                timeout,
+            )
 
     def utilization(self) -> float:
         """Aggregate busy-time fraction across workers since start."""
@@ -537,6 +590,9 @@ class WorkerPool:
                     except queue.Empty:
                         break
             self._check_liveness()
+            self._check_spawn_watchdog()
+            self._check_watchdog()
+            self._shed_expired_pending()
             self._dispatch()
             if self._maybe_finish():
                 return
@@ -546,7 +602,9 @@ class WorkerPool:
         worker = self._workers.get(wid)
         if kind == "ready":
             if worker is not None:
-                worker.ready = True
+                with self._ready_cv:
+                    worker.ready = True
+                    self._ready_cv.notify_all()
             return
         if kind == "stopped":
             return
@@ -584,8 +642,60 @@ class WorkerPool:
             task = w.inflight
             self._recover(task, f"worker {w.wid} died")
 
-    def _recover(self, task: Optional[_Task], why: str) -> None:
-        self.stats.counter("pool.worker_crashes").inc()
+    def _check_spawn_watchdog(self) -> None:
+        """Replace workers wedged at birth (spawned but never ready).
+
+        A fork child can deadlock before its first message when another
+        parent thread held a lock (thread-registry, logging, ...) at fork
+        time; the process is alive and has no in-flight task, so neither
+        liveness polling nor the deadline watchdog would ever reclaim it,
+        and dispatch would skip it forever.
+        """
+        now = time.perf_counter()
+        wedged = [
+            w for w in self._workers.values()
+            if not w.ready and not w.stopping
+            and now - w.spawned_at > self._spawn_timeout_s
+        ]
+        for w in wedged:
+            self.stats.counter("pool.spawn_timeouts").inc()
+            task = w.inflight
+            del self._workers[w.wid]
+            w.inflight = None
+            w.handle.terminate()
+            self._recover(
+                task, f"worker {w.wid} never became ready "
+                f"(wedged spawn, {self._spawn_timeout_s:.1f}s)"
+            )
+
+    def _check_watchdog(self) -> None:
+        """Reclaim workers whose in-flight task outlived its deadline.
+
+        A process worker is killed (SIGTERM); a thread worker cannot be
+        killed, so it is *abandoned*: dropped from the worker table (its
+        eventual late message is ignored) while a replacement spawns.
+        Either way the task's future fails with :class:`WorkerTimeout`
+        and the restart budget is charged.
+        """
+        now = time.perf_counter()
+        stuck = [
+            w for w in self._workers.values()
+            if not w.stopping
+            and w.inflight is not None
+            and w.inflight.deadline is not None
+            and now >= w.inflight.deadline.at + self._watchdog_grace_s
+        ]
+        for w in stuck:
+            task = w.inflight
+            self.stats.counter("pool.watchdog_kills").inc()
+            del self._workers[w.wid]
+            w.inflight = None
+            w.handle.terminate()
+            self._recover(task, f"watchdog reclaimed worker {w.wid}", overrun=True)
+
+    def _recover(self, task: Optional[_Task], why: str, overrun: bool = False) -> None:
+        if not overrun:
+            self.stats.counter("pool.worker_crashes").inc()
         self._respawns += 1
         if self._respawns > self._max_respawns:
             self._broken = True
@@ -601,6 +711,21 @@ class WorkerPool:
         self._spawn_worker()
         if task is None:
             return
+        if overrun:
+            # the task itself overran; retrying identical work would only
+            # overrun again, so fail it (retry policy lives above the pool)
+            task.future.set_exception(
+                WorkerTimeout(f"task {task.name!r} overran its deadline ({why})")
+            )
+            return
+        if task.deadline is not None and task.deadline.expired:
+            self.stats.counter("pool.deadline_sheds").inc()
+            task.future.set_exception(
+                WorkerTimeout(
+                    f"task {task.name!r} not resubmitted: deadline expired ({why})"
+                )
+            )
+            return
         if task.retries < self._max_task_retries:
             task.retries += 1
             self.stats.counter("pool.resubmissions").inc()
@@ -611,18 +736,61 @@ class WorkerPool:
                 WorkerCrash(f"task {task.name!r} lost to repeated worker deaths ({why})")
             )
 
+    def _shed_expired_pending(self) -> None:
+        """Fail queued tasks whose deadline expired, even when no worker
+        is idle to pop them -- a stalled pool must still honor deadlines."""
+        shed: List[_Task] = []
+        with self._lock:
+            if not self._pending:
+                return
+            if not any(
+                t.deadline is not None and t.deadline.expired
+                for t in self._pending
+            ):
+                return
+            keep: "deque[_Task]" = deque()
+            for t in self._pending:
+                if t.deadline is not None and t.deadline.expired:
+                    shed.append(t)
+                else:
+                    keep.append(t)
+            self._pending = keep
+            self.stats.gauge("pool.queue_depth").set(len(self._pending))
+        # complete futures outside the lock (done-callbacks re-enter submit)
+        for t in shed:
+            self.stats.counter("pool.deadline_sheds").inc()
+            t.future.set_exception(
+                DeadlineExceeded(
+                    f"task {t.name!r} shed: deadline expired while queued"
+                )
+            )
+
     def _dispatch(self) -> None:
         idle = [w for w in self._workers.values()
                 if w.ready and not w.stopping and w.inflight is None]
         for w in idle:
             task = None
+            shed: List[_Task] = []
             with self._lock:
                 while self._pending:
                     candidate = self._pending.popleft()
-                    if not candidate.future.cancelled():
-                        task = candidate
-                        break
+                    if candidate.future.cancelled():
+                        continue
+                    if candidate.deadline is not None and candidate.deadline.expired:
+                        shed.append(candidate)
+                        continue
+                    task = candidate
+                    break
                 self.stats.gauge("pool.queue_depth").set(len(self._pending))
+            # complete shed futures outside the lock: done-callbacks may
+            # re-enter submit(), which takes the same lock
+            for t in shed:
+                self.stats.counter("pool.deadline_sheds").inc()
+                t.future.set_exception(
+                    DeadlineExceeded(
+                        f"task {t.name!r} shed: deadline expired while queued"
+                    )
+                )
             if task is None:
                 return
             w.inflight = task

@@ -32,6 +32,7 @@ from typing import Any, Dict, Optional
 from repro.obs import trace as obs_trace
 from repro.obs.trace import TraceContext
 
+from .deadline import Deadline, DeadlineExceeded, earliest
 from .pool import PoolClosed, PoolFuture, WorkerPool
 from .stats import MetricsRegistry
 
@@ -44,9 +45,10 @@ class QueueFull(RuntimeError):
 
 class _Request:
     __slots__ = ("name", "arg", "nbytes", "priority", "future", "t_enqueue",
-                 "batchable", "trace")
+                 "batchable", "trace", "deadline")
 
-    def __init__(self, name, arg, nbytes, priority, future, batchable, trace=None):
+    def __init__(self, name, arg, nbytes, priority, future, batchable, trace=None,
+                 deadline=None):
         self.name = name
         self.arg = arg
         self.nbytes = nbytes
@@ -55,6 +57,7 @@ class _Request:
         self.t_enqueue = time.perf_counter()
         self.batchable = batchable
         self.trace: Optional[TraceContext] = trace
+        self.deadline: Optional[Deadline] = deadline
 
 
 class Scheduler:
@@ -119,6 +122,7 @@ class Scheduler:
         batchable: bool = True,
         future: Optional[PoolFuture] = None,
         trace: Optional[TraceContext] = None,
+        deadline: Optional[Deadline] = None,
     ) -> PoolFuture:
         if priority not in PRIORITIES:
             raise ValueError(
@@ -133,6 +137,7 @@ class Scheduler:
             name, arg, nbytes, priority, future,
             batchable and nbytes <= self.batch_bytes,
             trace,
+            deadline,
         )
         with self._cv:
             if self._closing:
@@ -202,6 +207,8 @@ class Scheduler:
 
     def _run(self) -> None:
         while True:
+            batch = None
+            shed: list = []
             with self._cv:
                 lane = self._next_lane()
                 while not (
@@ -216,18 +223,38 @@ class Scheduler:
                     continue
                 if self._inflight >= self.max_inflight and not self._closing:
                     continue
-                batch = [self._lanes[lane].popleft()]
-                if batch[0].future.cancelled():
+                head = self._lanes[lane].popleft()
+                if head.future.cancelled():
                     self._publish_depth()
                     continue
-                if batch[0].batchable:
-                    self._fill_batch(batch, lane)
-                self._publish_depth()
-                self._inflight += 1
-            self._dispatch(batch)
+                if head.deadline is not None and head.deadline.expired:
+                    shed.append(head)
+                    self._publish_depth()
+                else:
+                    batch = [head]
+                    if head.batchable:
+                        self._fill_batch(batch, lane, shed)
+                    self._publish_depth()
+                    self._inflight += 1
+            # fail shed requests outside _cv: their done-callbacks (retry
+            # machinery) may re-enter submit(), which takes the same lock
+            for req in shed:
+                self._shed(req)
+            if batch is not None:
+                self._dispatch(batch)
 
-    def _fill_batch(self, batch, lane) -> None:
-        """Gather same-name batchable peers (must be called under _cv)."""
+    def _shed(self, req: _Request) -> None:
+        self.stats.counter("scheduler.deadline_sheds").inc()
+        req.future.set_exception(
+            DeadlineExceeded(
+                f"request {req.name!r} shed: deadline expired after "
+                f"{time.perf_counter() - req.t_enqueue:.3f}s in queue"
+            )
+        )
+
+    def _fill_batch(self, batch, lane, shed) -> None:
+        """Gather same-name batchable peers (must be called under _cv);
+        expired peers are moved to ``shed`` instead of batched."""
         first = batch[0]
         deadline = first.t_enqueue + self.batch_wait_s
         while len(batch) < self.batch_max:
@@ -236,6 +263,9 @@ class Scheduler:
                 peer = queue[0]
                 if peer.future.cancelled():
                     queue.popleft()
+                    continue
+                if peer.deadline is not None and peer.deadline.expired:
+                    shed.append(queue.popleft())
                     continue
                 if not (peer.batchable and peer.name == first.name):
                     return  # preserve FIFO order within the lane
@@ -268,7 +298,9 @@ class Scheduler:
         try:
             if len(batch) == 1:
                 req = batch[0]
-                inner = self.pool.submit(req.name, req.arg, trace=req.trace)
+                inner = self.pool.submit(
+                    req.name, req.arg, trace=req.trace, deadline=req.deadline
+                )
                 inner.add_done_callback(lambda f, r=req: self._complete_one(f, r))
             else:
                 self.stats.counter("scheduler.batches").inc()
@@ -279,6 +311,9 @@ class Scheduler:
                 inner = self.pool.submit(
                     "pool.batch", (batch[0].name, [r.arg for r in batch]),
                     trace=trace,
+                    # watchdog arms on the tightest member; a kill delivers
+                    # WorkerTimeout, which later members may retry
+                    deadline=earliest(*(r.deadline for r in batch)),
                 )
                 inner.add_done_callback(lambda f, b=tuple(batch): self._complete_batch(f, b))
         except PoolClosed as e:

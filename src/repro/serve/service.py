@@ -13,26 +13,29 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.core import stream as _stream
 from repro.core.compressor import DEFAULT_BLOCK
-from repro.core.errors import InvalidInputError
+from repro.core.errors import IntegrityError, InvalidInputError
 from repro.core.quantize import ErrorBound, validate_input
 from repro.obs.trace import TraceContext, Tracer
 
 from . import chunked as _chunked
 from .cache import DecodeCache, content_key
+from .deadline import Deadline
 from .pool import PoolFuture, WorkerPool
+from .resilience import BreakerConfig, ResilientRouter, RetryPolicy
 from .scheduler import Scheduler
 from .stats import MetricsRegistry
 
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Knobs of a :class:`CompressionService` (see docs/SERVING.md)."""
+    """Knobs of a :class:`CompressionService` (see docs/SERVING.md and
+    docs/RESILIENCE.md)."""
 
     workers: int = 2
     backend: str = "thread"  # "thread" (tests / I/O mixes) | "process" (CPU)
@@ -47,6 +50,33 @@ class ServiceConfig:
     batch_bytes: int = 1 << 20
     batch_wait_s: float = 0.005
     warmup: bool = True
+    # -- resilience (docs/RESILIENCE.md) ------------------------------------
+    resilience: bool = True  # route via ResilientRouter
+    deadline_s: Optional[float] = None  # default per-request budget (None = off)
+    max_respawns: Optional[int] = None  # pool restart budget (None = auto)
+    watchdog_grace_s: float = 0.05  # slack past the deadline before a kill
+    retry_max_attempts: int = 3  # per tier, first try included
+    retry_backoff_s: float = 0.01
+    retry_backoff_max_s: float = 0.25
+    breaker_window: int = 16
+    breaker_min_volume: int = 4
+    breaker_failure_threshold: float = 0.5
+    breaker_reset_s: float = 0.5
+    fallback_workers: Optional[int] = None  # None: 2 if backend=="process" else 0
+    degrade_inline: bool = True  # inline-codec tier
+    degrade_raw: bool = True  # raw-passthrough floor (compress only)
+    validate_results: bool = True  # CRC-verify compressed ship-backs
+    resilience_seed: int = 0  # deterministic backoff jitter
+
+
+def _verify_stream_result(out) -> None:
+    """Router validator: CRC-check a compressed ship-back without
+    decoding it (catches results corrupted in transit / by chaos)."""
+    from repro.core.integrity import verify as verify_stream
+
+    report = verify_stream(out)
+    if not report.ok:
+        raise IntegrityError(report.summary())
 
 
 def _gather(futures, combine, master: Optional[PoolFuture] = None) -> PoolFuture:
@@ -96,6 +126,7 @@ class CompressionService:
         self,
         config: Optional[ServiceConfig] = None,
         tracer: Optional[Tracer] = None,
+        pool_wrapper: Optional[Callable[[WorkerPool], object]] = None,
         **overrides,
     ):
         cfg = config if config is not None else ServiceConfig()
@@ -114,9 +145,15 @@ class CompressionService:
             backend=cfg.backend,
             warmup=cfg.warmup,
             stats=self.stats,
+            max_respawns=cfg.max_respawns,
+            watchdog_grace_s=cfg.watchdog_grace_s,
         )
+        # pool_wrapper interposes on pool.submit (the chaos harness wraps
+        # tasks with fault injectors here); the scheduler and everything
+        # above it only ever see the wrapped pool
+        sched_pool = pool_wrapper(self.pool) if pool_wrapper is not None else self.pool
         self.scheduler = Scheduler(
-            self.pool,
+            sched_pool,
             max_pending=cfg.max_pending,
             max_inflight=cfg.max_inflight,
             batch_max=cfg.batch_max,
@@ -124,8 +161,58 @@ class CompressionService:
             batch_wait_s=cfg.batch_wait_s,
             stats=self.stats,
         )
+        self.router: Optional[ResilientRouter] = None
+        if cfg.resilience:
+            fallback = cfg.fallback_workers
+            if fallback is None:
+                fallback = 2 if self.pool.backend.name == "process" else 0
+            self.router = ResilientRouter(
+                self.scheduler,
+                stats=self.stats,
+                retry=RetryPolicy(
+                    max_attempts=cfg.retry_max_attempts,
+                    backoff_base_s=cfg.retry_backoff_s,
+                    backoff_max_s=cfg.retry_backoff_max_s,
+                ),
+                breaker=BreakerConfig(
+                    window=cfg.breaker_window,
+                    min_volume=cfg.breaker_min_volume,
+                    failure_threshold=cfg.breaker_failure_threshold,
+                    reset_timeout_s=cfg.breaker_reset_s,
+                ),
+                fallback_workers=fallback,
+                inline=cfg.degrade_inline,
+                seed=cfg.resilience_seed,
+            )
         self.cache = DecodeCache(cfg.cache_bytes, stats=self.stats)
         self._closed = False
+
+    def _deadline(self, timeout_s: Optional[float]) -> Optional[Deadline]:
+        budget = timeout_s if timeout_s is not None else self.config.deadline_s
+        return Deadline.after(budget) if budget is not None else None
+
+    def _submit(
+        self,
+        name,
+        arg,
+        priority,
+        nbytes,
+        batchable,
+        trace,
+        deadline,
+        validator=None,
+        raw_fallback=None,
+    ) -> PoolFuture:
+        if self.router is not None:
+            return self.router.submit(
+                name, arg, deadline=deadline, priority=priority,
+                batchable=batchable, nbytes=nbytes, trace=trace,
+                validator=validator, raw_fallback=raw_fallback,
+            )
+        return self.scheduler.submit(
+            name, arg, priority=priority, nbytes=nbytes, batchable=batchable,
+            trace=trace, deadline=deadline,
+        )
 
     # -- compression --------------------------------------------------------
 
@@ -136,10 +223,18 @@ class CompressionService:
         abs: Optional[float] = None,  # noqa: A002 - mirrors repro.compress
         mode: Optional[str] = None,
         priority: str = "bulk",
+        timeout_s: Optional[float] = None,
     ) -> PoolFuture:
         """Submit a compression request; the future resolves to the
         compressed bytes (a single v2 stream below the chunk threshold, a
-        ``CSZ2CHNK`` container above it)."""
+        ``CSZ2CHNK`` container above it).
+
+        ``timeout_s`` (default: ``config.deadline_s``) bounds the request
+        end to end: expired work is shed, overrunning workers are
+        reclaimed, and with resilience enabled the degradation chain may
+        answer with a raw-passthrough container (``CSZ2RAW1`` -- lossless,
+        flagged, decodable by :meth:`decompress`) rather than miss the
+        deadline or fail."""
         cfg = self.config
         data = np.asarray(data)
         if (rel is None) == (abs is None):
@@ -159,6 +254,8 @@ class CompressionService:
             else None
         )
         trace = TraceContext(self.tracer, span) if span is not None else None
+        deadline = self._deadline(timeout_s)
+        validator = _verify_stream_result if cfg.validate_results else None
 
         if data.nbytes <= cfg.chunk_bytes:
             arg = {
@@ -168,9 +265,14 @@ class CompressionService:
                 "block": cfg.block,
                 "group_blocks": cfg.group_blocks,
             }
-            master = self.scheduler.submit(
+            master = self._submit(
                 "chunk.compress", arg, priority=priority, nbytes=data.nbytes,
-                trace=trace,
+                batchable=True, trace=trace, deadline=deadline,
+                validator=validator,
+                raw_fallback=(
+                    (lambda: _chunked.raw_to_bytes(data))
+                    if cfg.degrade_raw else None
+                ),
             )
         else:
             spans, axis = _chunked.plan_chunks(
@@ -182,7 +284,7 @@ class CompressionService:
             )
             views = _chunked._chunk_views(data, spans, axis)
             futures = [
-                self.scheduler.submit(
+                self._submit(
                     "chunk.compress",
                     {
                         "data": view,
@@ -195,6 +297,14 @@ class CompressionService:
                     nbytes=view.nbytes,
                     batchable=False,
                     trace=trace,
+                    deadline=deadline,
+                    validator=validator,
+                    # per-chunk raw floor: a sick fleet degrades only the
+                    # chunks it failed, flagged per-entry in the manifest
+                    raw_fallback=(
+                        (lambda view=view: _chunked.raw_to_bytes(view))
+                        if cfg.degrade_raw else None
+                    ),
                 )
                 for view in views
             ]
@@ -207,6 +317,7 @@ class CompressionService:
                         nelems=hi - lo,
                         nbytes=int(s.size),
                         crc32=zlib.crc32(s.tobytes()) & 0xFFFFFFFF,
+                        raw=_chunked.is_raw(s),
                     )
                     for (lo, hi), s in zip(spans, streams)
                 )
@@ -248,6 +359,7 @@ class CompressionService:
         buf,
         priority: str = "interactive",
         cache: bool = True,
+        timeout_s: Optional[float] = None,
     ) -> PoolFuture:
         """Submit a decode request; the future resolves to the array.
 
@@ -286,12 +398,14 @@ class CompressionService:
                                     bytes_out=int(hit.nbytes))
                 return _resolved(hit)
 
+        deadline = self._deadline(timeout_s)
         if _chunked.is_chunked(buf):
             chunks = _chunked.ChunkedStream.from_bytes(buf)
             futures = [
-                self.scheduler.submit(
+                self._submit(
                     "chunk.decompress", c, priority=priority,
                     nbytes=int(c.size), batchable=False, trace=trace,
+                    deadline=deadline,
                 )
                 for c in chunks.chunks
             ]
@@ -306,9 +420,11 @@ class CompressionService:
 
             master = _gather(futures, assemble)
         else:
-            master = self.scheduler.submit(
+            # single v2 stream or a CSZ2RAW1 passthrough container; the
+            # worker task sniffs the magic and decodes either
+            master = self._submit(
                 "chunk.decompress", buf, priority=priority, nbytes=int(buf.size),
-                trace=trace,
+                batchable=True, trace=trace, deadline=deadline,
             )
 
         def account(f: PoolFuture) -> None:
@@ -353,6 +469,8 @@ class CompressionService:
         if self._closed:
             return
         self._closed = True
+        if self.router is not None:
+            self.router.close()  # cancel retry timers, stop fallback tiers
         self.scheduler.shutdown(cancel_pending=cancel_pending)
         self.pool.shutdown(wait=not cancel_pending)
 

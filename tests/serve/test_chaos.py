@@ -1,0 +1,167 @@
+"""Behavioral chaos harness: injector determinism and campaign oracles.
+
+The heavyweight acceptance campaign (500 requests, every fault enabled)
+runs in CI's ``chaos-smoke`` job via ``repro chaoscheck``; the campaign
+here is sized for the unit suite but exercises the same oracles.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.chaos import (
+    FAULT_KINDS,
+    ChaosConfig,
+    ChaosWorkerPool,
+    SimulatedCrash,
+    _corrupt_result,
+)
+from repro.faults.chaoscheck import ChaosCheckConfig, run_chaoscheck
+from repro.serve.pool import WorkerCrash, WorkerPool, register_task
+
+
+@register_task("chaostest.echo")
+def _echo(arg):
+    return arg
+
+
+class TestChaosConfig:
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError, match="crash_rate"):
+            ChaosConfig(crash_rate=1.5)
+        with pytest.raises(ValueError, match="hang_rate"):
+            ChaosConfig(hang_rate=-0.1)
+
+    def test_rejects_rates_summing_past_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            ChaosConfig(hang_rate=0.5, crash_rate=0.4, slow_rate=0.2)
+
+    def test_total_rate(self):
+        cfg = ChaosConfig(hang_rate=0.1, stall_rate=0.2)
+        assert cfg.total_rate == pytest.approx(0.3)
+        assert len(cfg.rates()) == len(FAULT_KINDS)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_schedule(self):
+        cfg = ChaosConfig(seed=42, hang_rate=0.1, crash_rate=0.2,
+                          slow_rate=0.2, corrupt_rate=0.1, stall_rate=0.1)
+        a = ChaosWorkerPool(object(), cfg)
+        b = ChaosWorkerPool(object(), cfg)
+        draws_a = [a._draw() for _ in range(200)]
+        draws_b = [b._draw() for _ in range(200)]
+        assert draws_a == draws_b
+        kinds = {k for k, _ in draws_a if k is not None}
+        assert kinds == set(FAULT_KINDS)  # all faults occur at these rates
+
+    def test_different_seed_different_schedule(self):
+        base = dict(hang_rate=0.1, crash_rate=0.2, slow_rate=0.2,
+                    corrupt_rate=0.1, stall_rate=0.1)
+        a = ChaosWorkerPool(object(), ChaosConfig(seed=1, **base))
+        b = ChaosWorkerPool(object(), ChaosConfig(seed=2, **base))
+        assert [a._draw() for _ in range(100)] != [b._draw() for _ in range(100)]
+
+
+class TestCorruptResult:
+    def test_flips_bits_deterministically(self):
+        out = np.arange(256, dtype=np.uint8)
+        dam1 = _corrupt_result(out, seed=7, flips=8)
+        dam2 = _corrupt_result(out, seed=7, flips=8)
+        assert not np.array_equal(dam1, out)
+        assert np.array_equal(dam1, dam2)
+        assert np.array_equal(out, np.arange(256, dtype=np.uint8))  # copy, not in place
+
+    def test_only_uint8_results_are_touched(self):
+        floats = np.ones(64, dtype=np.float32)
+        assert _corrupt_result(floats, seed=0, flips=8) is floats
+        assert _corrupt_result("not an array", seed=0, flips=8) == "not an array"
+        assert _corrupt_result(np.array([], dtype=np.uint8), seed=0, flips=8).size == 0
+
+    def test_simulated_crash_is_a_worker_crash(self):
+        # SimulatedCrash must trigger the pool's *real* crash machinery
+        assert issubclass(SimulatedCrash, WorkerCrash)
+
+
+class TestChaosWorkerPool:
+    def test_slow_faults_still_succeed(self):
+        cfg = ChaosConfig(seed=0, slow_rate=1.0, slow_s=0.01)
+        with WorkerPool(nworkers=2, warmup=False) as pool:
+            pool.wait_ready()
+            chaos = ChaosWorkerPool(pool, cfg)
+            futs = [chaos.submit("chaostest.echo", i) for i in range(10)]
+            assert [f.result(timeout=10.0) for f in futs] == list(range(10))
+            assert pool.stats.counter("chaos.injected.slow").value == 10
+            assert len(chaos.events) == 10
+
+    def test_stall_faults_deliver_late_but_correct(self):
+        cfg = ChaosConfig(seed=0, stall_rate=1.0, stall_s=0.02)
+        with WorkerPool(nworkers=2, warmup=False) as pool:
+            pool.wait_ready()
+            chaos = ChaosWorkerPool(pool, cfg)
+            futs = [chaos.submit("chaostest.echo", i) for i in range(5)]
+            assert [f.result(timeout=10.0) for f in futs] == list(range(5))
+            assert pool.stats.counter("chaos.injected.stall").value == 5
+
+    def test_crash_faults_kill_real_workers(self):
+        cfg = ChaosConfig(seed=0, crash_rate=1.0)
+        with WorkerPool(nworkers=1, warmup=False, max_respawns=50) as pool:
+            pool.wait_ready()
+            chaos = ChaosWorkerPool(pool, cfg)
+            with pytest.raises(WorkerCrash):
+                chaos.submit("chaostest.echo", 1).result(timeout=30.0)
+            assert pool.stats.counter("pool.worker_crashes").value >= 1
+            # the pool respawned: a non-chaotic submit still works
+            assert pool.submit("chaostest.echo", 2).result(timeout=30.0) == 2
+
+    def test_delegates_everything_else(self):
+        cfg = ChaosConfig(seed=0)
+        with WorkerPool(nworkers=1, warmup=False) as pool:
+            chaos = ChaosWorkerPool(pool, cfg)
+            assert chaos.stats is pool.stats
+            assert chaos.wait_ready(timeout=10.0)
+
+
+class TestChaosCampaign:
+    def test_small_campaign_upholds_the_contract(self):
+        """~30% fault rate, tight deadline: every request must succeed,
+        degrade correctly, or fail classified -- zero violations."""
+        cfg = ChaosCheckConfig(
+            seed=7,
+            requests=120,
+            deadline_s=0.5,
+            workers=2,
+            hang_rate=0.02,
+            crash_rate=0.08,
+            slow_rate=0.10,
+            corrupt_rate=0.05,
+            stall_rate=0.05,
+        )
+        result = run_chaoscheck(cfg)
+        assert result.ok, result.summary()
+        assert result.requests == 120
+        errs = sum(result.classified_errors.values())
+        assert result.successes + errs == result.requests
+        assert sum(result.injected.values()) > 0  # chaos actually fired
+        assert "PASS" in result.summary()
+        parsed = json.loads(result.to_json())
+        assert parsed["ok"] is True and parsed["requests"] == 120
+
+    def test_campaign_is_clean_without_chaos(self):
+        cfg = ChaosCheckConfig(
+            seed=1, requests=40, deadline_s=5.0,
+            hang_rate=0.0, crash_rate=0.0, slow_rate=0.0,
+            corrupt_rate=0.0, stall_rate=0.0,
+        )
+        result = run_chaoscheck(cfg)
+        assert result.ok, result.summary()
+        assert result.successes == 40  # nothing injected, nothing fails
+        assert result.raw_successes == 0
+        assert result.injected == {}
+
+    def test_time_budget_stops_early(self):
+        cfg = ChaosCheckConfig(seed=2, requests=10_000, deadline_s=0.5,
+                               time_budget_s=0.5)
+        result = run_chaoscheck(cfg)
+        assert result.ok, result.summary()
+        assert 0 < result.requests < 10_000
