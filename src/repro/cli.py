@@ -318,6 +318,31 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_store_bench(args) -> int:
+    """Working-set sweep of the compressed-array tier (repro.store)."""
+    import json
+
+    from .store.bench import check_regression, run_sweep
+
+    multipliers = tuple(args.multiplier) if args.multiplier else None
+    report = run_sweep(quick=args.quick, seed=args.seed, multipliers=multipliers)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    h = report["headline"]
+    print(
+        f"headline: {h['multiplier']}x working set, {h['spills']} spills / "
+        f"{h['faults']} faults, workload {h['workload_MiBps']:.1f} MiB/s"
+    )
+    if args.check:
+        reference = json.loads(Path(args.check).read_text())
+        ok, msg = check_regression(report, reference)
+        print(msg)
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_faultcheck(args) -> int:
     from .faults import run_faultcheck
 
@@ -564,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--paths",
         action="append",
-        choices=["roundtrip", "chunked", "random_access", "corruption"],
+        choices=["roundtrip", "chunked", "random_access", "corruption", "store"],
         help="restrict to one oracle path (repeatable; default all)",
     )
     fz.add_argument(
@@ -587,6 +612,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay saved corpus entries instead of fuzzing (repeatable)",
     )
     fz.set_defaults(fn=cmd_fuzz)
+
+    sb2 = sub.add_parser(
+        "store-bench",
+        help="compressed-array tier working-set sweep (spill/fault-in throughput)",
+    )
+    sb2.add_argument("--quick", action="store_true", help="small CI smoke sweep")
+    sb2.add_argument("--seed", type=int, default=0)
+    sb2.add_argument(
+        "--multiplier", action="append", type=int, metavar="N",
+        help="working-set multiple of the budget (repeatable; default sweep)",
+    )
+    sb2.add_argument(
+        "--out", default="benchmarks/results/BENCH_store.json",
+        help="report path (default benchmarks/results/BENCH_store.json)",
+    )
+    sb2.add_argument(
+        "--check", metavar="REFERENCE_JSON",
+        help="exit non-zero if workload throughput regresses >30%% vs this file",
+    )
+    sb2.set_defaults(fn=cmd_store_bench)
 
     fc = sub.add_parser("faultcheck", help="fault-injection campaign: every fault detected?")
     fc.add_argument("--trials", type=int, default=25, help="trials per injector x workload")

@@ -216,6 +216,23 @@ def pack(
     compressor = CuSZp2(error_bound, mode=mode, block=block)
 
     streams = {name: compressor.compress(data) for name, data in fields.items()}
+    return pack_streams(streams)
+
+
+def pack_streams(streams: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Pack *already-compressed* CSZ2 streams into one archive byte array.
+
+    The archive adds framing only -- each stream is stored byte-identical
+    to its standalone form -- which is what the compressed-array tier's
+    spill/checkpoint path needs: re-archiving a stream must never
+    re-quantize the data it holds.
+    """
+    if not streams:
+        raise ValueError("cannot pack an empty archive")
+    streams = {
+        name: (s if isinstance(s, np.ndarray) else np.frombuffer(bytes(s), dtype=np.uint8))
+        for name, s in streams.items()
+    }
     toc = bytearray()
     toc += struct.pack("<I", len(streams))
     for name, s in streams.items():

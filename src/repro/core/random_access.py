@@ -230,6 +230,20 @@ class RandomAccessor:
         spliced around the re-encoded block and the v2 checksums are
         recomputed, so the result verifies clean.
         """
+        return self.rewrite_blocks([idx], [values])
+
+    def rewrite_blocks(self, indices, values) -> np.ndarray:
+        """Replace several blocks at once and return the updated stream.
+
+        Batched form of :meth:`rewrite_block`: all replacement blocks are
+        quantized and re-encoded together, then spliced into the payload in
+        one assemble/reseal pass, so rewriting ``k`` dirty blocks costs one
+        O(stream) reconstruction instead of ``k`` (the write-back flush path
+        of ``repro.store`` depends on this).  The result is byte-identical
+        to applying :meth:`rewrite_block` sequentially for the same
+        ``(index, values)`` pairs, because each block's quantization and
+        encoding depend only on that block's values.
+        """
         from . import fle as fle_mod
         from .quantize import quantize
 
@@ -239,31 +253,54 @@ class RandomAccessor:
                 "mode; repair or retransmit the damaged groups first",
                 self.report,
             )
-        idx = self._check_block(idx)
-        L = self.header.block
-        valid = self._valid_len(idx)
-        values = np.asarray(values)
-        if values.shape != (valid,):
+        indices = [self._check_block(int(i)) for i in np.asarray(indices, dtype=np.int64)]
+        if len(indices) != len(values):
             raise RandomAccessError(
-                f"block {idx} holds {valid} elements; got shape {values.shape}"
+                f"{len(indices)} block indices but {len(values)} value arrays"
             )
-        if values.dtype != self.header.dtype:
-            values = values.astype(self.header.dtype)
+        if len(set(indices)) != len(indices):
+            raise RandomAccessError("duplicate block indices in rewrite_blocks")
+        if not indices:
+            return np.asarray(self._raw).copy()
 
-        q = quantize(values.astype(np.float64), self.header.eb_abs)
-        if valid < L:  # trailing partial block pads by repeating the last value
-            q = np.concatenate([q, np.full(L - valid, q[-1], dtype=np.int64)])
-        deltas = predictor.diff_1d(q.reshape(1, L))
-        new_offset, new_payload = fle_mod.encode_blocks(
+        L = self.header.block
+        # splice order is ascending block index; quantization order is
+        # irrelevant (blocks are independent)
+        order = sorted(range(len(indices)), key=lambda k: indices[k])
+        qrows = np.empty((len(indices), L), dtype=np.int64)
+        for row, k in enumerate(order):
+            idx = indices[k]
+            valid = self._valid_len(idx)
+            vals = np.asarray(values[k])
+            if vals.shape != (valid,):
+                raise RandomAccessError(
+                    f"block {idx} holds {valid} elements; got shape {vals.shape}"
+                )
+            if vals.dtype != self.header.dtype:
+                vals = vals.astype(self.header.dtype)
+            q = quantize(vals.astype(np.float64), self.header.eb_abs)
+            if valid < L:  # trailing partial block pads by repeating the last value
+                q = np.concatenate([q, np.full(L - valid, q[-1], dtype=np.int64)])
+            qrows[row] = q
+        deltas = predictor.diff_1d(qrows)
+        new_offsets, new_payload = fle_mod.encode_blocks(
             deltas, use_outlier=self.header.mode == 1
         )
+        new_sizes = fle_mod.block_payload_sizes(new_offsets, L).astype(np.int64)
+        new_bounds = np.concatenate([[0], np.cumsum(new_sizes)]).astype(np.int64)
 
-        lo, hi = int(self._bounds[idx]), int(self._bounds[idx + 1])
         off_section = self._offsets.copy()
-        off_section[idx] = new_offset[0]
-        payload = np.concatenate(
-            [self._payload[:lo], new_payload, self._payload[hi:]]
-        )
+        parts = []
+        prev = 0
+        for row, k in enumerate(order):
+            idx = indices[k]
+            off_section[idx] = new_offsets[row]
+            lo, hi = int(self._bounds[idx]), int(self._bounds[idx + 1])
+            parts.append(self._payload[prev:lo])
+            parts.append(new_payload[new_bounds[row] : new_bounds[row + 1]])
+            prev = hi
+        parts.append(self._payload[prev:])
+        payload = np.concatenate(parts)
         group_blocks = (
             self._section.group_blocks
             if self._section is not None

@@ -7,7 +7,7 @@ escaping a codec entry point is itself a failure -- the decoder contract
 says hostile input produces typed errors, never tracebacks from deep
 inside NumPy.
 
-The four oracles mirror the four shipped entry points:
+The oracles mirror the shipped entry points:
 
 ``roundtrip``
     compress -> decompress respects the error bound pointwise, preserves
@@ -21,6 +21,11 @@ The four oracles mirror the four shipped entry points:
 ``corruption``
     every injected fault is detected or harmless, and recover mode
     reconstructs intact groups bit-identically (never silently wrong).
+``store``
+    the compressed-array tier (``repro.store``) agrees with a plain
+    ndarray mirror under random interleaved reads/writes; flushed streams
+    verify clean and round-trip bit-identically through the monolithic
+    codec; batched ``rewrite_blocks`` == sequential ``rewrite_block``.
 """
 
 from __future__ import annotations
@@ -302,12 +307,131 @@ def oracle_corruption(case: FuzzCase, ctx: OracleContext) -> None:
     _guard(name, case, _do, "corruption handling")
 
 
+def _random_basic_index(rng, shape):
+    """A random numpy basic index over ``shape`` (scalars and stepped
+    slices; the exotic forms are pinned by unit tests)."""
+    idx = []
+    for dim in shape:
+        kind = int(rng.integers(0, 3))
+        if kind == 0:
+            idx.append(int(rng.integers(0, dim)))
+        else:
+            a = int(rng.integers(0, dim + 1))
+            b = int(rng.integers(0, dim + 1))
+            idx.append(slice(min(a, b), max(a, b), int(rng.integers(1, 4))))
+    return tuple(idx)
+
+
+def oracle_store(case: FuzzCase, ctx: OracleContext) -> None:
+    """The compressed-array tier against a plain-ndarray mirror.
+
+    Random interleaved reads and writes must agree with the mirror within
+    the error bound; ``flush()`` output must verify clean and round-trip
+    bit-identically through the monolithic codec; and the batched
+    ``rewrite_blocks`` must be byte-identical to applying ``rewrite_block``
+    sequentially.
+    """
+    name = "store"
+    if case.expect_error is not None or case.params["predictor_ndim"] != 1:
+        return
+
+    def _do():
+        from ..core.integrity import verify as verify_stream
+        from ..store import CompressedArray
+
+        eb = case.resolved_eb()
+        kw = dict(case.bound_kwargs)
+        arr = CompressedArray.from_array(
+            case.data,
+            mode=case.params["mode"],
+            block=case.params["block"],
+            group_blocks=case.params["group_blocks"],
+            **kw,
+        )
+        # the mirror tracks the last written value per element; unwritten
+        # elements hold the original data, so both kinds sit within eb
+        mirror = case.data.astype(np.float64).copy()
+        rng = case_rng(case.seed ^ 0x570E, case.index)
+        flat_pool = case.data.reshape(-1).astype(np.float64)
+        for op in range(12):
+            key = _random_basic_index(rng, arr.shape)
+            if rng.random() < 0.5:
+                got = np.asarray(arr[key], dtype=np.float64)
+                want = np.asarray(mirror[key])
+                if got.shape != want.shape:
+                    raise _fail(
+                        name, case,
+                        f"read {key!r} shape {got.shape} != mirror {want.shape}",
+                    )
+                diag = _max_error_ok(want, got.astype(case.data.dtype), eb)
+                if diag:
+                    raise _fail(name, case, f"read {key!r}: {diag}")
+            else:
+                sel_shape = np.asarray(mirror[key]).shape
+                # values drawn from the field itself (plus small eb-steps)
+                # stay inside the stream's quantization range
+                vals = rng.choice(flat_pool, size=sel_shape or ()) + eb * float(
+                    rng.integers(-2, 3)
+                )
+                vals = vals.astype(case.data.dtype)
+                arr[key] = vals
+                mirror[key] = vals.astype(np.float64)
+        # flush: clean verify + bit-identical monolithic round trip
+        flushed = arr.flush()
+        if arr.dirty_blocks:
+            raise _fail(name, case, "dirty blocks survived flush()")
+        report = verify_stream(flushed)
+        if not report.ok:
+            raise _fail(name, case, f"flushed stream fails verify: {report.summary()}")
+        full = decompress(flushed)
+        if full.shape != arr.shape or full.dtype != arr.dtype:
+            raise _fail(
+                name, case,
+                f"flushed decode shape/dtype {full.shape}/{full.dtype} != "
+                f"array {arr.shape}/{arr.dtype}",
+            )
+        via_array = np.asarray(arr[(slice(None),) * arr.ndim])
+        if full.tobytes() != via_array.tobytes():
+            raise _fail(
+                name, case, "monolithic decode of flush() differs from array reads"
+            )
+        if full.tobytes() != arr.to_numpy().tobytes():
+            raise _fail(name, case, "to_numpy() differs from monolithic decode")
+        diag = _max_error_ok(mirror, full, eb)
+        if diag:
+            raise _fail(name, case, f"flushed state vs mirror: {diag}")
+        # batched rewrite == sequential rewrite, byte for byte
+        base = ctx.stream_for(case)
+        ra = RandomAccessor(base)
+        k = min(ra.nblocks, 3)
+        idxs = sorted(rng.choice(ra.nblocks, size=k, replace=False).tolist())
+        vals = [ra.decode_block(i)[::-1].copy() for i in idxs]
+        batched = ra.rewrite_blocks(idxs, vals)
+        seq = base
+        for i, v in zip(idxs, vals):
+            seq = RandomAccessor(seq).rewrite_block(i, v)
+        if batched.tobytes() != seq.tobytes():
+            raise _fail(
+                name, case,
+                f"rewrite_blocks({idxs}) differs from sequential rewrite_block",
+            )
+
+    try:
+        _guard(name, case, _do, "compressed-array tier")
+    except CuSZp2Error as e:
+        raise _fail(
+            name, case,
+            f"store path rejected a finite input: {type(e).__name__}: {e}",
+        ) from None
+
+
 #: name -> oracle; drives --paths selection and corpus replay.
 ORACLES: Dict[str, Callable[[FuzzCase, OracleContext], None]] = {
     "roundtrip": oracle_roundtrip,
     "chunked": oracle_chunked,
     "random_access": oracle_random_access,
     "corruption": oracle_corruption,
+    "store": oracle_store,
 }
 
 
@@ -318,7 +442,7 @@ def applicable_oracles(case: FuzzCase, paths=None):
     for nm in names:
         if nm not in ORACLES:
             raise ValueError(f"unknown oracle {nm!r}; choose from {sorted(ORACLES)}")
-        if nm == "random_access" and case.params["predictor_ndim"] != 1:
+        if nm in ("random_access", "store") and case.params["predictor_ndim"] != 1:
             continue
         if nm != "roundtrip" and case.expect_error is not None:
             continue

@@ -46,8 +46,9 @@ def content_key(buf) -> str:
 class DecodeCache:
     """Byte-budgeted LRU of decoded arrays with hit/miss accounting.
 
-    Cached arrays are returned as read-only views (no defensive copy on
-    the hot path); callers that need to mutate must copy.
+    Entries are isolated from the caller on ``put`` (writable input is
+    copied) and returned as read-only views on ``get``; callers that need
+    to mutate a hit must copy.
     """
 
     def __init__(
@@ -85,11 +86,23 @@ class DecodeCache:
     def put(self, key: str, arr: np.ndarray) -> bool:
         """Insert a decoded array; returns False if it exceeds the whole
         budget (oversized values are never cached -- they would evict
-        everything for a single-use entry)."""
+        everything for a single-use entry).
+
+        The cached entry never aliases caller-writable memory: a view of
+        the caller's array would let the caller's original reference keep
+        mutating the cached bytes in place after ``put``, silently
+        poisoning every later hit.  Arrays that could still be written
+        through any live reference (writable, or a view into someone
+        else's buffer) are copied; an own-data read-only array is already
+        frozen and is cached as-is.
+        """
         arr = np.asarray(arr)
         if arr.nbytes > self.max_bytes:
             return False
-        view = arr.view()
+        if arr.flags.writeable or not arr.flags.owndata:
+            view = arr.copy()
+        else:
+            view = arr.view()
         view.flags.writeable = False
         with obs_trace.maybe_span("cache.put", bytes_in=int(view.nbytes)):
             with self._lock:
@@ -106,6 +119,18 @@ class DecodeCache:
                 self._evictions += evicted
                 self._publish(evicted)
                 return True
+
+    def drop(self, key: str) -> bool:
+        """Remove one entry (returns whether it was present).  Used by
+        writers that know a cached decode is about to go stale (e.g. the
+        compressed-array tier invalidating a dirty block)."""
+        with self._lock:
+            arr = self._entries.pop(key, None)
+            if arr is None:
+                return False
+            self._bytes -= arr.nbytes
+            self._publish()
+            return True
 
     def clear(self) -> None:
         with self._lock:

@@ -167,10 +167,8 @@ class PoolFuture:
             self._cancelled = True
             self._done = True
             self._exc = CancelledError("request cancelled")
-            self._cv.notify_all()
             callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        self._run_callbacks(callbacks)
         return True
 
     def set_result(self, value: Any) -> None:
@@ -186,10 +184,22 @@ class PoolFuture:
             self._result = result
             self._exc = exc
             self._done = True
-            self._cv.notify_all()
             callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        self._run_callbacks(callbacks)
+
+    def _run_callbacks(self, callbacks) -> None:
+        # Callbacks run BEFORE waiters are released: completion side
+        # effects (stats accounting, the service's decode-cache fill)
+        # are visible by the time result() returns, so a caller that
+        # immediately re-issues the same request hits the cache
+        # deterministically.  No lock is held while they run, and the
+        # finally guarantees a raising callback never strands waiters.
+        try:
+            for cb in callbacks:
+                cb(self)
+        finally:
+            with self._cv:
+                self._cv.notify_all()
 
     def add_done_callback(self, cb: Callable[["PoolFuture"], None]) -> None:
         with self._cv:

@@ -1,0 +1,29 @@
+"""repro.store: the in-process compressed-array tier.
+
+Two layers turn the codec from a request/response service into a data
+structure (ROADMAP: QTensor direction; cuSZ's framing of compression as a
+memory-capacity lever):
+
+* :class:`CompressedArray` -- a numpy-like N-d array backed by one CSZ2
+  stream: sliced reads decode only the touched blocks/tiles (LRU-cached),
+  writes land in a dirty overlay and re-encode in one batched splice on
+  :meth:`~CompressedArray.flush`.
+* :class:`CompressedStore` -- named arrays under a global memory budget
+  with LRU spill to disk (CSZ2ARC2 archives), transparent fault-in, and
+  ``checkpoint()/restore()``.
+
+See docs/STORE.md for the full API and semantics.
+"""
+
+from .array import CompressedArray, StoreError
+from .spill import SpillDir, read_checkpoint, write_checkpoint
+from .store import CompressedStore
+
+__all__ = [
+    "CompressedArray",
+    "CompressedStore",
+    "SpillDir",
+    "StoreError",
+    "read_checkpoint",
+    "write_checkpoint",
+]

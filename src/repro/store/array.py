@@ -1,0 +1,411 @@
+"""``CompressedArray``: an N-d array whose backing storage is a CSZ2 stream.
+
+The codec so far has been a request/response service: hand it a full
+field, get bytes back, decode the whole thing to touch one value.  This
+module turns it into a *data structure*.  A :class:`CompressedArray`
+holds exactly one compressed stream in memory and serves numpy-style
+basic indexing against it:
+
+* ``__getitem__`` decodes only the 32-element blocks (1-D predictor) or
+  Lorenzo tiles (2-D/3-D predictor) the requested region touches, through
+  a per-array decoded-block LRU (:class:`~repro.serve.cache.DecodeCache`
+  machinery, so eviction and hit accounting come for free);
+* ``__setitem__`` (1-D-predictor streams) keeps the written blocks as a
+  decoded *dirty overlay* -- reads see them immediately -- and re-encodes
+  lazily: :meth:`flush` splices every dirty block back into the stream in
+  one batched :meth:`~repro.core.random_access.RandomAccessor.rewrite_blocks`
+  pass, quantized under the array's stored error bound.
+
+The write-back path is only available for 1-D-predictor streams (the
+cuSZp2 default, and what :meth:`from_array` produces for any logical
+shape); tile streams are readable but refuse writes, matching the
+read-only scope of :class:`~repro.core.tile_access.TileAccessor`.
+
+Error-bound semantics of read-modify-write: a written value is stored
+exactly until the next flush, then snapped to the quantization lattice
+(error <= eb).  Quantization is idempotent on lattice values, so repeated
+flushes never accumulate error; but every *fresh* write re-quantizes, so
+a value is only ever one quantization step from what was last written.
+See docs/STORE.md for the full caveats (including REL-bound arrays whose
+writes exceed the original value range).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.obs import trace as obs_trace
+
+from ..core import compress
+from ..core.compressor import CuSZp2, decompress
+from ..core.errors import CuSZp2Error
+from ..core.random_access import RandomAccessor
+from ..core.tile_access import TileAccessor
+from ..core.stream import StreamHeader
+from ..serve.cache import DecodeCache
+
+
+class StoreError(CuSZp2Error):
+    """Misuse of the compressed-array tier (bad index, read-only write)."""
+
+
+#: Default decoded-block cache budget per array (256 KiB: ~2000 blocks of
+#: 32 float32 -- enough to keep a scan's working stripe hot without letting
+#: hot arrays silently re-inflate to their decoded size).
+DEFAULT_CACHE_BYTES = 256 << 10
+
+
+def _shape_of(header: StreamHeader, orig_ndim: int) -> Tuple[int, ...]:
+    if orig_ndim == 0:
+        return (header.nelems,)
+    dims = header.dims[:orig_ndim] if orig_ndim <= len(header.dims) else header.dims
+    return tuple(int(d) for d in dims)
+
+
+class CompressedArray:
+    """A numpy-like array held compressed in RAM (see module docstring).
+
+    Construct with :meth:`from_array` (compresses for you, always
+    writable) or :meth:`from_stream` (wraps an existing CSZ2 stream;
+    writable iff it uses the 1-D predictor).
+    """
+
+    def __init__(
+        self,
+        buf,
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        verify: str = "auto",
+        stats=None,
+    ):
+        if not isinstance(buf, np.ndarray):
+            buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+        self._buf = buf
+        self._stats = stats
+        header = StreamHeader.unpack(buf)
+        self._tile_accessor: Optional[TileAccessor] = None
+        self._accessor: Optional[RandomAccessor] = None
+        if header.predictor_ndim == 1:
+            self._accessor = RandomAccessor(buf, verify_integrity=verify)
+            self.header = self._accessor.header
+        else:
+            self._tile_accessor = TileAccessor(buf, verify_integrity=verify)
+            self.header = self._tile_accessor.header
+        self.shape = _shape_of(self.header, CuSZp2._read_orig_ndim(buf))
+        self.dtype = np.dtype(self.header.dtype)
+        self._strides = tuple(
+            int(np.prod(self.shape[k + 1 :], dtype=np.int64))
+            for k in range(len(self.shape))
+        )
+        self._cache = DecodeCache(max_bytes=cache_bytes)
+        self._dirty: dict = {}  # block index -> decoded values (valid length)
+        self._dirty_bytes = 0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_array(
+        cls,
+        data: np.ndarray,
+        rel: Optional[float] = None,
+        abs: Optional[float] = None,  # noqa: A002 - mirrors repro.compress
+        mode: str = "outlier",
+        block: int = 32,
+        group_blocks: Optional[int] = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        stats=None,
+    ) -> "CompressedArray":
+        """Compress ``data`` (1-D predictor, so the array is writable) and
+        wrap the stream.  The logical shape is preserved for <= 3-D data."""
+        kw = {} if group_blocks is None else {"group_blocks": group_blocks}
+        buf = compress(data, rel=rel, abs=abs, mode=mode, block=block, **kw)
+        # the stream was assembled this instant; skip the integrity re-scan
+        return cls(buf, cache_bytes=cache_bytes, verify="skip", stats=stats)
+
+    @classmethod
+    def from_stream(
+        cls,
+        buf,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        verify: str = "auto",
+        stats=None,
+    ) -> "CompressedArray":
+        """Wrap an existing CSZ2 stream (verified by default)."""
+        return cls(buf, cache_bytes=cache_bytes, verify=verify, stats=stats)
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.header.nelems)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical (decoded) size: what this array would cost as an ndarray."""
+        return self.size * self.dtype.itemsize
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return int(self._buf.size)
+
+    @property
+    def dirty_nbytes(self) -> int:
+        return self._dirty_bytes
+
+    @property
+    def cache_nbytes(self) -> int:
+        return self._cache.bytes
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Actual RAM footprint: stream + dirty overlay + decode cache."""
+        return self.compressed_nbytes + self.dirty_nbytes + self.cache_nbytes
+
+    @property
+    def eb_abs(self) -> float:
+        return float(self.header.eb_abs)
+
+    @property
+    def dirty_blocks(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def writable(self) -> bool:
+        return self._accessor is not None
+
+    @property
+    def cache(self) -> DecodeCache:
+        """The per-array decoded-block LRU (hit/miss/eviction accounting)."""
+        return self._cache
+
+    def __repr__(self) -> str:
+        kind = "blocks" if self.writable else "tiles"
+        return (
+            f"CompressedArray(shape={self.shape}, dtype={self.dtype.name}, "
+            f"{self.compressed_nbytes}B compressed / {self.nbytes}B logical, "
+            f"{kind}, dirty={self.dirty_blocks})"
+        )
+
+    # -- index resolution ----------------------------------------------------
+
+    def _resolve_index(self, key):
+        """Normalize basic indexing to per-axis int64 index arrays.
+
+        Returns ``(axes, out_shape)`` where ``axes`` has one sorted-ascending
+        or stepped ``np.arange`` per array axis and ``out_shape`` drops the
+        axes indexed by scalars (numpy squeezing semantics).  Fancy/boolean
+        indexing is out of scope for the compressed tier.
+        """
+        if not isinstance(key, tuple):
+            key = (key,)
+        if key.count(Ellipsis) > 1:
+            raise StoreError("an index may use at most one Ellipsis")
+        if Ellipsis in key:
+            i = key.index(Ellipsis)
+            fill = self.ndim - (len(key) - 1)
+            if fill < 0:
+                raise StoreError(
+                    f"too many indices for a {self.ndim}-d compressed array"
+                )
+            key = key[:i] + (slice(None),) * fill + key[i + 1 :]
+        if len(key) > self.ndim:
+            raise StoreError(
+                f"too many indices for a {self.ndim}-d compressed array: {len(key)}"
+            )
+        key = key + (slice(None),) * (self.ndim - len(key))
+
+        axes = []
+        out_shape = []
+        for k, (idx, dim) in enumerate(zip(key, self.shape)):
+            if isinstance(idx, slice):
+                r = np.arange(*idx.indices(dim), dtype=np.int64)
+                axes.append(r)
+                out_shape.append(r.size)
+            elif isinstance(idx, (int, np.integer)):
+                i = int(idx)
+                if i < 0:
+                    i += dim
+                if not 0 <= i < dim:
+                    raise StoreError(
+                        f"index {int(idx)} out of bounds for axis {k} (size {dim})"
+                    )
+                axes.append(np.array([i], dtype=np.int64))
+                # scalar index: axis squeezed from the result
+            else:
+                raise StoreError(
+                    f"compressed arrays support basic indexing only "
+                    f"(int/slice/Ellipsis); got {type(idx).__name__} on axis {k}"
+                )
+        return axes, tuple(out_shape)
+
+    def _flat_indices(self, axes) -> np.ndarray:
+        """Row-major flat element indices of the selected region (C order)."""
+        if not axes:
+            return np.zeros(1, dtype=np.int64)
+        grids = np.ix_(*axes)
+        flat = sum(g * s for g, s in zip(grids, self._strides))
+        return np.asarray(flat, dtype=np.int64).reshape(-1)
+
+    # -- block materialization (1-D predictor path) --------------------------
+
+    def _valid_len(self, b: int) -> int:
+        L = self.header.block
+        return min(L, self.size - b * L)
+
+    def _block_table(self, uniq: np.ndarray) -> np.ndarray:
+        """Decoded values for blocks ``uniq`` (sorted) as an ``(k, L)``
+        table: dirty overlay first, then the LRU, then a single batched
+        stream decode for whatever is left."""
+        L = self.header.block
+        table = np.empty((uniq.size, L), dtype=self.dtype)
+        missing = []
+        for row, b in enumerate(uniq.tolist()):
+            dirty = self._dirty.get(b)
+            if dirty is not None:
+                table[row, : dirty.size] = dirty
+                if dirty.size < L:
+                    table[row, dirty.size :] = dirty[-1] if dirty.size else 0
+                continue
+            hit = self._cache.get(f"b{b}")
+            if hit is not None:
+                table[row] = hit
+                continue
+            missing.append((row, b))
+        if missing:
+            rows = self._accessor.decode_blocks(
+                np.array([b for _, b in missing], dtype=np.int64)
+            )
+            for (row, b), decoded in zip(missing, rows):
+                table[row] = decoded
+                self._cache.put(f"b{b}", decoded)
+        return table
+
+    # -- reads ---------------------------------------------------------------
+
+    def __getitem__(self, key):
+        with obs_trace.maybe_span("store.read") as sp:
+            axes, out_shape = self._resolve_index(key)
+            if self._accessor is not None:
+                out = self._read_blocks(axes, out_shape)
+            else:
+                out = self._read_tiles(axes, out_shape)
+            if sp is not None:
+                sp.set(bytes_out=int(out.nbytes if isinstance(out, np.ndarray) else self.dtype.itemsize))
+            if self._stats is not None:
+                self._stats.counter("store.reads").inc()
+                self._stats.counter("store.read_bytes").inc(
+                    int(np.prod(out_shape, dtype=np.int64)) * self.dtype.itemsize
+                )
+            return out
+
+    def _read_blocks(self, axes, out_shape) -> np.ndarray:
+        flat = self._flat_indices(axes)
+        L = self.header.block
+        blocks = flat // L
+        offs = flat % L
+        uniq = np.unique(blocks)
+        table = self._block_table(uniq)
+        pos = np.searchsorted(uniq, blocks)
+        out = table[pos, offs].reshape(out_shape)
+        return out[()] if out_shape == () else out
+
+    def _read_tiles(self, axes, out_shape) -> np.ndarray:
+        if any(a.size == 0 for a in axes):
+            return np.empty(out_shape, dtype=self.dtype)
+        # decode the bounding box of the selection (stepped/reversed slices
+        # included), then gather the selected lattice out of it
+        lo = tuple(int(a.min()) for a in axes)
+        hi = tuple(int(a.max()) + 1 for a in axes)
+        region = self._tile_accessor.decode_region(lo, hi)
+        rel = [a - l for a, l in zip(axes, lo)]
+        out = region[np.ix_(*rel)].reshape(out_shape)
+        return out[()] if out_shape == () else out
+
+    def to_numpy(self) -> np.ndarray:
+        """Full decode with the dirty overlay applied (no flush)."""
+        with obs_trace.maybe_span("store.read", full=True):
+            out = decompress(self._buf, integrity="skip")
+            if self._dirty:
+                flat = out.reshape(-1)
+                L = self.header.block
+                for b, vals in self._dirty.items():
+                    flat[b * L : b * L + vals.size] = vals
+            return out
+
+    # -- writes --------------------------------------------------------------
+
+    def __setitem__(self, key, value) -> None:
+        if self._accessor is None:
+            raise StoreError(
+                f"stream uses the {self.header.predictor_ndim}-D tile predictor; "
+                "write-back requires the 1-D predictor (recompress with "
+                "predictor_ndim=1, e.g. CompressedArray.from_array)"
+            )
+        with obs_trace.maybe_span("store.write") as sp:
+            axes, out_shape = self._resolve_index(key)
+            flat = self._flat_indices(axes)
+            value = np.broadcast_to(
+                np.asarray(value, dtype=self.dtype), out_shape
+            ).reshape(-1)
+            if value.size != flat.size:
+                raise StoreError(
+                    f"cannot write {value.size} values into a selection of {flat.size}"
+                )
+            if not np.isfinite(value).all():
+                raise StoreError("compressed arrays require finite values")
+            L = self.header.block
+            blocks = flat // L
+            offs = flat % L
+            uniq = np.unique(blocks)
+            table = self._block_table(uniq)
+            pos = np.searchsorted(uniq, blocks)
+            table[pos, offs] = value
+            for row, b in enumerate(uniq.tolist()):
+                valid = self._valid_len(b)
+                old = self._dirty.get(b)
+                if old is not None:
+                    self._dirty_bytes -= old.nbytes
+                vals = table[row, :valid].copy()
+                self._dirty[b] = vals
+                self._dirty_bytes += vals.nbytes
+                self._cache.drop(f"b{b}")
+            if sp is not None:
+                sp.set(bytes_in=int(value.nbytes), dirty_blocks=len(self._dirty))
+            if self._stats is not None:
+                self._stats.counter("store.writes").inc()
+                self._stats.counter("store.write_bytes").inc(int(value.nbytes))
+
+    def flush(self) -> np.ndarray:
+        """Re-encode every dirty block into the backing stream (one batched
+        splice) and return the updated stream buffer.  No-op when clean."""
+        if not self._dirty:
+            return self._buf
+        with obs_trace.maybe_span("store.flush", dirty_blocks=len(self._dirty)) as sp:
+            idxs = sorted(self._dirty)
+            new_buf = self._accessor.rewrite_blocks(
+                idxs, [self._dirty[i] for i in idxs]
+            )
+            self._buf = new_buf
+            # the stream was assembled this instant; skip the integrity re-scan
+            self._accessor = RandomAccessor(new_buf, verify_integrity="skip")
+            self.header = self._accessor.header
+            for b in idxs:
+                self._cache.drop(f"b{b}")
+            self._dirty.clear()
+            self._dirty_bytes = 0
+            if sp is not None:
+                sp.set(bytes_out=int(new_buf.size))
+            if self._stats is not None:
+                self._stats.counter("store.flushes").inc()
+            return new_buf
+
+    @property
+    def stream(self) -> np.ndarray:
+        """The backing compressed stream, flushing pending writes first."""
+        return self.flush()

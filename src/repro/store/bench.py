@@ -1,0 +1,189 @@
+"""store-bench: working-set sweep for the compressed-array tier.
+
+For each working-set multiplier the bench builds a :class:`CompressedStore`
+with a fixed resident budget, fills it until the *compressed* working set
+is ``multiplier x budget``, then runs a seeded read/write workload of
+random slices across randomly chosen arrays.  Multipliers above 1 force
+the store to live off its spill tier, so the numbers answer the capacity
+question the subsystem exists for: what does touching a working set N
+times larger than RAM cost, and how often does it hit disk?
+
+Spill and fault-in counts are read back from the ``repro.obs`` metrics
+registry the store publishes into (not from private attributes), so the
+bench double-checks the observability wiring while it measures.
+
+The report (``benchmarks/results/BENCH_store.json``) follows the shape of
+``BENCH_core.json``: a ``results`` sweep, a ``headline`` entry (the >= 4x
+multiplier), and -- on full runs -- a ``ci_reference`` section measured
+with the quick parameters so CI smoke runs regress against an
+apples-to-apples number.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..serve.stats import MetricsRegistry
+from .store import CompressedStore
+
+#: bench fails when quick throughput drops below this fraction of the
+#: committed ci_reference (mirrors bench_core_throughput)
+REGRESSION_FLOOR = 0.70
+
+FULL = {"budget_bytes": 4 << 20, "array_elems": 1 << 18, "ops_per_array": 4}
+QUICK = {"budget_bytes": 1 << 20, "array_elems": 1 << 16, "ops_per_array": 4}
+MULTIPLIERS = (1, 2, 4, 8)
+QUICK_MULTIPLIERS = (1, 4)
+
+
+def _make_field(rng: np.random.Generator, elems: int) -> np.ndarray:
+    """A smooth random walk (the regime the codec was designed for), so
+    compression ratios -- and therefore working-set sizing -- are realistic
+    rather than noise-bound."""
+    return np.cumsum(rng.normal(size=elems)).astype(np.float32)
+
+
+def _run_one(
+    multiplier: int,
+    budget_bytes: int,
+    array_elems: int,
+    ops_per_array: int,
+    seed: int,
+    rel: float = 1e-3,
+) -> dict:
+    rng = np.random.default_rng(np.random.SeedSequence([seed, multiplier]))
+    registry = MetricsRegistry()
+    with CompressedStore(budget_bytes=budget_bytes, stats=registry) as store:
+        # fill until the compressed working set reaches multiplier x budget
+        working_set = 0
+        names: List[str] = []
+        t0 = time.perf_counter()
+        while working_set < multiplier * budget_bytes:
+            name = f"a{len(names)}"
+            arr = store.put(name, _make_field(rng, array_elems), rel=rel)
+            working_set += arr.compressed_nbytes
+            names.append(name)
+        fill_s = time.perf_counter() - t0
+
+        ops = ops_per_array * len(names)
+        read_bytes = write_bytes = 0
+        read_s = write_s = 0.0
+        n = array_elems
+        span = max(1, n // 16)
+        for op in range(ops):
+            name = names[int(rng.integers(0, len(names)))]
+            lo = int(rng.integers(0, n - span + 1))
+            if op % 2 == 0:
+                t0 = time.perf_counter()
+                got = store[name][lo : lo + span]
+                read_s += time.perf_counter() - t0
+                read_bytes += got.nbytes
+            else:
+                vals = np.full(span, float(rng.normal()), dtype=np.float32)
+                t0 = time.perf_counter()
+                store[name][lo : lo + span] = vals
+                write_s += time.perf_counter() - t0
+                write_bytes += vals.nbytes
+        t0 = time.perf_counter()
+        store.flush_all()
+        flush_s = time.perf_counter() - t0
+
+        # counts come from the obs registry the store publishes into
+        spills = int(registry.counter("store.spills").value)
+        faults = int(registry.counter("store.faults").value)
+        snapshot = store.stats_snapshot()
+
+    mib = 1 << 20
+    total_s = read_s + write_s + flush_s
+    total_bytes = read_bytes + write_bytes
+    return {
+        "multiplier": multiplier,
+        "arrays": len(names),
+        "budget_bytes": budget_bytes,
+        "working_set_bytes": working_set,
+        "ws_over_budget": round(working_set / budget_bytes, 2),
+        "logical_bytes": len(names) * array_elems * 4,
+        "ops": ops,
+        "spills": spills,
+        "faults": faults,
+        "fill_s": round(fill_s, 4),
+        "flush_s": round(flush_s, 4),
+        "read_MiBps": round(read_bytes / mib / read_s, 1) if read_s else 0.0,
+        "write_MiBps": round(write_bytes / mib / write_s, 1) if write_s else 0.0,
+        "workload_MiBps": round(total_bytes / mib / total_s, 1) if total_s else 0.0,
+        "resident_bytes_final": snapshot["resident_bytes"],
+    }
+
+
+def run_sweep(
+    quick: bool = False,
+    seed: int = 0,
+    multipliers: Optional[tuple] = None,
+) -> dict:
+    params = QUICK if quick else FULL
+    if multipliers is None:
+        multipliers = QUICK_MULTIPLIERS if quick else MULTIPLIERS
+    results = []
+    for mult in multipliers:
+        r = _run_one(mult, seed=seed, **params)
+        results.append(r)
+        print(
+            f"ws {mult}x budget: {r['arrays']:3d} arrays "
+            f"({r['working_set_bytes'] / 2**20:.1f} MiB compressed / "
+            f"{r['budget_bytes'] / 2**20:.0f} MiB budget)  "
+            f"spills {r['spills']:4d}  faults {r['faults']:4d}  "
+            f"read {r['read_MiBps']:7.1f} MiB/s  write {r['write_MiBps']:7.1f} MiB/s"
+        )
+    headline = max(
+        (r for r in results if r["multiplier"] >= 4),
+        key=lambda r: r["multiplier"],
+        default=results[-1],
+    )
+    report = {
+        "generated_by": "repro store-bench",
+        "numpy": np.__version__,
+        "quick": bool(quick),
+        "seed": seed,
+        "params": dict(params),
+        "results": results,
+        "headline": headline,
+    }
+    if not quick:
+        print("-- ci reference (quick params) --")
+        qres = [
+            _run_one(m, seed=seed, **QUICK) for m in QUICK_MULTIPLIERS
+        ]
+        qh = max(qres, key=lambda r: r["multiplier"])
+        report["ci_reference"] = {
+            "multiplier": qh["multiplier"],
+            "workload_MiBps": qh["workload_MiBps"],
+            "read_MiBps": qh["read_MiBps"],
+            "write_MiBps": qh["write_MiBps"],
+        }
+        print(
+            f"quick {qh['multiplier']}x: workload {qh['workload_MiBps']:.1f} MiB/s"
+        )
+    return report
+
+
+def check_regression(report: dict, reference: dict):
+    """``(ok, message)`` comparing this run against a committed report."""
+    if report["quick"]:
+        ref = reference.get("ci_reference") or reference["headline"]
+    else:
+        ref = reference["headline"]
+    got = report["headline"]["workload_MiBps"]
+    floor = REGRESSION_FLOOR * ref["workload_MiBps"]
+    if got < floor:
+        return False, (
+            f"REGRESSION: headline workload {got:.1f} MiB/s is below "
+            f"{REGRESSION_FLOOR:.0%} of the committed reference "
+            f"{ref['workload_MiBps']:.1f} MiB/s (floor {floor:.1f})"
+        )
+    return True, (
+        f"regression check OK: {got:.1f} MiB/s >= {floor:.1f} MiB/s "
+        f"({REGRESSION_FLOOR:.0%} of committed {ref['workload_MiBps']:.1f})"
+    )

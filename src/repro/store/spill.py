@@ -1,0 +1,116 @@
+"""Disk tier for the compressed-array store: spill files and checkpoints.
+
+Both are CSZ2ARC2 archives (:mod:`repro.core.archive`), so a spilled array
+is a normal one-field dataset archive any existing tool can open, and a
+checkpoint is the same container holding every array at once.  The archive
+layer adds framing only -- each stream is stored byte-identical to its
+in-memory form -- so spill -> fault-in round trips are exact, not merely
+within the error bound.
+
+A :class:`SpillDir` owns one directory.  Spill files are named
+``<quoted-array-name>.csz2arc`` (URL-quoting keeps arbitrary array names
+safe as filenames); checkpoints are single ``.csz2arc`` files wherever the
+caller points them.  Writes go through a temp file + ``os.replace`` so a
+crash mid-spill never leaves a torn archive under the final name.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List
+from urllib.parse import quote, unquote
+
+import numpy as np
+
+from ..core.archive import DatasetArchive, pack_streams
+
+SUFFIX = ".csz2arc"
+
+
+def _atomic_write(path: str, buf: np.ndarray) -> None:
+    d = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=d, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(buf.tobytes())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def write_checkpoint(path: str, streams: Dict[str, np.ndarray]) -> int:
+    """Archive every named stream into one file; returns bytes written."""
+    buf = pack_streams(streams)
+    _atomic_write(path, buf)
+    return int(buf.size)
+
+
+def read_checkpoint(path: str) -> Dict[str, np.ndarray]:
+    """Load a checkpoint archive back into named streams, verifying every
+    field's archive CRC (a torn or bit-flipped field raises)."""
+    with open(path, "rb") as f:
+        arc = DatasetArchive(np.frombuffer(f.read(), dtype=np.uint8))
+    bad = [name for name, ok in arc.verify_all().items() if not ok]
+    if bad:
+        from ..core.errors import IntegrityError
+
+        raise IntegrityError(
+            f"checkpoint {path!r}: field(s) {bad} failed archive CRC"
+        )
+    return {name: arc.stream(name).copy() for name in arc.names}
+
+
+class SpillDir:
+    """One directory of per-array spill archives."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path_for(self, name: str) -> str:
+        return os.path.join(self.root, quote(name, safe="") + SUFFIX)
+
+    def spill(self, name: str, buf: np.ndarray) -> int:
+        """Write one array's stream to disk; returns bytes written."""
+        nbytes = write_checkpoint(self.path_for(name), {name: buf})
+        return nbytes
+
+    def fault_in(self, name: str) -> np.ndarray:
+        """Read one array's stream back (archive CRC verified)."""
+        streams = read_checkpoint(self.path_for(name))
+        if name not in streams:
+            from ..core.errors import StreamFormatError
+
+            raise StreamFormatError(
+                f"spill file for {name!r} holds {list(streams)} instead"
+            )
+        return streams[name]
+
+    def contains(self, name: str) -> bool:
+        return os.path.exists(self.path_for(name))
+
+    def remove(self, name: str) -> bool:
+        """Delete one spill file (returns whether it existed)."""
+        p = self.path_for(name)
+        if os.path.exists(p):
+            os.unlink(p)
+            return True
+        return False
+
+    def names(self) -> List[str]:
+        out = []
+        for fn in os.listdir(self.root):
+            if fn.endswith(SUFFIX):
+                out.append(unquote(fn[: -len(SUFFIX)]))
+        return sorted(out)
+
+    def nbytes(self) -> int:
+        """Total bytes currently spilled."""
+        total = 0
+        for fn in os.listdir(self.root):
+            if fn.endswith(SUFFIX):
+                total += os.path.getsize(os.path.join(self.root, fn))
+        return total

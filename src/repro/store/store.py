@@ -1,0 +1,335 @@
+"""``CompressedStore``: named compressed arrays under one memory budget.
+
+The store is the capacity lever the ROADMAP's QTensor direction asks for:
+hold a working set of arrays compressed in RAM, and when even the
+*compressed* footprint outgrows the configured budget, spill the coldest
+arrays to disk as CSZ2ARC2 archives and fault them back in transparently
+on next access.  Accessing ``store["psi"]`` always returns a live
+:class:`~repro.store.array.CompressedArray`, wherever its bytes currently
+live.
+
+Budget semantics (see docs/STORE.md):
+
+* the budget covers the *resident footprint* -- compressed streams plus
+  dirty write overlays plus decode caches -- of every in-RAM array;
+* eviction is LRU over whole arrays (an array is the spill unit because a
+  CSZ2 stream is the integrity/addressing unit);
+* the most recently touched array is never spilled, so a single array
+  larger than the budget stays resident -- the budget is a target the
+  store converges to, not a hard allocation failure;
+* spilling flushes dirty blocks first, so a spill file always verifies
+  clean and fault-in is byte-exact.
+
+``checkpoint(path)`` flushes everything and writes one archive holding
+every array (resident or spilled); ``restore(path)`` reloads it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.obs import trace as obs_trace
+
+from .array import CompressedArray, StoreError
+from .spill import SpillDir, read_checkpoint, write_checkpoint
+
+
+class CompressedStore:
+    """A dict of :class:`CompressedArray` with LRU spill-to-disk.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Resident-footprint target.  ``0`` (or anything smaller than the
+        hottest array) degenerates to exactly one resident array.
+    spill_dir:
+        Directory for spill archives.  ``None`` creates a private
+        temporary directory that lives as long as the store.
+    stats:
+        Optional :class:`~repro.serve.stats.MetricsRegistry`; the store
+        publishes ``store.*`` gauges/counters into it (Prometheus-ready
+        via :func:`repro.obs.prometheus_text`).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int = 256 << 20,
+        spill_dir: Optional[str] = None,
+        stats=None,
+        default_rel: float = 1e-3,
+        cache_bytes_per_array: Optional[int] = None,
+    ):
+        if budget_bytes < 0:
+            raise StoreError(f"budget_bytes must be >= 0, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._tmpdir = None
+        if spill_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-store-")
+            spill_dir = self._tmpdir.name
+        self._spill = SpillDir(spill_dir)
+        self._stats = stats
+        self.default_rel = default_rel
+        self._cache_bytes = cache_bytes_per_array
+        #: resident arrays in LRU order (last = most recently used)
+        self._resident: "OrderedDict[str, CompressedArray]" = OrderedDict()
+        #: names currently on disk only
+        self._spilled: set = set()
+        self.spills = 0
+        self.faults = 0
+        self.spill_bytes = 0
+        self.fault_bytes = 0
+
+    # -- insertion -----------------------------------------------------------
+
+    def put(
+        self,
+        name: str,
+        data: np.ndarray,
+        rel: Optional[float] = None,
+        abs: Optional[float] = None,  # noqa: A002 - mirrors repro.compress
+        **kw,
+    ) -> CompressedArray:
+        """Compress ``data`` and store it under ``name`` (replacing any
+        previous array of that name, resident or spilled)."""
+        if rel is None and abs is None:
+            rel = self.default_rel
+        if self._cache_bytes is not None:
+            kw.setdefault("cache_bytes", self._cache_bytes)
+        arr = CompressedArray.from_array(data, rel=rel, abs=abs, **kw)
+        self._install(name, arr)
+        return arr
+
+    def adopt(self, name: str, buf, **kw) -> CompressedArray:
+        """Store an existing CSZ2 stream under ``name`` without recoding."""
+        if self._cache_bytes is not None:
+            kw.setdefault("cache_bytes", self._cache_bytes)
+        arr = CompressedArray.from_stream(buf, **kw)
+        self._install(name, arr)
+        return arr
+
+    def _install(self, name: str, arr: CompressedArray) -> None:
+        self._resident.pop(name, None)
+        if name in self._spilled:
+            self._spilled.discard(name)
+            self._spill.remove(name)
+        self._resident[name] = arr
+        self._enforce_budget(protect=name)
+        self._publish()
+
+    def __setitem__(self, name: str, data) -> None:
+        """``store[name] = ndarray`` compresses under the store default
+        bound; assigning a :class:`CompressedArray` adopts it as-is."""
+        if isinstance(data, CompressedArray):
+            self._install(name, data)
+        else:
+            self.put(name, np.asarray(data))
+
+    # -- access --------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> CompressedArray:
+        arr = self._resident.get(name)
+        if arr is not None:
+            self._resident.move_to_end(name)
+            # write-back overlays and decode caches grow between accesses,
+            # so re-check the budget on every touch, not just on install
+            self._enforce_budget(protect=name)
+            self._publish()
+            return arr
+        if name not in self._spilled:
+            raise KeyError(f"store has no array {name!r}; have {self.names()}")
+        return self._fault_in(name)
+
+    def get(self, name: str, default=None):
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._resident or name in self._spilled
+
+    def __len__(self) -> int:
+        return len(self._resident) + len(self._spilled)
+
+    def names(self) -> List[str]:
+        return sorted(list(self._resident) + list(self._spilled))
+
+    def drop(self, name: str) -> bool:
+        """Forget an array entirely (RAM and disk)."""
+        hit = self._resident.pop(name, None) is not None
+        if name in self._spilled:
+            self._spilled.discard(name)
+            self._spill.remove(name)
+            hit = True
+        self._publish()
+        return hit
+
+    # -- tiering -------------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(a.resident_nbytes for a in self._resident.values())
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(a.compressed_nbytes for a in self._resident.values())
+
+    @property
+    def dirty_bytes(self) -> int:
+        return sum(a.dirty_nbytes for a in self._resident.values())
+
+    @property
+    def logical_bytes(self) -> int:
+        """Decoded size of the resident working set (what plain ndarrays
+        would cost)."""
+        return sum(a.nbytes for a in self._resident.values())
+
+    @property
+    def spilled_names(self) -> List[str]:
+        return sorted(self._spilled)
+
+    def _enforce_budget(self, protect: Optional[str] = None) -> None:
+        """Spill coldest-first until resident footprint fits the budget.
+        ``protect`` (the array just touched) is never spilled."""
+        while self.resident_bytes > self.budget_bytes and len(self._resident) > 1:
+            victim = next((n for n in self._resident if n != protect), None)
+            if victim is None:
+                break
+            self._spill_one(victim)
+
+    def _spill_one(self, name: str) -> None:
+        arr = self._resident.pop(name)
+        with obs_trace.maybe_span("store.spill", array=name) as sp:
+            buf = arr.flush()  # spill files always verify clean
+            nbytes = self._spill.spill(name, buf)
+            self._spilled.add(name)
+            self.spills += 1
+            self.spill_bytes += nbytes
+            if sp is not None:
+                sp.set(bytes_out=nbytes)
+        if self._stats is not None:
+            self._stats.counter("store.spills").inc()
+            self._stats.counter("store.spill_bytes").inc(nbytes)
+        self._publish()
+
+    def _fault_in(self, name: str) -> CompressedArray:
+        with obs_trace.maybe_span("store.fault_in", array=name) as sp:
+            buf = self._spill.fault_in(name)
+            kw = {}
+            if self._cache_bytes is not None:
+                kw["cache_bytes"] = self._cache_bytes
+            # the archive CRC already vouched for the bytes; skip the
+            # stream-level re-verify on the hot fault path
+            arr = CompressedArray.from_stream(buf, verify="skip", **kw)
+            self._spilled.discard(name)
+            self._spill.remove(name)
+            self._resident[name] = arr
+            self.faults += 1
+            self.fault_bytes += int(buf.size)
+            if sp is not None:
+                sp.set(bytes_in=int(buf.size))
+        if self._stats is not None:
+            self._stats.counter("store.faults").inc()
+            self._stats.counter("store.fault_bytes").inc(int(buf.size))
+        self._enforce_budget(protect=name)
+        self._publish()
+        return arr
+
+    def spill_all(self) -> None:
+        """Push every resident array to disk (e.g. before a fork)."""
+        for name in list(self._resident):
+            self._spill_one(name)
+
+    def flush_all(self) -> None:
+        """Flush every resident array's dirty blocks (no spilling)."""
+        for arr in self._resident.values():
+            arr.flush()
+        self._publish()
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def checkpoint(self, path: str) -> int:
+        """Flush everything and write one archive holding every array
+        (resident or spilled); returns bytes written."""
+        with obs_trace.maybe_span("store.checkpoint", path=path) as sp:
+            streams: Dict[str, np.ndarray] = {}
+            for name, arr in self._resident.items():
+                streams[name] = arr.flush()
+            for name in self._spilled:
+                streams[name] = self._spill.fault_in(name)
+            if not streams:
+                raise StoreError("cannot checkpoint an empty store")
+            nbytes = write_checkpoint(path, streams)
+            if sp is not None:
+                sp.set(bytes_out=nbytes, arrays=len(streams))
+            if self._stats is not None:
+                self._stats.counter("store.checkpoints").inc()
+            return nbytes
+
+    def restore(self, path: str) -> List[str]:
+        """Load a checkpoint, replacing same-named arrays; returns the
+        restored names.  Arrays beyond the budget spill right back out."""
+        with obs_trace.maybe_span("store.restore", path=path):
+            streams = read_checkpoint(path)
+            for name, buf in streams.items():
+                # checkpoint CRCs verified on read; adopt without re-scan
+                kw = {"verify": "skip"}
+                if self._cache_bytes is not None:
+                    kw["cache_bytes"] = self._cache_bytes
+                self._install(name, CompressedArray.from_stream(buf, **kw))
+            return sorted(streams)
+
+    # -- observability -------------------------------------------------------
+
+    def _publish(self) -> None:
+        if self._stats is None:
+            return
+        g = self._stats.gauge
+        g("store.resident_bytes").set(self.resident_bytes)
+        g("store.compressed_bytes").set(self.compressed_bytes)
+        g("store.dirty_bytes").set(self.dirty_bytes)
+        g("store.logical_bytes").set(self.logical_bytes)
+        g("store.arrays_resident").set(len(self._resident))
+        g("store.arrays_spilled").set(len(self._spilled))
+        g("store.budget_bytes").set(self.budget_bytes)
+
+    def stats_snapshot(self) -> dict:
+        """Counters and footprint in one dict (used by store-bench)."""
+        return {
+            "arrays_resident": len(self._resident),
+            "arrays_spilled": len(self._spilled),
+            "resident_bytes": self.resident_bytes,
+            "compressed_bytes": self.compressed_bytes,
+            "dirty_bytes": self.dirty_bytes,
+            "logical_bytes": self.logical_bytes,
+            "budget_bytes": self.budget_bytes,
+            "spills": self.spills,
+            "faults": self.faults,
+            "spill_bytes": self.spill_bytes,
+            "fault_bytes": self.fault_bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedStore({len(self._resident)} resident / "
+            f"{len(self._spilled)} spilled, {self.resident_bytes}B of "
+            f"{self.budget_bytes}B budget)"
+        )
+
+    def close(self) -> None:
+        """Drop resident arrays and clean the private temp spill dir."""
+        self._resident.clear()
+        self._spilled.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "CompressedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -102,3 +102,77 @@ class TestValidation:
         _, buf, _ = field_3d
         ta = TileAccessor(buf)
         assert ta.ntiles == 3 * 4 * 5
+
+
+@pytest.fixture
+def ragged_2d(rng):
+    # 37 x 53 with 8x8 tiles: both edges are ragged (37 = 4*8+5, 53 = 6*8+5)
+    f = np.cumsum(np.cumsum(rng.normal(size=(37, 53)), 0), 1).astype(np.float32)
+    buf = compress(f, rel=1e-3, predictor_ndim=2, block=64)
+    return f, buf, decompress(buf)
+
+
+@pytest.fixture
+def ragged_3d(rng):
+    # 9 x 11 x 13 with 4x4x4 tiles: every axis is ragged
+    f = np.cumsum(rng.normal(size=(9, 11, 13)), axis=0).astype(np.float32)
+    buf = compress(f, rel=1e-3, predictor_ndim=3, block=64)
+    return f, buf, decompress(buf)
+
+
+class TestDecodeRegionEdgeExtents:
+    def test_region_exactly_on_tile_boundaries(self, field_2d):
+        _, buf, full = field_2d
+        ta = TileAccessor(buf)
+        assert np.array_equal(ta.decode_region((8, 16), (24, 48)), full[8:24, 16:48])
+        # one whole tile
+        assert np.array_equal(ta.decode_region((8, 8), (16, 16)), full[8:16, 8:16])
+
+    def test_single_voxel_regions(self, field_2d, ragged_2d):
+        for _, buf, full in (field_2d, ragged_2d):
+            ta = TileAccessor(buf)
+            corners = [
+                (0, 0),
+                (ta.dims[0] - 1, ta.dims[1] - 1),
+                (ta.dims[0] - 1, 0),
+                (0, ta.dims[1] - 1),
+                (ta.dims[0] // 2, ta.dims[1] // 2),
+            ]
+            for v in corners:
+                region = ta.decode_region(v, (v[0] + 1, v[1] + 1))
+                assert region.shape == (1, 1)
+                assert region[0, 0] == full[v]
+
+    def test_region_clipped_by_ragged_edge_2d(self, ragged_2d):
+        _, buf, full = ragged_2d
+        ta = TileAccessor(buf)
+        assert ta.grid == (5, 7)
+        # the last row/column of tiles are padded; a region reaching the
+        # field edge must clip at valid_extent, not read padding
+        assert np.array_equal(ta.decode_region((32, 48), (37, 53)), full[32:37, 48:53])
+        assert np.array_equal(ta.decode_region((0, 0), (37, 53)), full)
+        # strip along just the ragged bottom edge
+        assert np.array_equal(ta.decode_region((36, 0), (37, 53)), full[36:37, :])
+
+    def test_region_clipped_by_ragged_edge_3d(self, ragged_3d):
+        _, buf, full = ragged_3d
+        ta = TileAccessor(buf)
+        assert ta.grid == (3, 3, 4)
+        assert np.array_equal(ta.decode_region((8, 8, 12), (9, 11, 13)), full[8:9, 8:11, 12:13])
+        assert np.array_equal(ta.decode_region((0, 0, 0), (9, 11, 13)), full)
+
+    def test_edge_tile_valid_extent_matches_dims(self, ragged_2d):
+        _, buf, full = ragged_2d
+        ta = TileAccessor(buf)
+        valid = ta.valid_extent((4, 6))  # bottom-right ragged corner tile
+        assert valid == (slice(0, 5), slice(0, 5))
+        tile = ta.decode_tile((4, 6))
+        assert np.array_equal(tile[valid], full[32:37, 48:53])
+
+    def test_empty_region(self, field_2d):
+        _, buf, full = field_2d
+        ta = TileAccessor(buf)
+        region = ta.decode_region((10, 20), (10, 20))
+        assert region.shape == (0, 0)
+        # half-empty: zero width on one axis only
+        assert ta.decode_region((0, 5), (8, 5)).shape == (8, 0)

@@ -14,7 +14,7 @@ class TestConfig:
 
     def test_defaults_cover_all_oracles(self):
         assert set(FuzzConfig().paths) == {
-            "roundtrip", "chunked", "random_access", "corruption"
+            "roundtrip", "chunked", "random_access", "corruption", "store"
         }
 
 

@@ -196,3 +196,55 @@ class TestCacheThreadSafety:
             cache.put(f"k{i}", _arr(100, float(i)))
         assert cache.evictions == 1
         assert stats.counter("cache.evictions").value == 101
+
+
+class TestPutIsolation:
+    def test_mutation_after_put_does_not_poison_hits(self):
+        """Regression: put() used to store a read-only *view* of the
+        caller's array, so the caller's original writable reference could
+        keep mutating the cached bytes in place."""
+        cache = DecodeCache(max_bytes=1 << 20)
+        arr = np.arange(10, dtype=np.float32)
+        cache.put("k", arr)
+        arr[:] = -1.0  # caller keeps writing through its own reference
+        hit = cache.get("k")
+        assert np.array_equal(hit, np.arange(10, dtype=np.float32))
+
+    def test_view_into_foreign_buffer_is_copied(self):
+        cache = DecodeCache(max_bytes=1 << 20)
+        backing = np.zeros(100, dtype=np.float32)
+        cache.put("k", backing[10:20])
+        backing[:] = 7.0
+        assert np.array_equal(cache.get("k"), np.zeros(10, dtype=np.float32))
+
+    def test_frozen_owndata_array_cached_without_copy(self):
+        # an own-data read-only array cannot be written through any live
+        # reference, so the cache may alias it directly
+        cache = DecodeCache(max_bytes=1 << 20)
+        arr = np.arange(10, dtype=np.float32)
+        arr.flags.writeable = False
+        cache.put("k", arr)
+        hit = cache.get("k")
+        assert np.shares_memory(hit, arr)
+
+
+class TestDrop:
+    def test_drop_removes_entry_and_bytes(self):
+        cache = DecodeCache(max_bytes=1 << 20)
+        cache.put("k", _arr(100, 1.0))
+        assert cache.bytes == 400
+        assert cache.drop("k") is True
+        assert cache.bytes == 0 and len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_drop_missing_key_is_harmless(self):
+        cache = DecodeCache(max_bytes=1 << 20)
+        assert cache.drop("nope") is False
+
+    def test_drop_publishes_gauges(self):
+        stats = MetricsRegistry()
+        cache = DecodeCache(max_bytes=1 << 20, stats=stats)
+        cache.put("k", _arr(100, 1.0))
+        cache.drop("k")
+        assert stats.gauge("cache.bytes").value == 0
+        assert stats.gauge("cache.entries").value == 0

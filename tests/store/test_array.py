@@ -1,0 +1,185 @@
+"""CompressedArray: sliced reads, write-back, flush, byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.core.integrity import verify
+from repro.store import CompressedArray, StoreError
+
+
+@pytest.fixture
+def field_2d(rng):
+    return np.cumsum(rng.normal(size=(37, 53)), axis=1).astype(np.float32)
+
+
+@pytest.fixture
+def arr_2d(field_2d):
+    return CompressedArray.from_array(field_2d, rel=1e-3)
+
+
+class TestReads:
+    INDEXES = [
+        (slice(None), slice(None)),
+        (slice(3, 17), slice(10, 40, 3)),
+        (slice(None, None, -2), -1),
+        (5, 7),
+        (Ellipsis, 4),
+        (slice(20, 5),),  # empty
+        (slice(None),),  # partial key
+        (-3, slice(None, None, -1)),
+    ]
+
+    @pytest.mark.parametrize("key", INDEXES)
+    def test_basic_indexing_matches_numpy(self, field_2d, arr_2d, key):
+        eb = arr_2d.eb_abs
+        got = np.asarray(arr_2d[key])
+        want = np.asarray(field_2d[key])
+        assert got.shape == want.shape
+        assert got.dtype == want.dtype
+        if want.size:
+            assert np.abs(got.astype(np.float64) - want).max() <= eb * (1 + 1e-6)
+
+    def test_reads_are_bit_identical_to_full_decode(self, field_2d, arr_2d):
+        full = decompress(arr_2d.flush())
+        assert np.asarray(arr_2d[:, :]).tobytes() == full.tobytes()
+        assert np.asarray(arr_2d[4:30, 7:50]).tobytes() == full[4:30, 7:50].tobytes()
+
+    def test_scalar_read_returns_scalar(self, arr_2d):
+        v = arr_2d[3, 3]
+        assert np.ndim(v) == 0
+
+    def test_cache_serves_repeat_reads(self, arr_2d):
+        arr_2d[0:8, 0:8]
+        misses = arr_2d.cache.misses
+        arr_2d[0:8, 0:8]
+        assert arr_2d.cache.hits > 0
+        assert arr_2d.cache.misses == misses
+
+    def test_fancy_indexing_rejected(self, arr_2d):
+        with pytest.raises(StoreError, match="basic indexing"):
+            arr_2d[[1, 2, 3]]
+
+    def test_out_of_bounds_scalar_rejected(self, arr_2d):
+        with pytest.raises(StoreError, match="out of bounds"):
+            arr_2d[99, 0]
+
+    def test_too_many_indices_rejected(self, arr_2d):
+        with pytest.raises(StoreError, match="too many"):
+            arr_2d[1, 2, 3]
+
+    def test_double_ellipsis_rejected(self, arr_2d):
+        with pytest.raises(StoreError, match="Ellipsis"):
+            arr_2d[..., ...]
+
+    def test_3d_logical_shape(self, rng):
+        data = np.cumsum(rng.normal(size=(9, 11, 13)), axis=0).astype(np.float32)
+        arr = CompressedArray.from_array(data, abs=1e-2)
+        assert arr.shape == (9, 11, 13)
+        got = arr[2:7, ::2, 5]
+        assert np.abs(got - data[2:7, ::2, 5]).max() <= 1e-2 * (1 + 1e-6)
+
+
+class TestWrites:
+    def test_write_visible_before_flush(self, arr_2d):
+        arr_2d[10:20, 5:15] = 3.5
+        assert np.allclose(arr_2d[10:20, 5:15], 3.5, atol=arr_2d.eb_abs)
+        assert arr_2d.dirty_blocks > 0
+
+    def test_flush_verifies_clean_and_matches_reads(self, field_2d, arr_2d):
+        arr_2d[0, :] = 1.0
+        arr_2d[-1, ::2] = -2.0
+        buf = arr_2d.flush()
+        assert arr_2d.dirty_blocks == 0 and arr_2d.dirty_nbytes == 0
+        assert verify(buf).ok
+        full = decompress(buf)
+        assert full.shape == field_2d.shape
+        assert full.tobytes() == np.asarray(arr_2d[:, :]).tobytes()
+        assert full.tobytes() == arr_2d.to_numpy().tobytes()
+
+    def test_flush_respects_error_bound(self, field_2d, arr_2d):
+        mirror = field_2d.astype(np.float64).copy()
+        arr_2d[3:30, 10] = 0.25
+        mirror[3:30, 10] = 0.25
+        full = decompress(arr_2d.flush()).astype(np.float64)
+        assert np.abs(full - mirror).max() <= arr_2d.eb_abs * (1 + 1e-6) + 1e-7
+
+    def test_broadcast_scalar_write(self, arr_2d):
+        arr_2d[:, :] = 0.0
+        assert np.allclose(arr_2d.to_numpy(), 0.0, atol=arr_2d.eb_abs)
+
+    def test_write_then_reread_before_flush_is_exact(self, arr_2d):
+        # pre-flush, written values are stored exactly (quantization only
+        # happens at flush)
+        arr_2d[4, 4] = 1.2345
+        assert float(arr_2d[4, 4]) == np.float32(1.2345)
+
+    def test_shape_mismatch_rejected(self, arr_2d):
+        with pytest.raises((StoreError, ValueError)):
+            arr_2d[0:4, 0:4] = np.zeros((3, 3), dtype=np.float32)
+
+    def test_nonfinite_write_rejected(self, arr_2d):
+        with pytest.raises(StoreError, match="finite"):
+            arr_2d[0, 0] = np.nan
+
+    def test_repeated_flush_is_stable(self, arr_2d):
+        arr_2d[5:9, :] = 2.0
+        a = arr_2d.flush()
+        b = arr_2d.flush()  # no dirty blocks: same buffer back
+        assert a is b
+
+    def test_flush_after_rewrite_is_idempotent_on_lattice(self, arr_2d):
+        # writing back values the array itself returned re-encodes them
+        # bit-identically (quantization is idempotent on lattice values)
+        before = arr_2d.flush()
+        vals = np.asarray(arr_2d[12, :])
+        arr_2d[12, :] = vals
+        after = arr_2d.flush()
+        assert after.tobytes() == before.tobytes()
+
+    def test_stream_property_flushes(self, arr_2d):
+        arr_2d[0, 0] = 9.0
+        buf = arr_2d.stream
+        assert arr_2d.dirty_blocks == 0
+        assert verify(buf).ok
+
+
+class TestTileBackedArrays:
+    @pytest.fixture
+    def tile_arr(self, rng):
+        data = np.cumsum(np.cumsum(rng.normal(size=(40, 56)), 0), 1).astype(np.float32)
+        buf = compress(data, rel=1e-3, predictor_ndim=2, block=64)
+        return data, CompressedArray.from_stream(buf)
+
+    def test_reads_match_full_decode(self, tile_arr):
+        data, arr = tile_arr
+        assert not arr.writable
+        full = decompress(compress(data, rel=1e-3, predictor_ndim=2, block=64))
+        assert np.asarray(arr[5:20, 8:33]).tobytes() == full[5:20, 8:33].tobytes()
+        assert np.asarray(arr[::3, -1]).tobytes() == full[::3, -1].tobytes()
+
+    def test_writes_refused(self, tile_arr):
+        _, arr = tile_arr
+        with pytest.raises(StoreError, match="1-D predictor"):
+            arr[0, 0] = 1.0
+
+
+class TestAccounting:
+    def test_byte_properties(self, field_2d, arr_2d):
+        assert arr_2d.nbytes == field_2d.nbytes
+        assert 0 < arr_2d.compressed_nbytes < field_2d.nbytes
+        assert arr_2d.resident_nbytes >= arr_2d.compressed_nbytes
+        arr_2d[0:3, :] = 1.0
+        assert arr_2d.dirty_nbytes > 0
+        arr_2d.flush()
+        assert arr_2d.dirty_nbytes == 0
+
+    def test_repr_mentions_shape_and_dirt(self, arr_2d):
+        arr_2d[0, 0] = 1.0
+        r = repr(arr_2d)
+        assert "shape=(37, 53)" in r and "dirty=" in r
+
+    def test_from_stream_roundtrip(self, field_2d, arr_2d):
+        again = CompressedArray.from_stream(arr_2d.flush())
+        assert again.shape == arr_2d.shape
+        assert again.to_numpy().tobytes() == arr_2d.to_numpy().tobytes()

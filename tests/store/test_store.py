@@ -1,0 +1,243 @@
+"""CompressedStore: budget-driven spill, fault-in, checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.archive import DatasetArchive
+from repro.serve.stats import MetricsRegistry
+from repro.store import CompressedStore, StoreError
+from repro.store.spill import SpillDir, read_checkpoint, write_checkpoint
+
+
+def _field(rng, n=20_000):
+    return np.cumsum(rng.normal(size=n)).astype(np.float32)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CompressedStore(budget_bytes=1 << 20, spill_dir=str(tmp_path / "spill"))
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, store, rng):
+        data = _field(rng)
+        store.put("x", data, rel=1e-3)
+        arr = store["x"]
+        assert arr.shape == data.shape
+        assert np.abs(arr[:100] - data[:100]).max() <= arr.eb_abs * (1 + 1e-6)
+
+    def test_setitem_ndarray_uses_default_bound(self, store, rng):
+        store["y"] = _field(rng)
+        assert "y" in store and len(store) == 1
+
+    def test_missing_name_raises_keyerror(self, store):
+        with pytest.raises(KeyError, match="no array"):
+            store["nope"]
+        assert store.get("nope") is None
+
+    def test_drop(self, store, rng):
+        store["x"] = _field(rng)
+        assert store.drop("x") is True
+        assert "x" not in store
+        assert store.drop("x") is False
+
+    def test_adopt_existing_stream(self, store, rng):
+        from repro.core import compress
+
+        data = _field(rng)
+        buf = compress(data, rel=1e-3)
+        arr = store.adopt("z", buf)
+        assert arr.compressed_nbytes == buf.size
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(StoreError):
+            CompressedStore(budget_bytes=-1)
+
+
+class TestSpill:
+    def test_over_budget_spills_coldest(self, tmp_path, rng):
+        store = CompressedStore(budget_bytes=64 << 10, spill_dir=str(tmp_path))
+        for i in range(8):
+            store.put(f"a{i}", _field(rng), rel=1e-3)
+        assert store.spills > 0
+        assert len(store.spilled_names) > 0
+        assert store.resident_bytes <= store.budget_bytes or len(store._resident) == 1
+        # everything still addressable
+        assert len(store) == 8
+
+    def test_fault_in_is_byte_exact(self, tmp_path, rng):
+        store = CompressedStore(budget_bytes=64 << 10, spill_dir=str(tmp_path))
+        data = _field(rng)
+        before = store.put("cold", data, rel=1e-3).flush().tobytes()
+        # push "cold" out with hotter arrays
+        for i in range(6):
+            store.put(f"hot{i}", _field(rng), rel=1e-3)
+        assert "cold" in store.spilled_names
+        faults = store.faults
+        arr = store["cold"]
+        assert store.faults == faults + 1
+        assert arr.flush().tobytes() == before
+
+    def test_spill_flushes_dirty_blocks(self, tmp_path, rng):
+        store = CompressedStore(budget_bytes=64 << 10, spill_dir=str(tmp_path))
+        data = _field(rng)
+        arr = store.put("w", data, rel=1e-3)
+        arr[0:100] = 5.0
+        store.spill_all()
+        assert "w" in store.spilled_names
+        back = store["w"]
+        assert np.allclose(back[0:100], 5.0, atol=back.eb_abs)
+
+    def test_spill_file_is_a_plain_archive(self, tmp_path, rng):
+        store = CompressedStore(budget_bytes=1 << 20, spill_dir=str(tmp_path))
+        store.put("field", _field(rng), rel=1e-3)
+        store.spill_all()
+        sd = SpillDir(str(tmp_path))
+        assert sd.names() == ["field"]
+        raw = np.fromfile(sd.path_for("field"), dtype=np.uint8)
+        arc = DatasetArchive(raw)
+        assert arc.names == ["field"]
+        assert arc.verify_all() == {"field": True}
+        arc.extract("field")  # decodes clean
+
+    def test_protected_array_never_spilled(self, tmp_path, rng):
+        # a single array larger than the budget stays resident
+        store = CompressedStore(budget_bytes=1, spill_dir=str(tmp_path))
+        store.put("big", _field(rng), rel=1e-3)
+        assert store.spilled_names == []
+        assert store["big"] is not None
+
+    def test_lru_order_spills_coldest_first(self, tmp_path, rng):
+        store = CompressedStore(budget_bytes=10 << 20, spill_dir=str(tmp_path))
+        for i in range(4):
+            store.put(f"a{i}", _field(rng), rel=1e-3)
+        store["a0"]  # touch: a1 becomes coldest
+        store.budget_bytes = 0
+        store["a0"]  # re-enforce with a0 protected
+        assert "a0" not in store.spilled_names
+        assert set(store.spilled_names) >= {"a1", "a2"}
+
+
+class TestCheckpoint:
+    def test_checkpoint_restore_roundtrip(self, tmp_path, rng):
+        store = CompressedStore(budget_bytes=64 << 10, spill_dir=str(tmp_path / "s"))
+        fields = {f"f{i}": _field(rng) for i in range(5)}
+        for name, data in fields.items():
+            store.put(name, data, rel=1e-3)
+        streams_before = {n: store[n].flush().tobytes() for n in sorted(fields)}
+        ckpt = tmp_path / "state.csz2arc"
+        nbytes = store.checkpoint(str(ckpt))
+        assert nbytes == ckpt.stat().st_size
+
+        fresh = CompressedStore(budget_bytes=64 << 10, spill_dir=str(tmp_path / "s2"))
+        restored = fresh.restore(str(ckpt))
+        assert restored == sorted(fields)
+        for n in fields:
+            assert fresh[n].flush().tobytes() == streams_before[n]
+
+    def test_checkpoint_includes_spilled_arrays(self, tmp_path, rng):
+        store = CompressedStore(budget_bytes=32 << 10, spill_dir=str(tmp_path / "s"))
+        for i in range(6):
+            store.put(f"f{i}", _field(rng), rel=1e-3)
+        assert store.spilled_names  # some live on disk
+        ckpt = tmp_path / "all.csz2arc"
+        store.checkpoint(str(ckpt))
+        names = read_checkpoint(str(ckpt)).keys()
+        assert sorted(names) == [f"f{i}" for i in range(6)]
+
+    def test_empty_store_checkpoint_rejected(self, store, tmp_path):
+        with pytest.raises(StoreError, match="empty"):
+            store.checkpoint(str(tmp_path / "x.csz2arc"))
+
+    def test_corrupt_checkpoint_detected(self, tmp_path, rng):
+        from repro.core import compress
+        from repro.core.errors import IntegrityError
+
+        path = str(tmp_path / "c.csz2arc")
+        write_checkpoint(path, {"f": compress(_field(rng), rel=1e-3)})
+        raw = bytearray(open(path, "rb").read())
+        raw[-10] ^= 0xFF  # flip a bit inside the stream body
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(IntegrityError, match="CRC"):
+            read_checkpoint(path)
+
+
+class TestObservability:
+    def test_gauges_and_counters_published(self, tmp_path, rng):
+        reg = MetricsRegistry()
+        store = CompressedStore(
+            budget_bytes=64 << 10, spill_dir=str(tmp_path), stats=reg
+        )
+        for i in range(6):
+            store.put(f"a{i}", _field(rng), rel=1e-3)
+        store["a0"]
+        assert reg.counter("store.spills").value == store.spills > 0
+        assert reg.counter("store.faults").value == store.faults
+        assert reg.gauge("store.arrays_resident").value == len(store._resident)
+        assert reg.gauge("store.arrays_spilled").value == len(store.spilled_names)
+        assert reg.gauge("store.budget_bytes").value == 64 << 10
+
+    def test_prometheus_export_includes_store_metrics(self, tmp_path, rng):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        store = CompressedStore(
+            budget_bytes=64 << 10, spill_dir=str(tmp_path), stats=reg
+        )
+        for i in range(8):
+            store.put(f"a{i}", _field(rng), rel=1e-3)
+        assert store.spills > 0
+        text = prometheus_text(reg)
+        assert "store_resident_bytes" in text
+        assert "store_spills" in text
+
+    def test_spans_recorded(self, tmp_path, rng):
+        from repro.obs import trace as obs_trace
+
+        with obs_trace.tracing() as tracer:
+            store = CompressedStore(budget_bytes=16 << 10, spill_dir=str(tmp_path))
+            arr = store.put("a", _field(rng), rel=1e-3)
+            arr[0:50]
+            arr[0:50] = 1.0
+            arr.flush()
+            store.put("b", _field(rng), rel=1e-3)  # forces a spill of "a"
+            store["a"]  # fault-in
+        for name in ("store.read", "store.write", "store.flush",
+                     "store.spill", "store.fault_in"):
+            assert tracer.find(name), f"no {name} span recorded"
+
+    def test_stats_snapshot_keys(self, store, rng):
+        store.put("x", _field(rng), rel=1e-3)
+        snap = store.stats_snapshot()
+        for key in ("arrays_resident", "arrays_spilled", "resident_bytes",
+                    "spills", "faults", "budget_bytes"):
+            assert key in snap
+
+
+class TestWorkloadMirror:
+    def test_interleaved_ops_match_mirror(self, tmp_path, rng):
+        """A miniature of the qa store oracle across spill boundaries."""
+        store = CompressedStore(budget_bytes=48 << 10, spill_dir=str(tmp_path))
+        fields = {}
+        for i in range(5):
+            data = _field(rng, 10_000)
+            fields[f"f{i}"] = data.astype(np.float64)
+            store.put(f"f{i}", data, abs=1e-2)
+        for _ in range(40):
+            name = f"f{int(rng.integers(0, 5))}"
+            lo = int(rng.integers(0, 9_000))
+            hi = lo + int(rng.integers(1, 1_000))
+            if rng.random() < 0.5:
+                got = store[name][lo:hi]
+                # eb plus half a float32 ULP of the reconstruction (values
+                # reach ~100, where spacing is 7.6e-6) -- same slack the
+                # qa oracles grant the codec itself
+                assert np.abs(got - fields[name][lo:hi]).max() <= 1e-2 * (1 + 1e-6) + 4e-6
+            else:
+                v = float(rng.normal())
+                store[name][lo:hi] = v
+                fields[name][lo:hi] = np.float32(v)
+        store.flush_all()
+        for name, mirror in fields.items():
+            got = store[name].to_numpy().astype(np.float64)
+            assert np.abs(got - mirror).max() <= 1e-2 * (1 + 1e-6) + 4e-6
