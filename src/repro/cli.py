@@ -38,6 +38,21 @@ def _parse_dims(text):
     return [int(x) for x in text.replace("x", ",").split(",") if x]
 
 
+#: Kept as a literal (not imported from repro.core.backends) so ``--help``
+#: works without importing numpy; tests pin it against the live registry.
+KERNEL_BACKENDS = ["auto", "numpy", "numba", "fused-python"]
+
+
+def _add_kernel_backend_arg(parser) -> None:
+    parser.add_argument(
+        "--kernel-backend", default="auto", choices=KERNEL_BACKENDS,
+        help="codec kernel implementation: the NumPy reference, the fused "
+        "numba JIT kernels, or their pure-Python twin; 'auto' honors "
+        "$REPRO_KERNEL_BACKEND then falls back to numpy (default auto). "
+        "Distinct from --backend, which picks the worker-pool flavor.",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
@@ -58,10 +73,12 @@ def cmd_compress(args) -> int:
 
     t0 = time.perf_counter()
     if args.absolute:
-        stream = compress(data, abs=args.error_bound, mode=mode)
+        stream = compress(data, abs=args.error_bound, mode=mode,
+                          kernel_backend=args.kernel_backend)
         eb_abs = args.error_bound
     else:
-        stream = compress(data, rel=args.error_bound, mode=mode)
+        stream = compress(data, rel=args.error_bound, mode=mode,
+                          kernel_backend=args.kernel_backend)
         rng = float(data.max() - data.min())
         eb_abs = args.error_bound * (rng if rng else max(abs(float(data.max())), 1.0))
     wall = time.perf_counter() - t0
@@ -81,7 +98,7 @@ def cmd_compress(args) -> int:
     print(f"(functional codec wall time: {wall:.3f} s for {data.nbytes / 1e6:.1f} MB)")
     print(f"compressed stream written to {out_path}")
     print()
-    recon = decompress(stream)
+    recon = decompress(stream, kernel_backend=args.kernel_backend)
     if check_error_bound(data.reshape(-1), recon.reshape(-1), eb_abs):
         print("Pass error check!")
         return 0
@@ -102,7 +119,8 @@ def _compress_chunked_cli(args, data, mode: str, chunk_bytes: int) -> int:
             pool = WorkerPool(nworkers=args.workers, backend=args.backend)
             pool.wait_ready()
         chunked = compress_chunked(
-            data, mode=mode, chunk_bytes=chunk_bytes, pool=pool, **bound
+            data, mode=mode, chunk_bytes=chunk_bytes, pool=pool,
+            kernel_backend=args.kernel_backend, **bound
         )
         buf = chunked.to_bytes()
         wall = time.perf_counter() - t0
@@ -120,7 +138,9 @@ def _compress_chunked_cli(args, data, mode: str, chunk_bytes: int) -> int:
         print(f"(functional codec wall time: {wall:.3f} s for {data.nbytes / 1e6:.1f} MB)")
         print(f"compressed stream written to {out_path}")
         print()
-        recon = decompress_chunked(chunked, pool=pool)
+        recon = decompress_chunked(
+            chunked, pool=pool, kernel_backend=args.kernel_backend
+        )
     finally:
         if pool is not None:
             pool.shutdown()
@@ -160,12 +180,16 @@ def cmd_decompress(args) -> int:
                 print(f"integrity check FAILED: chunk(s) {bad} fail their manifest CRC32")
                 print("hint: retransmit the damaged chunks (each chunk is independent)")
                 return 1
-            recon = decompress_chunked(chunked)
+            recon = decompress_chunked(chunked, kernel_backend=args.kernel_backend)
         else:
             header = StreamHeader.unpack(stream)
             checks = "header+group checksums" if header.version >= 2 else "no checksums"
             print(f"stream format v{header.version} ({checks})")
-            recon = decompress(stream, on_corruption=args.on_corruption)
+            recon = decompress(
+                stream,
+                on_corruption=args.on_corruption,
+                kernel_backend=args.kernel_backend,
+            )
     except IntegrityError as e:
         print(f"integrity check FAILED: {e}")
         print("hint: retry with --on-corruption recover to salvage intact block groups")
@@ -198,6 +222,7 @@ def cmd_serve_bench(args) -> int:
         seed=args.seed,
         dataset=args.dataset,
         field=args.field,
+        kernel_backend=args.kernel_backend,
     )
     report = run_serve_bench(cfg)
     print(format_report(report))
@@ -231,6 +256,7 @@ def cmd_trace(args) -> int:
         with CompressionService(
             workers=args.workers,
             backend=args.backend,
+            kernel_backend=args.kernel_backend,
             mode=mode,
             chunk_bytes=int(args.chunk_mb * (1 << 20)),
             tracer=tracer,
@@ -522,8 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     c.add_argument(
         "--backend", default="process", choices=["thread", "process"],
-        help="worker backend for --workers > 1 (default process)",
+        help="worker-pool backend for --workers > 1 (default process); "
+        "unrelated to --kernel-backend, which picks the codec kernels",
     )
+    _add_kernel_backend_arg(c)
     c.set_defaults(fn=cmd_compress)
 
     d = sub.add_parser("decompress", help="decompress a .csz2 stream")
@@ -535,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["raise", "recover"],
         help="corrupt v2 stream: fail (default) or decode intact groups + NaN-fill",
     )
+    _add_kernel_backend_arg(d)
     d.set_defaults(fn=cmd_decompress)
 
     sb = sub.add_parser(
@@ -543,7 +572,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb.add_argument("--size-mb", type=float, default=8.0, help="field size (default 8 MB)")
     sb.add_argument("--workers", type=int, default=2)
-    sb.add_argument("--backend", default="thread", choices=["thread", "process"])
+    sb.add_argument(
+        "--backend", default="thread", choices=["thread", "process"],
+        help="worker-pool backend (distinct from --kernel-backend)",
+    )
+    _add_kernel_backend_arg(sb)
     sb.add_argument("--requests", type=int, default=8, help="total compress+decompress iterations")
     sb.add_argument("--clients", type=int, default=2, help="concurrent closed-loop clients")
     sb.add_argument("--rel", type=float, default=1e-3)
@@ -573,7 +606,11 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--absolute", action="store_true")
     tr.add_argument("--mode", default="outlier", choices=["plain", "outlier", "p", "o"])
     tr.add_argument("--workers", type=int, default=2)
-    tr.add_argument("--backend", default="thread", choices=["thread", "process"])
+    tr.add_argument(
+        "--backend", default="thread", choices=["thread", "process"],
+        help="worker-pool backend (distinct from --kernel-backend)",
+    )
+    _add_kernel_backend_arg(tr)
     tr.add_argument("--chunk-mb", type=float, default=4.0)
     tr.add_argument("--json", help="write the span trees as JSON to this path")
     tr.add_argument("--folded", help="write flamegraph folded stacks to this path")
@@ -589,7 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--paths",
         action="append",
-        choices=["roundtrip", "chunked", "random_access", "corruption", "store"],
+        choices=["roundtrip", "chunked", "random_access", "corruption", "store", "backends"],
         help="restrict to one oracle path (repeatable; default all)",
     )
     fz.add_argument(

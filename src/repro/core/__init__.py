@@ -4,6 +4,13 @@ Public surface: :func:`compress`, :func:`decompress`, :class:`CuSZp2`,
 :class:`ErrorBound`, :class:`RandomAccessor`.
 """
 
+from .backends import (
+    KernelBackend,
+    available_backends,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
 from .compressor import (
     DEFAULT_BLOCK,
     CompressorConfig,
@@ -11,6 +18,7 @@ from .compressor import (
     compress,
     compression_ratio,
     decompress,
+    validate_chunk_blocks,
 )
 from .errors import (
     CuSZp2Error,
@@ -32,6 +40,12 @@ from .stream import DEFAULT_GROUP_BLOCKS, HEADER_SIZE, StreamHeader
 __all__ = [
     "CuSZp2",
     "CompressorConfig",
+    "KernelBackend",
+    "available_backends",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "validate_chunk_blocks",
     "ErrorBound",
     "RandomAccessor",
     "TileAccessor",

@@ -1,0 +1,232 @@
+"""Fused quantize -> diff -> FLE kernels (single pass per chunk).
+
+The paper's headline throughput comes from fusing the four pipeline stages
+into one GPU kernel so each quantization integer is produced, differenced
+and encoded while still in registers (Fig. 4).  This module is the CPU
+analogue: per-block scalar kernels written in nopython-compatible Python,
+compiled with ``numba.njit(parallel=True, cache=True)`` when numba is
+installed and executed as plain Python otherwise.  Both forms run the same
+function bodies, so the always-available pure-Python variants double as the
+reference for the jitted ones on hosts without numba.
+
+Encoding is two passes, matching the kernel structure cuSZp2 uses around
+its global prefix-sum (Section III):
+
+* **pass 1** quantizes and differences each block and derives its offset
+  byte and payload size (all per-block, embarrassingly parallel, deltas
+  parked in a chunk-sized scratch);
+* a serial prefix sum over the sizes yields every block's payload start;
+* **pass 2** packs sign bits, adaptive outlier bytes and LSB-first
+  bit-planes of each block directly at its final payload position --
+  writes are disjoint per block, so the parallel loop is deterministic.
+
+Bit-identity with the NumPy reference backend is load-bearing and rests on:
+
+* the quantizer performing the *same float64 op sequence* per element
+  (divide by ``2*eb``, add 0.5, floor -- each correctly rounded, so
+  elementwise and scalar agree bit-for-bit);
+* range/overflow checks and the int32/int64 width decision being made
+  outside the kernel by the shared helpers in :mod:`repro.core.quantize`;
+* mode selection using the same strict ``cost_outlier < cost_plain``
+  comparison and byte-cost formulas as :mod:`repro.core.fle`;
+* decode accumulating prefix sums in int64 before the final store --
+  exact for every stream :func:`repro.core.fle.delta_dtype` admits as
+  int32 (partial sums are bounded by ``outlier + L * (2**fl - 1) <
+  2**24 + 2**30``), so the narrow store never wraps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only on numba-enabled hosts
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the only path on this CI image
+    NUMBA_AVAILABLE = False
+    prange = range
+
+    def njit(*args, **kwargs):
+        """Identity decorator: the kernel bodies below are plain Python."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+#: Largest representable magnitude (mirrors quantize.MAX_QUANT_MAGNITUDE;
+#: duplicated as a plain int literal so the jitted kernels close over a
+#: compile-time constant instead of a numpy scalar global).
+_MAXQ = 2147483647
+
+
+def _encode_pass1(chunk, step, block, use_outlier, dblocks, offs, sizes):
+    """Quantize + diff + per-block FLE decision for one chunk.
+
+    ``chunk`` is the chunk's float data (its final block may be partial:
+    indices past the end clamp to the last element, replicating
+    ``blockize_1d``'s repeat-last padding, whose deltas are zero).  Writes
+    the signed deltas into ``dblocks`` (int64 scratch), the offset byte
+    into ``offs`` and the payload byte count into ``sizes``.  A block whose
+    delta magnitude exceeds 2**31 - 1 gets ``sizes[b] = -1`` for the
+    caller to turn into the exact :class:`QuantizationOverflowError` the
+    NumPy path raises (a parallel loop cannot raise deterministically).
+    """
+    nblocks = offs.shape[0]
+    n = chunk.shape[0]
+    sign_bytes = block // 8
+    for b in prange(nblocks):
+        base = b * block
+        last = n - 1
+        # float() widens float32 input to float64 *before* the divide (an
+        # exact conversion), matching the vectorized reference; dividing the
+        # raw float32 scalar would round in single precision first.
+        q_prev = int(np.floor(float(chunk[base]) / step + 0.5))
+        dblocks[b, 0] = q_prev
+        m0 = -q_prev if q_prev < 0 else q_prev
+        rest_max = 0
+        for i in range(1, block):
+            idx = base + i
+            if idx > last:
+                idx = last
+            qv = int(np.floor(float(chunk[idx]) / step + 0.5))
+            d = qv - q_prev
+            q_prev = qv
+            dblocks[b, i] = d
+            a = -d if d < 0 else d
+            if a > rest_max:
+                rest_max = a
+        full_max = rest_max if rest_max > m0 else m0
+        if full_max > _MAXQ:
+            offs[b] = 0
+            sizes[b] = -1
+            continue
+        fl_plain = 0
+        while (full_max >> fl_plain) != 0:
+            fl_plain += 1
+        if use_outlier:
+            fl_rest = 0
+            while (rest_max >> fl_rest) != 0:
+                fl_rest += 1
+            onb = (
+                1
+                + (1 if m0 > 0xFF else 0)
+                + (1 if m0 > 0xFFFF else 0)
+                + (1 if m0 > 0xFFFFFF else 0)
+            )
+            cost_plain = 0 if fl_plain == 0 else sign_bytes * (1 + fl_plain)
+            cost_outlier = sign_bytes + onb + fl_rest * sign_bytes
+            if cost_outlier < cost_plain:
+                offs[b] = 0x80 | ((onb - 1) << 5) | fl_rest
+                sizes[b] = cost_outlier
+            else:
+                offs[b] = fl_plain
+                sizes[b] = cost_plain
+        else:
+            offs[b] = fl_plain
+            sizes[b] = 0 if fl_plain == 0 else sign_bytes * (1 + fl_plain)
+
+
+def _encode_pass2(dblocks, offs, starts, block, payload):
+    """Pack each block's payload bytes at its prefix-summed start.
+
+    Layout per block (identical to the NumPy group encoder): ``L/8`` sign
+    bytes (bit 1 = negative, LSB-first within each byte), then -- Outlier
+    mode only -- ``onb`` little-endian outlier bytes, then ``fl``
+    bit-planes of the magnitudes, LSB plane first, with the outlier
+    element's plane bits zeroed (its sign bit is kept).
+    """
+    nblocks = offs.shape[0]
+    sign_bytes = block // 8
+    for b in prange(nblocks):
+        off = offs[b]
+        mode = off >> 7
+        fl = off & 0x1F
+        if mode == 0 and fl == 0:
+            continue  # zero block: one offset byte, no payload
+        s = starts[b]
+        for j in range(sign_bytes):
+            byte = 0
+            for k in range(8):
+                if dblocks[b, 8 * j + k] < 0:
+                    byte |= 1 << k
+            payload[s + j] = byte
+        p = s + sign_bytes
+        if mode == 1:
+            onb = ((off >> 5) & 0x3) + 1
+            d0 = dblocks[b, 0]
+            m0 = -d0 if d0 < 0 else d0
+            for i in range(onb):
+                payload[p + i] = (m0 >> (8 * i)) & 0xFF
+            p += onb
+        for pl in range(fl):
+            row = p + pl * sign_bytes
+            for j in range(sign_bytes):
+                byte = 0
+                for k in range(8):
+                    e = 8 * j + k
+                    d = dblocks[b, e]
+                    m = -d if d < 0 else d
+                    if mode == 1 and e == 0:
+                        m = 0  # outlier magnitude lives in its own bytes
+                    if (m >> pl) & 1:
+                        byte |= 1 << k
+                payload[row + j] = byte
+
+
+def _decode_chunk(offs, payload, starts, block, q_out):
+    """Fused FLE-decode + prefix-sum for one chunk.
+
+    Reads each block's payload at ``starts[b]`` and writes the
+    reconstructed quantization integers (row prefix sums of the deltas)
+    straight into ``q_out``.  Accumulation is int64; the store narrows to
+    ``q_out``'s dtype, which :func:`repro.core.fle.delta_dtype` has already
+    proven exact for this stream.  The outlier element's magnitude is
+    *replaced* by the adaptive bytes (plane bits of element 0 are ignored),
+    matching the NumPy decoder on corrupt streams too.
+    """
+    nblocks = offs.shape[0]
+    sign_bytes = block // 8
+    for b in prange(nblocks):
+        off = offs[b]
+        mode = off >> 7
+        fl = off & 0x1F
+        base = b * block
+        if mode == 0 and fl == 0:
+            for i in range(block):
+                q_out[base + i] = 0
+            continue
+        s = starts[b]
+        onb = (((off >> 5) & 0x3) + 1) if mode == 1 else 0
+        planes = s + sign_bytes + onb
+        omag = 0
+        for i in range(onb):
+            omag |= int(payload[s + sign_bytes + i]) << (8 * i)
+        acc = 0
+        for i in range(block):
+            m = 0
+            for pl in range(fl):
+                if (int(payload[planes + pl * sign_bytes + (i >> 3)]) >> (i & 7)) & 1:
+                    m |= 1 << pl
+            if mode == 1 and i == 0:
+                m = omag
+            if (int(payload[s + (i >> 3)]) >> (i & 7)) & 1:
+                m = -m
+            acc += m
+            q_out[base + i] = acc
+
+
+# Always-available pure-Python aliases (the "fused-python" backend) and the
+# jitted entry points (the "numba" backend).  Without numba the decorator is
+# the identity, so both names resolve to the same function objects.
+encode_pass1_python = _encode_pass1
+encode_pass2_python = _encode_pass2
+decode_chunk_python = _decode_chunk
+
+encode_pass1 = njit(parallel=True, cache=True)(_encode_pass1)
+encode_pass2 = njit(parallel=True, cache=True)(_encode_pass2)
+decode_chunk = njit(parallel=True, cache=True)(_decode_chunk)

@@ -119,6 +119,37 @@ def _quantize_scalar(x: float, eb_abs: float) -> float:
     return float(np.floor(v))
 
 
+def quantized_bounds(minmax: tuple, eb_abs: float) -> tuple:
+    """Quantizer image ``(lo_q, hi_q)`` of the data extrema.
+
+    The quantizer map is monotone nondecreasing, so these two scalar
+    evaluations bound every quantization integer of the field.  All kernel
+    backends derive their range/overflow checks and their integer-width
+    decision from this one function so the checks agree bit-for-bit.
+    """
+    return _quantize_scalar(minmax[0], eb_abs), _quantize_scalar(minmax[1], eb_abs)
+
+
+def quant_output_dtype(lo_q: float, hi_q: float, int32_terms: int) -> np.dtype:
+    """The int32-vs-int64 demotion decision, shared by every kernel backend.
+
+    Given the quantizer image ``[lo_q, hi_q]`` of the *whole field* (never a
+    chunk -- a per-chunk decision could demote one chunk and not its
+    neighbour, and an int32 delta overflowing on a chunk boundary would
+    change stream bytes) and the maximum number of quantization integers a
+    downstream predictor sums per delta, return int32 exactly when every
+    delta provably fits: ``|q| <= (2**31 - 1) // int32_terms``.  int64
+    otherwise, or when ``int32_terms`` is 0 (no downstream guarantee).
+    The quantized *values* are identical either way; only representation
+    width (and therefore memory traffic) changes.
+    """
+    if int32_terms > 0:
+        safe = float(int(MAX_QUANT_MAGNITUDE) // int32_terms)
+        if -safe <= lo_q and hi_q <= safe:
+            return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
 def quantize(
     data: np.ndarray, eb_abs: float, *, int32_terms: int = 0, minmax: tuple = None
 ) -> np.ndarray:
@@ -146,8 +177,7 @@ def quantize(
     bound = float(MAX_QUANT_MAGNITUDE)
 
     if minmax is not None:
-        lo = _quantize_scalar(minmax[0], eb_abs)
-        hi = _quantize_scalar(minmax[1], eb_abs)
+        lo, hi = quantized_bounds(minmax, eb_abs)
     else:
         # One float64 scratch array, transformed in place: copy, scale, round.
         q = data.astype(np.float64)
@@ -167,11 +197,7 @@ def quantize(
             f"2**31 - 1; increase the error bound (eb={eb_abs:g})"
         )
 
-    out_dtype = np.int64
-    if int32_terms > 0:
-        safe = float(int(MAX_QUANT_MAGNITUDE) // int32_terms)
-        if -safe <= lo and hi <= safe:
-            out_dtype = np.int32
+    out_dtype = quant_output_dtype(lo, hi, int32_terms)
 
     if minmax is None:
         return q.astype(out_dtype)

@@ -200,6 +200,26 @@ def fam_ndim3(rng, n, dtype):
     return np.cumsum(base, axis=0).astype(dtype)
 
 
+def fam_int32_boundary(rng, n, dtype):
+    """Quantized magnitudes straddling the int32-demotion boundary.
+
+    :func:`repro.core.quantize.quant_output_dtype` keeps quantized deltas
+    in int32 only while every magnitude fits ``(2**31 - 1) // int32_terms``
+    (terms = 2 for the 1-D differencer).  With an ABS bound of 1 the
+    quantizer maps ``x -> round(x / 2)``, so values near ``2 * boundary``
+    land just either side of the widest field the int32 path admits --
+    some cases demote, some stay int64, some straddle.  Steps between
+    neighbors are small, so no delta ever overflows and the codec must
+    accept every case.
+    """
+    boundary = (2**31 - 1) // 2
+    side = float(rng.choice([-1.0, 1.0]))
+    center = int(rng.integers(-4096, 4097))
+    width = int(rng.integers(0, 513))
+    qvals = boundary + center + rng.integers(-width, width + 1, size=n)
+    return (side * 2.0 * qvals).astype(dtype)
+
+
 def fam_nonfinite(rng, n, dtype):
     """NaN / +-Inf contamination: the codec must refuse with
     InvalidInputError, never crash or emit a stream."""
@@ -225,6 +245,7 @@ FAMILIES = {
     "extreme_range": fam_extreme_range,
     "ndim2": fam_ndim2,
     "ndim3": fam_ndim3,
+    "int32_boundary": fam_int32_boundary,
     "nonfinite": fam_nonfinite,
 }
 
@@ -270,8 +291,8 @@ def draw_case(seed: int, index: int, family: Optional[str] = None) -> FuzzCase:
         "predictor_ndim": predictor_ndim,
         "group_blocks": group_blocks,
     }
-    if family == "near_bound":
-        params["abs"] = 1.0  # the family's tie points are built for eb=1
+    if family in ("near_bound", "int32_boundary"):
+        params["abs"] = 1.0  # these families position values for eb=1
     elif rng.random() < 0.3 and family != "nonfinite":
         finite = data[np.isfinite(data)]
         scale = float(np.abs(finite).max()) if finite.size else 1.0

@@ -32,7 +32,8 @@ class BenchConfig:
 
     size_mb: float = 8.0
     workers: int = 2
-    backend: str = "thread"
+    backend: str = "thread"  # worker-pool flavor, not the codec kernels
+    kernel_backend: str = "auto"  # codec kernel registry name
     requests: int = 8  # total iterations (compress + decompress each)
     clients: int = 2
     rel: float = 1e-3
@@ -76,6 +77,7 @@ def run_serve_bench(cfg: BenchConfig) -> dict:
         ServiceConfig(
             workers=cfg.workers,
             backend=cfg.backend,
+            kernel_backend=cfg.kernel_backend,
             mode=cfg.mode,
             chunk_bytes=int(cfg.chunk_mb * (1 << 20)),
         )

@@ -389,7 +389,11 @@ def raw_from_bytes(buf) -> np.ndarray:
 
 @register_task("chunk.compress")
 def compress_chunk(arg: dict) -> np.ndarray:
-    """Compress one chunk under an already-resolved ABS bound."""
+    """Compress one chunk under an already-resolved ABS bound.  The task
+    dict carries the kernel-backend name so process workers make the same
+    backend choice as the coordinating session (every backend is
+    byte-identical, so a mixed fleet would still be correct -- just
+    unintentional)."""
     data = arg["data"]
     with obs_trace.maybe_span("chunk.compress", bytes_in=int(data.nbytes)) as sp:
         out = _compress(
@@ -399,6 +403,7 @@ def compress_chunk(arg: dict) -> np.ndarray:
             block=arg.get("block", DEFAULT_BLOCK),
             predictor_ndim=arg.get("predictor_ndim", 1),
             group_blocks=arg.get("group_blocks", _stream.DEFAULT_GROUP_BLOCKS),
+            kernel_backend=arg.get("kernel_backend", "auto"),
         )
         if sp is not None:
             sp.set(bytes_out=int(out.size))
@@ -408,10 +413,20 @@ def compress_chunk(arg: dict) -> np.ndarray:
 @register_task("chunk.decompress")
 def decompress_chunk(arg) -> np.ndarray:
     """Decompress one self-contained chunk stream (or decode a
-    raw-passthrough chunk emitted by the degradation chain)."""
+    raw-passthrough chunk emitted by the degradation chain).  ``arg`` is
+    either the stream bytes themselves or a dict
+    ``{"stream": ..., "kernel_backend": ...}`` carrying the worker's
+    kernel-backend choice."""
+    kernel_backend = "auto"
+    if isinstance(arg, dict):
+        kernel_backend = arg.get("kernel_backend", "auto")
+        arg = arg["stream"]
     nbytes = int(arg.size) if isinstance(arg, np.ndarray) else len(arg)
     with obs_trace.maybe_span("chunk.decompress", bytes_in=nbytes) as sp:
-        out = raw_from_bytes(arg) if is_raw(arg) else _decompress(arg)
+        if is_raw(arg):
+            out = raw_from_bytes(arg)
+        else:
+            out = _decompress(arg, kernel_backend=kernel_backend)
         if sp is not None:
             sp.set(bytes_out=int(out.nbytes))
         return out
@@ -439,6 +454,7 @@ def compress_chunked(
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
     chunk_elems: Optional[int] = None,
     pool=None,
+    kernel_backend: str = "auto",
 ) -> ChunkedStream:
     """Compress ``data`` chunk by chunk into a :class:`ChunkedStream`.
 
@@ -472,6 +488,7 @@ def compress_chunked(
             "block": block,
             "predictor_ndim": predictor_ndim,
             "group_blocks": group_blocks,
+            "kernel_backend": kernel_backend,
         }
         for view in _chunk_views(data, spans, axis)
     ]
@@ -502,16 +519,20 @@ def compress_chunked(
     return ChunkedStream(manifest, streams)
 
 
-def decompress_chunked(obj, pool=None) -> np.ndarray:
+def decompress_chunked(obj, pool=None, kernel_backend: str = "auto") -> np.ndarray:
     """Decode a :class:`ChunkedStream` (or serialized container) back to
     the original field shape; chunks decode independently (optionally in
     parallel over ``pool``)."""
     chunked = obj if isinstance(obj, ChunkedStream) else ChunkedStream.from_bytes(obj)
     m = chunked.manifest
-    if pool is not None:
-        parts = pool.map("chunk.decompress", list(chunked.chunks))
+    if kernel_backend != "auto":
+        args = [{"stream": c, "kernel_backend": kernel_backend} for c in chunked.chunks]
     else:
-        parts = [decompress_chunk(c) for c in chunked.chunks]
+        args = list(chunked.chunks)
+    if pool is not None:
+        parts = pool.map("chunk.decompress", args)
+    else:
+        parts = [decompress_chunk(c) for c in args]
     if m.axis == "flat":
         out = np.concatenate([p.reshape(-1) for p in parts])
     else:

@@ -39,6 +39,7 @@ class ServiceConfig:
 
     workers: int = 2
     backend: str = "thread"  # "thread" (tests / I/O mixes) | "process" (CPU)
+    kernel_backend: str = "auto"  # codec kernel registry name; workers inherit it
     mode: str = "outlier"
     block: int = DEFAULT_BLOCK
     group_blocks: int = _stream.DEFAULT_GROUP_BLOCKS
@@ -264,6 +265,7 @@ class CompressionService:
                 "mode": mode,
                 "block": cfg.block,
                 "group_blocks": cfg.group_blocks,
+                "kernel_backend": cfg.kernel_backend,
             }
             master = self._submit(
                 "chunk.compress", arg, priority=priority, nbytes=data.nbytes,
@@ -292,6 +294,7 @@ class CompressionService:
                         "mode": mode,
                         "block": cfg.block,
                         "group_blocks": cfg.group_blocks,
+                        "kernel_backend": cfg.kernel_backend,
                     },
                     priority=priority,
                     nbytes=view.nbytes,
@@ -399,11 +402,20 @@ class CompressionService:
                 return _resolved(hit)
 
         deadline = self._deadline(timeout_s)
+        kb = self.config.kernel_backend
+
+        def decode_arg(stream):
+            # the bare-bytes form keeps golden traffic shapes for the
+            # default; an explicit backend rides along in the task dict
+            if kb == "auto":
+                return stream
+            return {"stream": stream, "kernel_backend": kb}
+
         if _chunked.is_chunked(buf):
             chunks = _chunked.ChunkedStream.from_bytes(buf)
             futures = [
                 self._submit(
-                    "chunk.decompress", c, priority=priority,
+                    "chunk.decompress", decode_arg(c), priority=priority,
                     nbytes=int(c.size), batchable=False, trace=trace,
                     deadline=deadline,
                 )
@@ -423,8 +435,9 @@ class CompressionService:
             # single v2 stream or a CSZ2RAW1 passthrough container; the
             # worker task sniffs the magic and decodes either
             master = self._submit(
-                "chunk.decompress", buf, priority=priority, nbytes=int(buf.size),
-                batchable=True, trace=trace, deadline=deadline,
+                "chunk.decompress", decode_arg(buf), priority=priority,
+                nbytes=int(buf.size), batchable=True, trace=trace,
+                deadline=deadline,
             )
 
         def account(f: PoolFuture) -> None:

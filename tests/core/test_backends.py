@@ -1,0 +1,231 @@
+"""The kernel-backend registry and its resolution/fallback rules.
+
+The registry is a throughput knob, never a format knob: every backend must
+emit byte-identical CSZ2 streams (pinned here and in
+``test_kernel_oracle.py``), and a backend whose runtime is missing must
+degrade to the NumPy reference with a warning rather than fail.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompressorConfig,
+    CuSZp2,
+    InvalidInputError,
+    available_backends,
+    compress,
+    decompress,
+    registered_backends,
+    resolve_backend,
+    validate_chunk_blocks,
+)
+from repro.core import backends as B
+from repro.core import kernels_fused
+from repro.core.quantize import ErrorBound
+
+
+@pytest.fixture
+def field(rng):
+    return np.cumsum(rng.normal(size=5_000)).astype(np.float32)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = registered_backends()
+        assert {"numpy", "numba", "fused-python"} <= set(names)
+        assert names == sorted(names)
+
+    def test_reference_backends_always_available(self):
+        avail = available_backends()
+        assert "numpy" in avail
+        assert "fused-python" in avail
+        assert set(avail) <= set(registered_backends())
+
+    def test_resolve_returns_cached_instance(self):
+        a = resolve_backend("numpy")
+        b = resolve_backend("numpy")
+        assert a is b
+        assert isinstance(a, B.NumpyBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidInputError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+        with pytest.raises(InvalidInputError, match="registered backends: auto"):
+            B.validate_backend_name("cuda")
+
+    def test_register_requires_name(self):
+        class Anonymous(B.KernelBackend):
+            pass
+
+        with pytest.raises(InvalidInputError, match="must define a name"):
+            B.register_backend(Anonymous)
+
+    def test_custom_backend_registers_and_resolves(self):
+        class Custom(B.NumpyBackend):
+            name = "test-custom"
+
+        B.register_backend(Custom)
+        try:
+            assert "test-custom" in registered_backends()
+            assert isinstance(resolve_backend("test-custom"), Custom)
+        finally:
+            B._REGISTRY.pop("test-custom", None)
+            B._instances.pop("test-custom", None)
+
+
+class TestResolution:
+    def test_auto_defaults_to_numpy(self, monkeypatch):
+        monkeypatch.delenv(B.ENV_VAR, raising=False)
+        assert resolve_backend("auto").name == "numpy"
+        assert resolve_backend(None).name == "numpy"
+
+    def test_auto_honors_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(B.ENV_VAR, "fused-python")
+        assert resolve_backend("auto").name == "fused-python"
+        monkeypatch.setenv(B.ENV_VAR, "  ")  # blank -> default
+        assert resolve_backend("auto").name == "numpy"
+
+    def test_unavailable_backend_warns_and_falls_back(self):
+        class Absent(B.NumpyBackend):
+            name = "test-absent"
+            available = False
+
+        B.register_backend(Absent)
+        try:
+            with pytest.warns(RuntimeWarning, match="not available on this host"):
+                got = resolve_backend("test-absent")
+            assert got.name == "numpy"
+        finally:
+            B._REGISTRY.pop("test-absent", None)
+            B._instances.pop("test-absent", None)
+
+    def test_numba_resolution_matches_availability(self):
+        if kernels_fused.NUMBA_AVAILABLE:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert resolve_backend("numba").name == "numba"
+        else:
+            with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+                assert resolve_backend("numba").name == "numpy"
+
+    def test_import_fallback_uses_identity_njit(self):
+        # On hosts without numba the jitted names must be the plain-Python
+        # kernel bodies themselves (the identity-decorator fallback path).
+        if kernels_fused.NUMBA_AVAILABLE:
+            pytest.skip("numba installed: jitted kernels are dispatchers")
+        assert kernels_fused.encode_pass1 is kernels_fused.encode_pass1_python
+        assert kernels_fused.encode_pass2 is kernels_fused.encode_pass2_python
+        assert kernels_fused.decode_chunk is kernels_fused.decode_chunk_python
+        assert kernels_fused.njit(parallel=True)(abs) is abs
+
+
+class TestConfigPlumbing:
+    def test_config_validates_backend_name(self):
+        with pytest.raises(InvalidInputError, match="unknown kernel backend"):
+            CompressorConfig(kernel_backend="nope")
+        assert CompressorConfig().kernel_backend == "auto"
+        assert CompressorConfig(kernel_backend="fused-python").kernel_backend == "fused-python"
+
+    def test_instance_backend_produces_identical_stream(self, field):
+        ref = CuSZp2(ErrorBound.relative(1e-3)).compress(field)
+        alt = CuSZp2(
+            ErrorBound.relative(1e-3), kernel_backend="fused-python"
+        ).compress(field)
+        assert alt.tobytes() == ref.tobytes()
+
+    def test_functional_kwargs_roundtrip(self, field):
+        ref = compress(field, rel=1e-3)
+        alt = compress(field, rel=1e-3, kernel_backend="fused-python")
+        assert alt.tobytes() == ref.tobytes()
+        assert (
+            decompress(alt, kernel_backend="fused-python").tobytes()
+            == decompress(ref).tobytes()
+        )
+
+    def test_env_var_reaches_compress(self, field, monkeypatch):
+        ref = compress(field, rel=1e-3)
+        monkeypatch.setenv(B.ENV_VAR, "fused-python")
+        assert compress(field, rel=1e-3).tobytes() == ref.tobytes()
+
+    def test_instance_backend_reaches_decompress(self, field, monkeypatch):
+        codec = CuSZp2(ErrorBound.relative(1e-3), kernel_backend="fused-python")
+        buf = codec.compress(field)
+        seen = {}
+        import repro.core.compressor as compressor_mod
+
+        orig = compressor_mod.decompress
+
+        def spy(stream, **kwargs):
+            seen.update(kwargs)
+            return orig(stream, **kwargs)
+
+        monkeypatch.setattr(compressor_mod, "decompress", spy)
+        codec.decompress(buf)
+        assert seen["kernel_backend"] == "fused-python"
+
+
+class TestChunkBlocksValidator:
+    def test_accepts_positive_integers(self):
+        assert validate_chunk_blocks(1) == 1
+        assert validate_chunk_blocks(np.int64(17)) == 17
+        assert isinstance(validate_chunk_blocks(np.int64(17)), int)
+
+    @pytest.mark.parametrize("bad", [0, -1, -100, True, False, 1.5, "8", None])
+    def test_rejects_nonpositive_and_nonintegral(self, bad):
+        with pytest.raises(
+            InvalidInputError, match="chunk_blocks must be a positive integer"
+        ):
+            validate_chunk_blocks(bad)
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5])
+    def test_config_and_decompress_agree(self, bad, field):
+        # both entry points route through the one validator: same type,
+        # same message
+        with pytest.raises(
+            InvalidInputError, match="chunk_blocks must be a positive integer"
+        ):
+            CompressorConfig(chunk_blocks=bad)
+        buf = compress(field, rel=1e-3)
+        with pytest.raises(
+            InvalidInputError, match="chunk_blocks must be a positive integer"
+        ):
+            decompress(buf, chunk_blocks=bad)
+
+
+class TestErrorParity:
+    """Typed errors (and their messages) are backend-independent."""
+
+    @pytest.mark.parametrize("name", ["numpy", "fused-python"])
+    def test_quantization_overflow_message(self, name):
+        data = np.array([0.0, 6e9, 0.0, 1.0] * 64, dtype=np.float64)
+        with pytest.raises(Exception) as one:
+            compress(data, abs=1.0, kernel_backend="numpy")
+        with pytest.raises(Exception) as two:
+            compress(data, abs=1.0, kernel_backend=name)
+        assert type(two.value) is type(one.value)
+        assert str(two.value) == str(one.value)
+
+    @pytest.mark.parametrize("name", ["numpy", "fused-python"])
+    def test_delta_overflow_message(self, name):
+        # quant values alternate +-1.2e9 (in range), so consecutive deltas
+        # are +-2.4e9: representable quants, unrepresentable deltas
+        data = np.tile([2.4e9, -2.4e9], 256).astype(np.float64)
+        with pytest.raises(Exception) as one:
+            compress(data, abs=1.0, kernel_backend="numpy")
+        with pytest.raises(Exception) as two:
+            compress(data, abs=1.0, kernel_backend=name)
+        assert type(two.value) is type(one.value)
+        assert str(two.value) == str(one.value)
+
+    def test_truncated_stream_message(self, field):
+        buf = compress(field, rel=1e-3, kernel_backend="numpy")
+        truncated = buf[:-40].copy()
+        msgs = {}
+        for name in ("numpy", "fused-python"):
+            with pytest.raises(Exception) as exc:
+                decompress(truncated, kernel_backend=name)
+            msgs[name] = (type(exc.value).__name__, str(exc.value))
+        assert msgs["numpy"] == msgs["fused-python"]

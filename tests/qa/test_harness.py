@@ -14,23 +14,26 @@ class TestConfig:
 
     def test_defaults_cover_all_oracles(self):
         assert set(FuzzConfig().paths) == {
-            "roundtrip", "chunked", "random_access", "corruption", "store"
+            "roundtrip", "chunked", "random_access", "corruption", "store",
+            "backends",
         }
 
 
 class TestCampaign:
     def test_small_campaign_green_and_counted(self):
-        report = run_fuzz(FuzzConfig(seed=0, iters=14))  # one family cycle
+        report = run_fuzz(FuzzConfig(seed=0, iters=15))  # one family cycle
         assert report.ok, report.summary()
-        assert report.iterations == 14
-        assert sum(report.by_family.values()) == 14
-        assert len(report.by_family) == 14  # every family seen once
+        assert report.iterations == 15
+        assert sum(report.by_family.values()) == 15
+        assert len(report.by_family) == 15  # every family seen once
         assert report.checks == sum(report.by_oracle.values())
-        # nonfinite keeps only roundtrip; ndim2/ndim3 drop random_access
-        assert report.by_oracle["roundtrip"] == 14
-        assert report.by_oracle["chunked"] == 13
-        assert report.by_oracle["random_access"] == 11
-        assert report.by_oracle["corruption"] == 13
+        # nonfinite keeps only roundtrip; ndim2/ndim3 additionally drop
+        # random_access, store and backends
+        assert report.by_oracle["roundtrip"] == 15
+        assert report.by_oracle["chunked"] == 14
+        assert report.by_oracle["random_access"] == 12
+        assert report.by_oracle["corruption"] == 14
+        assert report.by_oracle["backends"] == 12
 
     def test_reports_are_reproducible(self):
         cfg = FuzzConfig(seed=3, iters=10, paths=("roundtrip",))
