@@ -19,6 +19,7 @@ Run as ``python -m repro.cli ...`` (or the ``repro`` console script).
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from pathlib import Path
@@ -213,6 +214,7 @@ def cmd_serve_bench(args) -> int:
         size_mb=args.size_mb,
         workers=args.workers,
         backend=args.backend,
+        transport=args.transport,
         requests=args.requests,
         clients=args.clients,
         rel=args.rel,
@@ -230,6 +232,51 @@ def cmd_serve_bench(args) -> int:
         dump_report(report, args.json)
         print(f"\n(report written to {args.json})")
     return 1 if report["errors"] else 0
+
+
+def cmd_serve(args) -> int:
+    """Serve compress/decompress over HTTP until interrupted."""
+    from .serve.http import HttpConfig, HttpFrontend, parse_hostport
+    from .serve.service import CompressionService, ServiceConfig
+
+    host, port = parse_hostport(args.http)
+    svc = CompressionService(
+        ServiceConfig(
+            workers=args.workers,
+            backend=args.backend,
+            kernel_backend=args.kernel_backend,
+            transport=args.transport,
+            deadline_s=args.deadline_s,
+            autoscale=args.autoscale,
+            autoscale_max_workers=args.max_workers,
+        )
+    )
+    frontend = HttpFrontend(
+        svc,
+        HttpConfig(
+            host=host,
+            port=port,
+            max_inflight=args.max_inflight,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+        ),
+    )
+    print(
+        f"serving on http://{host}:{port}  "
+        f"(workers={args.workers} backend={args.backend} "
+        f"transport={args.transport}"
+        f"{' autoscale' if args.autoscale else ''})"
+    )
+    print("endpoints: POST /v1/compress  POST /v1/decompress  "
+          "GET /v1/stats  GET /healthz")
+    # SIGTERM must tear down like Ctrl-C does, or the shm arena's named
+    # segments outlive the process in /dev/shm
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    try:
+        frontend.run()
+    finally:
+        svc.close()
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -391,6 +438,7 @@ def cmd_chaoscheck(args) -> int:
         deadline_s=args.deadline_s,
         workers=args.workers,
         backend=args.backend,
+        transport=args.transport,
         hang_rate=args.hang_rate,
         crash_rate=args.crash_rate,
         slow_rate=args.slow_rate,
@@ -576,6 +624,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="thread", choices=["thread", "process"],
         help="worker-pool backend (distinct from --kernel-backend)",
     )
+    sb.add_argument(
+        "--transport", default="pickle", choices=["pickle", "shm"],
+        help="worker transport: pickled queues or zero-copy shared memory",
+    )
     _add_kernel_backend_arg(sb)
     sb.add_argument("--requests", type=int, default=8, help="total compress+decompress iterations")
     sb.add_argument("--clients", type=int, default=2, help="concurrent closed-loop clients")
@@ -588,6 +640,38 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--field", help="field name within --dataset (default: first)")
     sb.add_argument("--json", help="also dump the full JSON report to this path")
     sb.set_defaults(fn=cmd_serve_bench)
+
+    sv = sub.add_parser(
+        "serve",
+        help="HTTP compression service (asyncio front end over the pool)",
+    )
+    sv.add_argument(
+        "--http", default=":8080", metavar="HOST:PORT",
+        help="bind address; ':8080' binds 127.0.0.1:8080 (default)",
+    )
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument(
+        "--backend", default="process", choices=["thread", "process"],
+        help="worker-pool backend (default process for real parallelism)",
+    )
+    sv.add_argument(
+        "--transport", default="shm", choices=["pickle", "shm"],
+        help="worker transport (default shm: zero-copy shared memory)",
+    )
+    _add_kernel_backend_arg(sv)
+    sv.add_argument("--deadline-s", type=float, default=None,
+                    help="default per-request budget (None = unbounded)")
+    sv.add_argument("--max-inflight", type=int, default=64,
+                    help="admission-control cap on concurrent requests")
+    sv.add_argument("--tenant-rate", type=float, default=50.0,
+                    help="per-tenant token-bucket refill (requests/s)")
+    sv.add_argument("--tenant-burst", type=float, default=20.0,
+                    help="per-tenant token-bucket capacity")
+    sv.add_argument("--autoscale", action="store_true",
+                    help="grow/shrink the pool from queue depth")
+    sv.add_argument("--max-workers", type=int, default=None,
+                    help="autoscaler ceiling (default 4 x --workers)")
+    sv.set_defaults(fn=cmd_serve)
 
     tr = sub.add_parser(
         "trace",
@@ -626,7 +710,8 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--paths",
         action="append",
-        choices=["roundtrip", "chunked", "random_access", "corruption", "store", "backends"],
+        choices=["roundtrip", "chunked", "random_access", "corruption", "store",
+                 "backends", "serve_shm"],
         help="restrict to one oracle path (repeatable; default all)",
     )
     fz.add_argument(
@@ -691,6 +776,10 @@ def build_parser() -> argparse.ArgumentParser:
     cc.add_argument("--deadline-s", type=float, default=0.5, help="per-request budget")
     cc.add_argument("--workers", type=int, default=2)
     cc.add_argument("--backend", choices=["thread", "process"], default="thread")
+    cc.add_argument(
+        "--transport", default="pickle", choices=["pickle", "shm"],
+        help="worker transport: pickled queues or zero-copy shared memory",
+    )
     cc.add_argument("--hang-rate", type=float, default=0.02)
     cc.add_argument("--crash-rate", type=float, default=0.05)
     cc.add_argument("--slow-rate", type=float, default=0.10)

@@ -55,6 +55,7 @@ class ChaosCheckConfig:
     deadline_s: float = 0.5
     workers: int = 2
     backend: str = "thread"
+    transport: str = "pickle"  # worker transport ("pickle" | "shm")
     hang_rate: float = 0.02
     crash_rate: float = 0.05
     slow_rate: float = 0.10
@@ -242,6 +243,7 @@ def run_chaoscheck(
     svc = CompressionService(
         workers=cfg.workers,
         backend=cfg.backend,
+        transport=cfg.transport,
         warmup=False,
         deadline_s=cfg.deadline_s,
         max_respawns=8 * cfg.requests,  # chaos burns restarts by design

@@ -103,6 +103,7 @@ def run_fuzz(cfg: FuzzConfig) -> FuzzReport:
     deadline = t0 + cfg.time_budget if cfg.time_budget else None
 
     pool = None
+    shm_pool = None
     ctx = OracleContext()
     try:
         if cfg.workers > 0 and "chunked" in cfg.paths:
@@ -111,6 +112,16 @@ def run_fuzz(cfg: FuzzConfig) -> FuzzReport:
             pool = WorkerPool(nworkers=cfg.workers, backend="thread")
             pool.wait_ready()
             ctx.pool = pool
+        if "serve_shm" in cfg.paths:
+            from ..serve.pool import WorkerPool
+
+            shm_pool = WorkerPool(
+                nworkers=max(cfg.workers, 2), backend="thread",
+                transport="shm", warmup=False,
+                shm_min_bytes=1,  # even tiny fuzz payloads ride descriptors
+            )
+            shm_pool.wait_ready()
+            ctx.shm_pool = shm_pool
 
         for i in range(cfg.iters):
             if deadline is not None and time.monotonic() > deadline:
@@ -135,6 +146,8 @@ def run_fuzz(cfg: FuzzConfig) -> FuzzReport:
     finally:
         if pool is not None:
             pool.shutdown()
+        if shm_pool is not None:
+            shm_pool.shutdown()
     report.elapsed = time.monotonic() - t0
     return report
 

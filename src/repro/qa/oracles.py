@@ -29,6 +29,10 @@ The oracles mirror the shipped entry points:
 ``backends``
     every registered-and-available kernel backend produces CSZ2 streams
     and decodes byte-identical to the NumPy reference backend.
+``serve_shm``
+    chunked requests routed through a worker pool on the zero-copy
+    shared-memory transport produce byte-identical chunk streams and
+    containers vs the inline codec (descriptors never corrupt payloads).
 """
 
 from __future__ import annotations
@@ -64,6 +68,7 @@ class OracleContext:
     one-entry compression cache so the oracles of one case compress once."""
 
     pool: Optional[object] = None  # repro.serve.pool.WorkerPool
+    shm_pool: Optional[object] = None  # WorkerPool(transport="shm")
     _key: Optional[Tuple] = field(default=None, repr=False)
     _stream: Optional[np.ndarray] = field(default=None, repr=False)
 
@@ -492,6 +497,57 @@ def oracle_backends(case: FuzzCase, ctx: OracleContext) -> None:
         ) from None
 
 
+def oracle_serve_shm(case: FuzzCase, ctx: OracleContext) -> None:
+    """The zero-copy shm transport against the inline codec.
+
+    Every chunk stream produced by a worker pool running on
+    ``transport="shm"`` must be byte-identical to the serial in-process
+    compression, the assembled ``CSZ2CHNK`` container must match too, and
+    the pool-side decode must equal the monolithic decode -- descriptors,
+    arena reuse, and slot reclamation may never alter a payload.
+    """
+    name = "serve_shm"
+    if case.expect_error is not None or ctx.shm_pool is None:
+        return
+
+    def _do():
+        mono = ctx.stream_for(case)
+        recon_mono = decompress(mono)
+        n = case.data.size
+        chunk_elems = max(1, n // 3)
+        serial = compress_chunked(
+            case.data, chunk_elems=chunk_elems, **case.codec_kwargs
+        )
+        pooled = compress_chunked(
+            case.data, chunk_elems=chunk_elems, pool=ctx.shm_pool,
+            **case.codec_kwargs,
+        )
+        if serial.nchunks != pooled.nchunks:
+            raise _fail(
+                name, case,
+                f"shm pool planned {pooled.nchunks} chunks, inline {serial.nchunks}",
+            )
+        for i, (a, b) in enumerate(zip(serial.chunks, pooled.chunks)):
+            if a.tobytes() != b.tobytes():
+                raise _fail(
+                    name, case, f"shm-pool chunk {i} bytes differ from inline"
+                )
+        if np.asarray(serial.to_bytes()).tobytes() != np.asarray(
+            pooled.to_bytes()
+        ).tobytes():
+            raise _fail(name, case, "shm-pool container bytes differ from inline")
+        if decompress_chunked(pooled, pool=ctx.shm_pool).tobytes() != recon_mono.tobytes():
+            raise _fail(name, case, "shm-pool decode differs from monolithic")
+
+    try:
+        _guard(name, case, _do, "shm transport")
+    except CuSZp2Error as e:
+        raise _fail(
+            name, case,
+            f"shm path rejected a finite input: {type(e).__name__}: {e}",
+        ) from None
+
+
 #: name -> oracle; drives --paths selection and corpus replay.
 ORACLES: Dict[str, Callable[[FuzzCase, OracleContext], None]] = {
     "roundtrip": oracle_roundtrip,
@@ -500,6 +556,7 @@ ORACLES: Dict[str, Callable[[FuzzCase, OracleContext], None]] = {
     "corruption": oracle_corruption,
     "store": oracle_store,
     "backends": oracle_backends,
+    "serve_shm": oracle_serve_shm,
 }
 
 

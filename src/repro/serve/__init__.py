@@ -18,6 +18,13 @@ the library codec into that pipeline component:
 * :mod:`~repro.serve.deadline` / :mod:`~repro.serve.resilience` --
   deadline propagation, retries with backoff, per-tier circuit breakers,
   and the graceful-degradation chain down to raw passthrough;
+* :mod:`~repro.serve.shm` -- zero-copy shared-memory transport: chunk
+  payloads live in refcounted arena slots, only descriptors cross the
+  pool boundary;
+* :mod:`~repro.serve.autoscale` -- queue-depth-driven worker-pool
+  autoscaler with hysteresis and cooldown;
+* :mod:`~repro.serve.http` -- stdlib-asyncio HTTP front end with
+  admission control, per-tenant quotas, and SLO-driven shedding;
 * :mod:`~repro.serve.service` -- :class:`CompressionService`, the facade
   gluing the pieces together.
 
@@ -25,6 +32,7 @@ See docs/SERVING.md for architecture and tuning guidance, and
 docs/RESILIENCE.md for the failure-handling model.
 """
 
+from .autoscale import AutoscaleConfig, Autoscaler
 from .cache import DecodeCache, content_key
 from .chunked import (
     DEFAULT_CHUNK_BYTES,
@@ -39,16 +47,20 @@ from .chunked import (
     raw_to_bytes,
 )
 from .deadline import Deadline, DeadlineExceeded, WorkerTimeout
+from .http import HttpConfig, HttpFrontend, TokenBucket
 from .pool import (
     PoolClosed,
     PoolFuture,
     ProcessBackend,
     TaskError,
     ThreadBackend,
+    UnknownTask,
     WaitTimeout,
     WorkerCrash,
     WorkerPool,
     register_task,
+    registered_tasks,
+    unregister_task,
 )
 from .resilience import (
     BreakerConfig,
@@ -64,11 +76,14 @@ from .resilience import (
 )
 from .scheduler import QueueFull, Scheduler
 from .service import CompressionService, ServiceConfig
+from .shm import ShmArena, ShmDescriptor, ShmReclaimed, ShmTransport
 from .stats import Histogram, MetricsRegistry
 
 __all__ = [
     "CompressionService",
     "ServiceConfig",
+    "AutoscaleConfig",
+    "Autoscaler",
     "BreakerConfig",
     "CircuitBreaker",
     "CircuitOpen",
@@ -91,14 +106,22 @@ __all__ = [
     "DecodeCache",
     "DEFAULT_CHUNK_BYTES",
     "Histogram",
+    "HttpConfig",
+    "HttpFrontend",
     "MetricsRegistry",
     "PoolClosed",
     "PoolFuture",
     "ProcessBackend",
     "QueueFull",
     "Scheduler",
+    "ShmArena",
+    "ShmDescriptor",
+    "ShmReclaimed",
+    "ShmTransport",
     "TaskError",
     "ThreadBackend",
+    "TokenBucket",
+    "UnknownTask",
     "WorkerCrash",
     "WorkerPool",
     "compress_chunked",
@@ -107,4 +130,6 @@ __all__ = [
     "is_chunked",
     "plan_chunks",
     "register_task",
+    "registered_tasks",
+    "unregister_task",
 ]

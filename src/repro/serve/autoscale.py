@@ -1,0 +1,185 @@
+"""Queue-depth-driven autoscaling for the worker pool.
+
+The serving pool is elastic (:meth:`~repro.serve.pool.WorkerPool.resize`
+grows it immediately and drains idle workers to shrink), but something
+has to decide *when*.  The :class:`Autoscaler` polls the scheduler's
+queue depth and the pool's live worker count, and converges the pool
+between ``min_workers`` and ``max_workers``:
+
+* depth > ``high_watermark`` tasks *per worker* -> scale up one step;
+* depth < ``low_watermark`` per worker (and idle) -> scale down one step;
+* a ``cooldown_s`` window after every decision suppresses oscillation --
+  a burst that drains right after a scale-up cannot trigger an immediate
+  scale-down, and vice versa.
+
+The policy itself is the pure function :func:`decide` so property tests
+can drive it through thousands of synthetic load traces without threads
+or clocks; :class:`Autoscaler` adds the wall-clock loop (injectable
+``clock`` for tests), metric emission, and an optional bump of the
+scheduler's ``max_inflight`` so admission control tracks capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .stats import MetricsRegistry
+
+__all__ = ["AutoscaleConfig", "Autoscaler", "decide"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Scaling policy knobs.
+
+    ``high_watermark`` / ``low_watermark`` are queue depth *per worker*;
+    hysteresis requires ``low < high`` so the two thresholds can never
+    both fire for one observation.  ``step`` bounds how many workers one
+    decision adds or removes; ``cooldown_s`` is the minimum wall-clock
+    gap between two decisions.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    high_watermark: float = 4.0
+    low_watermark: float = 1.0
+    step: int = 1
+    cooldown_s: float = 5.0
+    poll_s: float = 0.25
+
+    def __post_init__(self):
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}"
+            )
+        if self.low_watermark >= self.high_watermark:
+            raise ValueError(
+                f"low_watermark ({self.low_watermark}) must be below "
+                f"high_watermark ({self.high_watermark})"
+            )
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+
+
+def decide(cfg: AutoscaleConfig, workers: int, queue_depth: int,
+           now: float, last_change: float) -> int:
+    """Pure scaling policy: the worker count to target *now*.
+
+    Returns a value in ``[min_workers, max_workers]``; returning the
+    current ``workers`` means "hold".  Within ``cooldown_s`` of the last
+    change the answer is always "hold" (clamped into bounds), which is
+    what makes the policy oscillation-free by construction.
+    """
+    workers = max(1, workers)
+    clamped = min(max(workers, cfg.min_workers), cfg.max_workers)
+    if now - last_change < cfg.cooldown_s:
+        return clamped
+    per_worker = queue_depth / workers
+    if per_worker > cfg.high_watermark:
+        return min(workers + cfg.step, cfg.max_workers)
+    if per_worker < cfg.low_watermark:
+        return max(workers - cfg.step, cfg.min_workers)
+    return clamped
+
+
+class Autoscaler:
+    """Background loop applying :func:`decide` to a live pool.
+
+    Parameters
+    ----------
+    pool:
+        Anything with ``queue_depth``, ``workers_alive``, and
+        ``resize(n)`` -- a :class:`~repro.serve.pool.WorkerPool` or the
+        chaos wrapper around one (which delegates all three).
+    scheduler:
+        Optional :class:`~repro.serve.scheduler.Scheduler`; when given,
+        its ``max_inflight`` is scaled proportionally with the worker
+        count so admission control follows capacity, and its queue depth
+        is added to the pool's (work parked above the pool is still load).
+    clock:
+        Injectable monotonic clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        pool,
+        cfg: Optional[AutoscaleConfig] = None,
+        scheduler=None,
+        stats: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        import time
+
+        self.pool = pool
+        self.cfg = cfg if cfg is not None else AutoscaleConfig()
+        self.scheduler = scheduler
+        self.stats = stats if stats is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else time.monotonic
+        self._last_change = self._clock() - self.cfg.cooldown_s  # act at once
+        self._inflight_per_worker = None
+        if scheduler is not None and getattr(scheduler, "max_inflight", 0):
+            base = max(1, getattr(pool, "workers_alive", 1) or 1)
+            self._inflight_per_worker = max(1, scheduler.max_inflight // base)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- one observation ----------------------------------------------------
+
+    def tick(self) -> int:
+        """Observe, decide, and apply once.  Returns the (possibly
+        unchanged) target worker count; safe to call from tests without
+        starting the background thread."""
+        depth = self.pool.queue_depth
+        if self.scheduler is not None:
+            depth += self.scheduler.queue_depth
+        workers = self.pool.workers_alive or 1
+        now = self._clock()
+        target = decide(self.cfg, workers, depth, now, self._last_change)
+        self.stats.gauge("autoscale.queue_depth").set(depth)
+        self.stats.gauge("autoscale.workers").set(workers)
+        if target != workers:
+            if self.pool.resize(target):
+                self._last_change = now
+                if target > workers:
+                    self.stats.counter("autoscale.scale_ups").inc()
+                else:
+                    self.stats.counter("autoscale.scale_downs").inc()
+                if self.scheduler is not None and self._inflight_per_worker:
+                    self.scheduler.max_inflight = (
+                        self._inflight_per_worker * target
+                    )
+        self.stats.gauge("autoscale.target").set(target)
+        return target
+
+    # -- background loop ----------------------------------------------------
+
+    def start(self) -> "Autoscaler":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="serve-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.cfg.poll_s):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - scaling never kills serving
+                self.stats.counter("autoscale.errors").inc()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()

@@ -34,6 +34,7 @@ class BenchConfig:
     workers: int = 2
     backend: str = "thread"  # worker-pool flavor, not the codec kernels
     kernel_backend: str = "auto"  # codec kernel registry name
+    transport: str = "pickle"  # "pickle" | "shm" (zero-copy arena)
     requests: int = 8  # total iterations (compress + decompress each)
     clients: int = 2
     rel: float = 1e-3
@@ -78,6 +79,7 @@ def run_serve_bench(cfg: BenchConfig) -> dict:
             workers=cfg.workers,
             backend=cfg.backend,
             kernel_backend=cfg.kernel_backend,
+            transport=cfg.transport,
             mode=cfg.mode,
             chunk_bytes=int(cfg.chunk_mb * (1 << 20)),
         )
@@ -132,6 +134,18 @@ def run_serve_bench(cfg: BenchConfig) -> dict:
 
     field_bytes = fields[0].nbytes
     chunk_bytes = int(cfg.chunk_mb * (1 << 20))
+    counters = snap.get("counters", {})
+    transport_bytes = {
+        stage: counters.get(f"pool.transport.{stage}_bytes", 0.0)
+        for stage in (
+            "dispatch_shm", "dispatch_pickled", "result_shm", "result_pickled",
+        )
+    }
+    transport_bytes["fallbacks"] = (
+        snap.get("gauges", {})
+        .get("pool.transport.fallbacks", {})
+        .get("value", 0.0)
+    )
     return {
         "config": asdict(cfg),
         "cpu_count": os.cpu_count(),
@@ -141,6 +155,8 @@ def run_serve_bench(cfg: BenchConfig) -> dict:
         else 1,
         "wall_s": wall,
         "throughput_mbs": processed[0] / wall / 1e6 if wall > 0 else 0.0,
+        "transport": cfg.transport,
+        "transport_bytes": transport_bytes,
         "errors": errors,
         "stats": snap,
     }
@@ -153,6 +169,7 @@ def format_report(report: dict) -> str:
     gauges = report["stats"]["gauges"]
     lines = [
         f"serve-bench: workers={cfg['workers']} backend={cfg['backend']} "
+        f"transport={cfg.get('transport', 'pickle')} "
         f"chunk={cfg['chunk_mb']:g}MiB requests={cfg['requests']} "
         f"clients={cfg['clients']} rel={cfg['rel']:g} mode={cfg['mode']}",
         f"field: {report['field_mb']:.1f} MB x {cfg['distinct']} distinct "
@@ -172,6 +189,16 @@ def format_report(report: dict) -> str:
                 f"p95={h['p95_s'] * 1e3:8.1f} ms  "
                 f"max={h['max_s'] * 1e3:8.1f} ms  (n={h['count']})"
             )
+    tb = report.get("transport_bytes")
+    if tb is not None:
+        lines.append(
+            "transport bytes: "
+            f"dispatch shm={tb['dispatch_shm'] / 1e6:.1f}MB "
+            f"pickled={tb['dispatch_pickled'] / 1e6:.1f}MB | "
+            f"result shm={tb['result_shm'] / 1e6:.1f}MB "
+            f"pickled={tb['result_pickled'] / 1e6:.1f}MB "
+            f"(fallbacks={tb['fallbacks']:.0f})"
+        )
     cache = report["stats"].get("cache", {})
     util = gauges.get("pool.utilization", {}).get("value", 0.0)
     depth = gauges.get("scheduler.queue_depth", {}).get("max", 0.0)

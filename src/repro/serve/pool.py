@@ -11,15 +11,35 @@ task pool.  Two interchangeable backends:
 * :class:`ProcessBackend` -- ``multiprocessing`` workers for real
   parallelism on multi-core hosts.
 
-Tasks are referenced *by registered name* (:func:`register_task`), not by
-pickled callables: process workers resolve the name in their own module
-registry, which keeps submissions tiny and works identically for both
-backends.  Each worker runs a warmup task before accepting work (priming
-NumPy and the codec so the first real request does not pay first-touch
-costs), reports per-task busy time for utilization accounting, and is
-replaced if it dies: a dead worker's in-flight task is resubmitted to a
-fresh worker (at most ``max_task_retries`` times) so a crash loses no
-request.
+Tasks are referenced *by registered name* (:func:`register_task`), never
+by pickled callables: process workers resolve the name in their own copy
+of the registry (inherited through ``fork`` / module import), so a
+submission carries only the name plus the argument payload, and an
+unregistered name fails with the classified :class:`UnknownTask` error
+instead of an ``AttributeError`` from a missing function.  The registry
+is explicit -- :func:`registered_tasks` lists it, :func:`unregister_task`
+removes entries (tests use this to exercise the unknown-task path).
+
+The *argument payload* crosses the pool boundary through one of two
+transports:
+
+* ``"pickle"`` (default) -- payloads ride the ``multiprocessing`` queue
+  verbatim, pickled on the way in and out;
+* ``"shm"`` (:mod:`repro.serve.shm`) -- ndarrays are written into a
+  shared-memory arena and only small descriptors are pickled; workers
+  read zero-copy views and ship results back the same way.  Slots are
+  refcounted with generation guards, crash recovery reclaims whatever a
+  dead worker held, and oversized payloads fall back to pickling.
+
+Each worker runs a warmup task before accepting work (priming NumPy and
+the codec so the first real request does not pay first-touch costs),
+reports per-task busy time for utilization accounting, and is replaced
+if it dies: a dead worker's in-flight task is resubmitted to a fresh
+worker (at most ``max_task_retries`` times) so a crash loses no request.
+The pool is elastic: :meth:`WorkerPool.resize` grows it immediately and
+shrinks it by stopping idle workers (in-flight tasks always finish) --
+the autoscaler (:mod:`repro.serve.autoscale`) drives this from queue
+depth.
 """
 
 from __future__ import annotations
@@ -69,6 +89,15 @@ class TaskError(RuntimeError):
     boundary intact; carries its ``repr``."""
 
 
+class UnknownTask(TaskError):
+    """A submission named a task that is not in the registry.
+
+    Classified (it subclasses :class:`TaskError`) but deterministic --
+    the resilience layer delivers it without burning retries, because no
+    tier can run a task that was never registered.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Task registry
 # ---------------------------------------------------------------------------
@@ -90,10 +119,20 @@ def register_task(name: str, fn: Optional[Callable[[Any], Any]] = None):
     return _register if fn is None else _register(fn)
 
 
+def unregister_task(name: str) -> None:
+    """Remove ``name`` from the registry (idempotent)."""
+    _TASKS.pop(name, None)
+
+
+def registered_tasks() -> List[str]:
+    """Sorted names currently in the registry."""
+    return sorted(_TASKS)
+
+
 def _run_task(name: str, arg: Any) -> Any:
     fn = _TASKS.get(name)
     if fn is None:
-        raise TaskError(f"unknown task {name!r}; registered: {sorted(_TASKS)}")
+        raise UnknownTask(f"unknown task {name!r}; registered: {sorted(_TASKS)}")
     return fn(arg)
 
 
@@ -257,10 +296,24 @@ def _run_traced(name: str, arg: Any, wid: int, backend: str, spans_out: list):
         spans_out.extend(s.to_dict() for s in tracer.roots())
 
 
-def _worker_loop(wid: int, inq, outq, warmup: bool, process: bool) -> None:
+def _resolve_transport(transport):
+    """Materialize the worker-side transport: ``None`` (pickled path), a
+    live :class:`~repro.serve.shm.ShmTransport` (thread workers share the
+    parent's), or an attach spec tuple (process workers map the segment
+    themselves)."""
+    if transport is None or not isinstance(transport, tuple):
+        return transport
+    from .shm import ShmTransport
+
+    return ShmTransport.attach(transport)
+
+
+def _worker_loop(wid: int, inq, outq, warmup: bool, process: bool,
+                 transport=None) -> None:
     # Suppress ambient tracing in this thread: worker spans are only
     # collected through the explicit per-task ship-back protocol.
     obs_trace.set_thread_tracer(obs_trace.DISABLED)
+    transport = _resolve_transport(transport)
     if warmup:
         try:
             _warmup_codec()
@@ -278,6 +331,10 @@ def _worker_loop(wid: int, inq, outq, warmup: bool, process: bool) -> None:
         spans_buf: list = []
         spans = None
         try:
+            if transport is not None:
+                # zero-copy read-only views; the parent keeps the request
+                # slots claimed until this task's outcome lands
+                arg = transport.decode(arg)
             if want_trace:
                 value = _run_traced(name, arg, wid, backend, spans_buf)
                 spans = spans_buf
@@ -296,11 +353,17 @@ def _worker_loop(wid: int, inq, outq, warmup: bool, process: bool) -> None:
             except Exception:  # unpicklable exception: degrade to TaskError
                 outq.put(("done", wid, task_id, (False, TaskError(repr(e))), dur, spans))
         else:
-            outq.put(("done", wid, task_id, (True, value), time.perf_counter() - t0, spans))
+            dur = time.perf_counter() - t0
+            if transport is not None:
+                # result slots are owned by this worker (owner_pid) until
+                # the parent copies them out; a full arena falls back to
+                # shipping the raw value through the queue
+                value, _ = transport.encode(value)
+            outq.put(("done", wid, task_id, (True, value), dur, spans))
 
 
-def _process_worker_main(wid: int, inq, outq, warmup: bool) -> None:
-    _worker_loop(wid, inq, outq, warmup, process=True)
+def _process_worker_main(wid: int, inq, outq, warmup: bool, transport=None) -> None:
+    _worker_loop(wid, inq, outq, warmup, process=True, transport=transport)
 
 
 # ---------------------------------------------------------------------------
@@ -329,10 +392,10 @@ class ThreadBackend:
     def make_queue(self):
         return queue.Queue()
 
-    def spawn(self, wid: int, inq, outq, warmup: bool):
+    def spawn(self, wid: int, inq, outq, warmup: bool, transport=None):
         t = threading.Thread(
             target=_worker_loop,
-            args=(wid, inq, outq, warmup, False),
+            args=(wid, inq, outq, warmup, False, transport),
             name=f"serve-worker-{wid}",
             daemon=True,
         )
@@ -355,10 +418,13 @@ class ProcessBackend:
     def make_queue(self):
         return self._ctx.Queue()
 
-    def spawn(self, wid: int, inq, outq, warmup: bool):
+    def spawn(self, wid: int, inq, outq, warmup: bool, transport=None):
+        # a live transport cannot be pickled; ship the attach spec and
+        # let the child map the segment itself
+        spec = transport.spec() if transport is not None else None
         p = self._ctx.Process(
             target=_process_worker_main,
-            args=(wid, inq, outq, warmup),
+            args=(wid, inq, outq, warmup, spec),
             name=f"serve-worker-{wid}",
             daemon=True,
         )
@@ -381,16 +447,18 @@ def make_backend(backend) -> object:
 # ---------------------------------------------------------------------------
 
 class _Task:
-    __slots__ = ("task_id", "name", "arg", "future", "retries", "trace", "deadline")
+    __slots__ = ("task_id", "name", "arg", "future", "retries", "trace",
+                 "deadline", "shm_refs")
 
     def __init__(self, task_id, name, arg, future, trace=None, deadline=None):
         self.task_id = task_id
         self.name = name
-        self.arg = arg
+        self.arg = arg  # always the ORIGINAL arg; re-encoded per dispatch
         self.future = future
         self.retries = 0
         self.trace: Optional[TraceContext] = trace
         self.deadline: Optional[Deadline] = deadline
+        self.shm_refs: list = []  # request-slot descriptors held while in flight
 
 
 class _WorkerState:
@@ -437,6 +505,15 @@ class WorkerPool:
         worker is invisible: the process is alive, so liveness polling
         passes, and it has no in-flight task, so the deadline watchdog
         never looks at it -- while dispatch skips it forever.
+    transport:
+        ``"pickle"`` (default) ships payloads through the worker queues;
+        ``"shm"`` moves ndarrays through a shared-memory arena and ships
+        only descriptors (see :mod:`repro.serve.shm`).  An existing
+        :class:`~repro.serve.shm.ShmTransport` instance is accepted too.
+    shm_slots / shm_slot_bytes / shm_min_bytes:
+        Arena shape for ``transport="shm"``: slot count (default
+        ``4 * nworkers + 8``), bytes per slot, and the ndarray size below
+        which pickling is used anyway.
     """
 
     def __init__(
@@ -450,6 +527,10 @@ class WorkerPool:
         max_respawns: Optional[int] = None,
         watchdog_grace_s: float = 0.05,
         spawn_timeout_s: float = 15.0,
+        transport="pickle",
+        shm_slots: Optional[int] = None,
+        shm_slot_bytes: int = 8 << 20,
+        shm_min_bytes: Optional[int] = None,
     ):
         if nworkers < 1:
             raise ValueError(f"nworkers must be >= 1, got {nworkers}")
@@ -461,6 +542,15 @@ class WorkerPool:
         self._poll_s = poll_s
         self._watchdog_grace_s = watchdog_grace_s
         self._spawn_timeout_s = spawn_timeout_s
+        from .shm import DEFAULT_MIN_BYTES, make_transport
+
+        self._transport = make_transport(
+            transport,
+            nslots=shm_slots if shm_slots is not None else 4 * nworkers + 8,
+            slot_bytes=shm_slot_bytes,
+            min_bytes=shm_min_bytes if shm_min_bytes is not None else DEFAULT_MIN_BYTES,
+        )
+        self.transport_name = "shm" if self._transport is not None else "pickle"
         self._lock = threading.Lock()
         self._ready_cv = threading.Condition(self._lock)
         self._pending: "deque[_Task]" = deque()
@@ -476,6 +566,7 @@ class WorkerPool:
         self._max_respawns = (
             max_respawns if max_respawns is not None else 4 + 2 * nworkers
         )
+        self._target_workers = nworkers
         self._outq = self.backend.make_queue()
         for _ in range(nworkers):
             self._spawn_worker()
@@ -550,6 +641,34 @@ class WorkerPool:
         with self._lock:
             return len(self._pending)
 
+    @property
+    def transport(self):
+        """The live :class:`~repro.serve.shm.ShmTransport`, or ``None``
+        on the pickled path."""
+        return self._transport
+
+    @property
+    def workers_alive(self) -> int:
+        """Workers currently in the table and not draining to a stop."""
+        return sum(1 for w in self._workers.values() if not w.stopping)
+
+    def resize(self, nworkers: int) -> bool:
+        """Grow or shrink the pool toward ``nworkers``.
+
+        Growth spawns immediately; shrink stops *idle* workers (a busy
+        worker finishes its in-flight task first, so no work is lost).
+        The manager thread applies the change -- this only records the
+        target.  Returns False on a closing/broken pool."""
+        if nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+        with self._lock:
+            if self._closing or self._broken:
+                return False
+            self._target_workers = nworkers
+            self.nworkers = nworkers
+        self.stats.gauge("pool.target_workers").set(nworkers)
+        return True
+
     def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
         """Stop the pool.  ``wait=True`` finishes queued + in-flight work
         first; ``wait=False`` cancels queued tasks (in-flight tasks still
@@ -568,6 +687,8 @@ class WorkerPool:
             w.handle.join(1.0)
             if w.handle.is_alive():  # pragma: no cover - stuck worker
                 w.handle.terminate()
+        if self._transport is not None:
+            self._transport.destroy()
         self.stats.gauge("pool.utilization").set(self.utilization())
 
     def __enter__(self):
@@ -581,7 +702,9 @@ class WorkerPool:
     def _spawn_worker(self) -> None:
         wid = next(self._wids)
         inq = self.backend.make_queue()
-        handle = self.backend.spawn(wid, inq, self._outq, self._warmup)
+        handle = self.backend.spawn(
+            wid, inq, self._outq, self._warmup, self._transport
+        )
         self._workers[wid] = _WorkerState(wid, handle, inq)
 
     def _manage(self) -> None:
@@ -602,10 +725,35 @@ class WorkerPool:
             self._check_liveness()
             self._check_spawn_watchdog()
             self._check_watchdog()
+            self._apply_resize()
             self._shed_expired_pending()
             self._dispatch()
             if self._maybe_finish():
                 return
+
+    def _apply_resize(self) -> None:
+        """Converge the worker table toward ``_target_workers``.
+
+        Runs on the manager thread (the only mutator of the table).
+        Shrink is graceful: only idle workers are told to stop; busy ones
+        are revisited on the next loop once their task completes."""
+        if self._closing or self._broken:
+            return
+        target = self._target_workers
+        active = [w for w in self._workers.values() if not w.stopping]
+        if len(active) < target:
+            for _ in range(target - len(active)):
+                self.stats.counter("pool.scale_ups").inc()
+                self._spawn_worker()
+        elif len(active) > target:
+            idle = [w for w in active if w.inflight is None and w.ready]
+            for w in idle[: len(active) - target]:
+                w.stopping = True
+                self.stats.counter("pool.scale_downs").inc()
+                w.inq.put(_STOP)
+        self.stats.gauge("pool.workers").set(
+            sum(1 for w in self._workers.values() if not w.stopping)
+        )
 
     def _handle_message(self, msg) -> None:
         kind, wid, task_id, payload, dur, spans = msg
@@ -617,9 +765,16 @@ class WorkerPool:
                     self._ready_cv.notify_all()
             return
         if kind == "stopped":
+            self._workers.pop(wid, None)
             return
         if worker is None or worker.inflight is None:
-            return  # late message from a worker already declared dead
+            # late message from a worker already declared dead; free any
+            # result slots it encoded so an abandoned worker cannot leak
+            if kind == "done" and self._transport is not None:
+                ok_late, value_late = payload
+                if ok_late:
+                    self._transport.release_all(value_late)
+            return
         task = worker.inflight
         if task.task_id != task_id:  # pragma: no cover - defensive
             return
@@ -634,8 +789,17 @@ class WorkerPool:
             except Exception:  # pragma: no cover - tracing never kills the pool
                 pass
         if kind == "done":
+            # the outcome landed: the request slots held for this dispatch
+            # are no longer needed whatever happens next
+            self._release_task_refs(task)
             ok, value = payload
             if ok:
+                if self._transport is not None:
+                    value, exc = self._copy_out_result(value)
+                    if exc is not None:
+                        self.stats.counter("pool.task_errors").inc()
+                        task.future.set_exception(exc)
+                        return
                 task.future.set_result(value)
             else:
                 self.stats.counter("pool.task_errors").inc()
@@ -644,11 +808,46 @@ class WorkerPool:
             del self._workers[wid]
             self._recover(task, payload)
 
+    def _copy_out_result(self, value):
+        """Materialize a worker result: copy descriptor-backed arrays out
+        of the arena, release the worker-owned result slots, and account
+        transport bytes.  Returns ``(value, exc)`` -- a reclaimed slot
+        (crash recovery raced the copy) yields a classified error rather
+        than garbage bytes."""
+        from .shm import ShmReclaimed, payload_nbytes
+
+        descs = self._transport.descriptors(value)
+        exc = None
+        try:
+            value = self._transport.decode(value, copy=True)
+        except ShmReclaimed as e:
+            exc = e
+        finally:
+            self._transport.release_refs(descs)
+        shm_bytes = sum(d.nbytes for d in descs)
+        self.stats.counter("pool.transport.result_shm_bytes").inc(shm_bytes)
+        if exc is None:
+            self.stats.counter("pool.transport.result_pickled_bytes").inc(
+                payload_nbytes(value) - shm_bytes
+            )
+        return value, exc
+
+    def _reclaim_worker_slots(self, w: "_WorkerState") -> None:
+        """Free arena slots a dead *process* worker still owned (results
+        it encoded, or a slot it died mid-write in).  Thread workers share
+        the parent pid and must not trigger a blanket reclaim."""
+        if self._transport is None:
+            return
+        pid = getattr(w.handle, "pid", None)
+        if pid and pid != os.getpid():
+            self._transport.reclaim_owner(pid)
+
     def _check_liveness(self) -> None:
         dead = [w for w in self._workers.values()
                 if not w.stopping and not w.handle.is_alive()]
         for w in dead:
             del self._workers[w.wid]
+            self._reclaim_worker_slots(w)
             task = w.inflight
             self._recover(task, f"worker {w.wid} died")
 
@@ -673,6 +872,7 @@ class WorkerPool:
             del self._workers[w.wid]
             w.inflight = None
             w.handle.terminate()
+            self._reclaim_worker_slots(w)
             self._recover(
                 task, f"worker {w.wid} never became ready "
                 f"(wedged spawn, {self._spawn_timeout_s:.1f}s)"
@@ -701,9 +901,22 @@ class WorkerPool:
             del self._workers[w.wid]
             w.inflight = None
             w.handle.terminate()
+            self._reclaim_worker_slots(w)
             self._recover(task, f"watchdog reclaimed worker {w.wid}", overrun=True)
 
+    def _release_task_refs(self, task: _Task) -> None:
+        """Drop the request-slot claims held for a dispatch.  Generation
+        guards make this idempotent and safe against crash-reclaim races."""
+        if task.shm_refs:
+            if self._transport is not None:
+                self._transport.release_refs(task.shm_refs)
+            task.shm_refs = []
+
     def _recover(self, task: Optional[_Task], why: str, overrun: bool = False) -> None:
+        if task is not None:
+            # the dispatch died with the worker; free its request slots --
+            # resubmission re-encodes from the original arg
+            self._release_task_refs(task)
         if not overrun:
             self.stats.counter("pool.worker_crashes").inc()
         self._respawns += 1
@@ -804,7 +1017,32 @@ class WorkerPool:
             if task is None:
                 return
             w.inflight = task
-            w.inq.put((task.task_id, task.name, task.arg, task.trace is not None))
+            w.inq.put((task.task_id, task.name, self._encode_arg(task),
+                       task.trace is not None))
+
+    def _encode_arg(self, task: _Task):
+        """Encode the dispatch payload through the transport (request
+        slots stay claimed by the parent until the outcome lands) and
+        account per-stage transport bytes."""
+        from .shm import payload_nbytes
+
+        if self._transport is None:
+            self.stats.counter("pool.transport.dispatch_pickled_bytes").inc(
+                payload_nbytes(task.arg)
+            )
+            return task.arg
+        arg_enc, refs = self._transport.encode(task.arg)
+        task.shm_refs = refs
+        shm_bytes = sum(d.nbytes for d in refs)
+        self.stats.counter("pool.transport.dispatch_shm_bytes").inc(shm_bytes)
+        self.stats.counter("pool.transport.dispatch_pickled_bytes").inc(
+            payload_nbytes(task.arg) - shm_bytes
+        )
+        # parent-side fallbacks only; worker-side ones stay in the worker
+        self.stats.gauge("pool.transport.fallbacks").set(
+            self._transport.fallbacks
+        )
+        return arg_enc
 
     def _maybe_finish(self) -> bool:
         with self._lock:

@@ -53,6 +53,7 @@ from .pool import (
     PoolClosed,
     PoolFuture,
     TaskError,
+    UnknownTask,
     WaitTimeout,
     WorkerCrash,
     WorkerPool,
@@ -156,6 +157,8 @@ def classify_error(exc: BaseException) -> str:
         return "codec"
     if isinstance(exc, ResilienceError):
         return "resilience"
+    if isinstance(exc, UnknownTask):
+        return "unknown_task"
     if isinstance(exc, TaskError):
         return "task_error"
     return "unclassified"
@@ -651,6 +654,9 @@ class ResilientRouter:
             return
         retryable = (
             isinstance(exc, RETRYABLE_ERRORS)
+            # deterministic: no tier can run a task that was never
+            # registered, so retries would only burn the budget
+            and not isinstance(exc, UnknownTask)
             or _is_backpressure(exc)
             or _is_transport_corruption(exc)
         )

@@ -40,6 +40,10 @@ class ServiceConfig:
     workers: int = 2
     backend: str = "thread"  # "thread" (tests / I/O mixes) | "process" (CPU)
     kernel_backend: str = "auto"  # codec kernel registry name; workers inherit it
+    transport: str = "pickle"  # "pickle" | "shm" (zero-copy, serve/shm.py)
+    shm_slots: Optional[int] = None  # arena slots (None: 4*workers+8)
+    shm_slot_bytes: int = 8 << 20  # bytes per arena slot
+    shm_min_bytes: Optional[int] = None  # below this, pickle anyway
     mode: str = "outlier"
     block: int = DEFAULT_BLOCK
     group_blocks: int = _stream.DEFAULT_GROUP_BLOCKS
@@ -68,6 +72,14 @@ class ServiceConfig:
     degrade_raw: bool = True  # raw-passthrough floor (compress only)
     validate_results: bool = True  # CRC-verify compressed ship-backs
     resilience_seed: int = 0  # deterministic backoff jitter
+    # -- autoscaling (serve/autoscale.py) ------------------------------------
+    autoscale: bool = False  # start an Autoscaler over the pool
+    autoscale_min_workers: Optional[int] = None  # None: 1
+    autoscale_max_workers: Optional[int] = None  # None: 4 * workers
+    autoscale_high_watermark: float = 4.0  # queue depth per worker -> grow
+    autoscale_low_watermark: float = 1.0  # queue depth per worker -> shrink
+    autoscale_cooldown_s: float = 5.0  # min gap between decisions
+    autoscale_poll_s: float = 0.25
 
 
 def _verify_stream_result(out) -> None:
@@ -148,6 +160,10 @@ class CompressionService:
             stats=self.stats,
             max_respawns=cfg.max_respawns,
             watchdog_grace_s=cfg.watchdog_grace_s,
+            transport=cfg.transport,
+            shm_slots=cfg.shm_slots,
+            shm_slot_bytes=cfg.shm_slot_bytes,
+            shm_min_bytes=cfg.shm_min_bytes,
         )
         # pool_wrapper interposes on pool.submit (the chaos harness wraps
         # tasks with fault injectors here); the scheduler and everything
@@ -186,6 +202,23 @@ class CompressionService:
                 seed=cfg.resilience_seed,
             )
         self.cache = DecodeCache(cfg.cache_bytes, stats=self.stats)
+        self.autoscaler = None
+        if cfg.autoscale:
+            from .autoscale import AutoscaleConfig, Autoscaler
+
+            self.autoscaler = Autoscaler(
+                sched_pool,  # chaos wrapper delegates resize/queue_depth
+                AutoscaleConfig(
+                    min_workers=cfg.autoscale_min_workers or 1,
+                    max_workers=cfg.autoscale_max_workers or 4 * cfg.workers,
+                    high_watermark=cfg.autoscale_high_watermark,
+                    low_watermark=cfg.autoscale_low_watermark,
+                    cooldown_s=cfg.autoscale_cooldown_s,
+                    poll_s=cfg.autoscale_poll_s,
+                ),
+                scheduler=self.scheduler,
+                stats=self.stats,
+            ).start()
         self._closed = False
 
     def _deadline(self, timeout_s: Optional[float]) -> Optional[Deadline]:
@@ -482,6 +515,8 @@ class CompressionService:
         if self._closed:
             return
         self._closed = True
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         if self.router is not None:
             self.router.close()  # cancel retry timers, stop fallback tiers
         self.scheduler.shutdown(cancel_pending=cancel_pending)

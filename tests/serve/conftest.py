@@ -1,0 +1,28 @@
+"""Serve-suite fixtures.
+
+The autouse leak check enforces the shm transport's central lifecycle
+invariant: no test may leave a shared-memory segment mapped or linked.
+Both views are checked -- the in-process creator registry
+(``active_segments``) and the kernel's ``/dev/shm`` directory (which
+also catches segments a crashed child left behind).
+"""
+
+import glob
+
+import pytest
+
+from repro.serve.shm import SEGMENT_PREFIX, active_segments
+
+
+def _dev_shm_segments():
+    return sorted(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    before = set(_dev_shm_segments())
+    yield
+    leaked = active_segments()
+    assert not leaked, f"test leaked live shm arenas: {leaked}"
+    on_disk = [s for s in _dev_shm_segments() if s not in before]
+    assert not on_disk, f"test leaked /dev/shm segments: {on_disk}"

@@ -1,0 +1,213 @@
+"""Autoscaler: pure-policy properties, cooldown hysteresis, live resize."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import AutoscaleConfig, Autoscaler, WorkerPool
+from repro.serve.autoscale import decide
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class FakePool:
+    def __init__(self, workers=1):
+        self.queue_depth = 0
+        self.workers_alive = workers
+        self.resizes = []
+
+    def resize(self, n):
+        self.resizes.append(n)
+        self.workers_alive = n
+        return True
+
+
+CFG = AutoscaleConfig(
+    min_workers=1, max_workers=4, high_watermark=4.0, low_watermark=1.0,
+    cooldown_s=5.0,
+)
+
+
+class TestDecidePolicy:
+    def test_ramp_grows_to_max(self):
+        workers, last = 1, -100.0
+        t = 0.0
+        for _ in range(10):
+            target = decide(CFG, workers, queue_depth=100, now=t, last_change=last)
+            if target != workers:
+                workers, last = target, t
+            t += CFG.cooldown_s + 0.1
+        assert workers == CFG.max_workers
+
+    def test_drain_shrinks_to_min(self):
+        workers, last = 4, -100.0
+        t = 0.0
+        for _ in range(10):
+            target = decide(CFG, workers, queue_depth=0, now=t, last_change=last)
+            if target != workers:
+                workers, last = target, t
+            t += CFG.cooldown_s + 0.1
+        assert workers == CFG.min_workers
+
+    def test_cooldown_holds(self):
+        # immediately after a change, any load level answers "hold"
+        for depth in (0, 3, 1000):
+            assert decide(CFG, 2, depth, now=1.0, last_change=0.0) == 2
+
+    def test_hold_band_between_watermarks(self):
+        # 1.0 <= depth/worker <= 4.0 is the hold band
+        assert decide(CFG, 2, 4, now=100.0, last_change=0.0) == 2
+        assert decide(CFG, 2, 8, now=100.0, last_change=0.0) == 2
+
+    def test_out_of_bounds_workers_clamped(self):
+        cfg = AutoscaleConfig(min_workers=2, max_workers=3, cooldown_s=0.0)
+        assert decide(cfg, 1, 0, now=1.0, last_change=0.0) >= 2
+        assert decide(cfg, 8, 1000, now=1.0, last_change=0.0) <= 3
+
+    def test_step_bounds_change(self):
+        cfg = AutoscaleConfig(max_workers=8, step=2, cooldown_s=0.0)
+        assert decide(cfg, 2, 1000, now=1.0, last_change=0.0) == 4
+        assert decide(cfg, 4, 0, now=1.0, last_change=0.0) == 2
+
+    def test_random_trace_never_oscillates_within_cooldown(self):
+        """Property: over a random load trace, every target stays in
+        bounds and two consecutive changes are >= cooldown_s apart."""
+        rng = np.random.default_rng(0)
+        workers, last = 1, -100.0
+        changes = []
+        t = 0.0
+        for _ in range(500):
+            depth = int(rng.integers(0, 40))
+            target = decide(CFG, workers, depth, now=t, last_change=last)
+            assert CFG.min_workers <= target <= CFG.max_workers
+            if target != workers:
+                changes.append(t)
+                workers, last = target, t
+            t += float(rng.uniform(0.1, 2.0))
+        gaps = np.diff(changes)
+        assert gaps.size == 0 or gaps.min() >= CFG.cooldown_s
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscaleConfig(min_workers=0)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(low_watermark=4.0, high_watermark=4.0)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(step=0)
+
+
+class TestAutoscalerTicks:
+    def test_tick_grows_under_load(self):
+        clock = FakeClock()
+        pool = FakePool(workers=1)
+        scaler = Autoscaler(pool, CFG, clock=clock)
+        pool.queue_depth = 50
+        assert scaler.tick() == 2
+        assert pool.resizes == [2]
+        # inside cooldown nothing moves, however deep the queue
+        clock.advance(1.0)
+        pool.queue_depth = 500
+        assert scaler.tick() == 2
+        clock.advance(CFG.cooldown_s)
+        assert scaler.tick() == 3
+
+    def test_tick_shrinks_when_idle(self):
+        clock = FakeClock()
+        pool = FakePool(workers=4)
+        scaler = Autoscaler(pool, CFG, clock=clock)
+        pool.queue_depth = 0
+        for expect in (3, 2, 1, 1):
+            assert scaler.tick() == expect
+            clock.advance(CFG.cooldown_s + 0.1)
+
+    def test_scheduler_inflight_follows_capacity(self):
+        class FakeSched:
+            max_inflight = 8
+            queue_depth = 0
+
+        clock = FakeClock()
+        pool = FakePool(workers=1)
+        sched = FakeSched()
+        scaler = Autoscaler(pool, CFG, scheduler=sched, clock=clock)
+        pool.queue_depth = 100
+        scaler.tick()
+        assert pool.workers_alive == 2
+        assert sched.max_inflight == 16  # 8 per worker x 2 workers
+
+    def test_metrics_emitted(self):
+        clock = FakeClock()
+        pool = FakePool(workers=1)
+        scaler = Autoscaler(pool, CFG, clock=clock)
+        pool.queue_depth = 50
+        scaler.tick()
+        snap = scaler.stats.snapshot()
+        assert snap["counters"]["autoscale.scale_ups"] == 1
+        assert snap["gauges"]["autoscale.target"]["value"] == 2
+
+
+class TestLivePoolResize:
+    def test_grow_and_shrink_live_pool(self):
+        with WorkerPool(nworkers=1, warmup=False) as pool:
+            assert pool.wait_ready(30)
+            assert pool.workers_alive == 1
+            assert pool.resize(3)
+            deadline = time.monotonic() + 10
+            while pool.workers_alive < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool.workers_alive == 3
+            assert pool.wait_ready(30)
+            # all workers idle: shrink drains down to 1
+            assert pool.resize(1)
+            deadline = time.monotonic() + 10
+            while pool.workers_alive > 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool.workers_alive == 1
+            # the remaining worker still serves traffic
+            assert pool.submit("pool.echo", 42).result(30) == 42
+
+    def test_resize_validation_and_closed_pool(self):
+        pool = WorkerPool(nworkers=1, warmup=False)
+        with pytest.raises(ValueError):
+            pool.resize(0)
+        pool.shutdown()
+        assert pool.resize(2) is False
+
+    def test_background_autoscaler_with_live_pool(self):
+        cfg = AutoscaleConfig(
+            min_workers=1, max_workers=3, high_watermark=2.0,
+            low_watermark=1.0, cooldown_s=0.05, poll_s=0.02,
+        )
+        with WorkerPool(nworkers=1, warmup=False) as pool:
+            assert pool.wait_ready(30)
+            with Autoscaler(pool, cfg) as scaler:
+                futs = [pool.submit("pool.sleep", 0.05) for _ in range(30)]
+                deadline = time.monotonic() + 15
+                grew = False
+                while time.monotonic() < deadline:
+                    if pool.workers_alive > 1:
+                        grew = True
+                        break
+                    time.sleep(0.01)
+                assert grew, "autoscaler never grew the pool under load"
+                for f in futs:
+                    f.result(60)
+                # drained: shrink back toward min
+                deadline = time.monotonic() + 15
+                while pool.workers_alive > 1 and time.monotonic() < deadline:
+                    time.sleep(0.02)
+                assert pool.workers_alive == 1
+                assert scaler.stats.snapshot()["counters"].get(
+                    "autoscale.scale_ups", 0
+                ) >= 1

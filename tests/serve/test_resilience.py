@@ -263,11 +263,11 @@ class _WedgingBackend:
     def make_queue(self):
         return self._real.make_queue()
 
-    def spawn(self, wid, inq, outq, warmup):
+    def spawn(self, wid, inq, outq, warmup, transport=None):
         if self._wedge_next:
             self._wedge_next = False
             return _WedgedHandle()
-        return self._real.spawn(wid, inq, outq, warmup)
+        return self._real.spawn(wid, inq, outq, warmup, transport)
 
 
 class TestSpawnWatchdog:
