@@ -5,6 +5,15 @@ Pure-GPU designs: :class:`CuSZp` (the predecessor; Plain-FLE),
 :class:`CuZFP` (real fixed-rate ZFP).  CPU-GPU hybrids: :class:`CuSZ`
 (Lorenzo + Huffman), :class:`CuSZx` (constant blocks + FLE),
 :class:`MGARDLike` (multilevel refactoring).
+
+These classes are the raw implementations.  The supported entry point is
+the plugin surface, :mod:`repro.codecs` (docs/CODECS.md): every baseline
+is registered there behind the uniform
+``compress(ndarray, **opts)`` / ``decompress(bytes)`` contract that
+preserves dtype+shape, validates options, answers only classified errors,
+and dispatches by stream magic -- and that the CLI (``repro compress
+--codec <name>``), the serve layer (``ServiceConfig.codec``), and the qa
+fuzzer's ``codecs`` oracle all speak.
 """
 
 from .cuszp import CuSZp

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.compressor import CuSZp2
+from ..core.errors import InvalidInputError
 from ..core.quantize import ErrorBound
 
 
@@ -43,6 +44,8 @@ class CuSZp:
 
 
 def compress(data: np.ndarray, rel: float = None, abs: float = None) -> np.ndarray:  # noqa: A002
+    if (rel is None) == (abs is None):
+        raise InvalidInputError("specify exactly one of rel= or abs=")
     eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
     return CuSZp(eb).compress(data)
 

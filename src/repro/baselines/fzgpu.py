@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import predictor
-from ..core.errors import CuSZp2Error, StreamFormatError
+from ..core.errors import CuSZp2Error, InvalidInputError, StreamFormatError
 from ..core.quantize import ErrorBound, dequantize, quantize, validate_input
 from . import bitshuffle
 
@@ -98,13 +98,21 @@ class FZGPU:
         bitmap = np.packbits(nonzero.astype(np.uint8), bitorder="little")
         kept = words[nonzero]
 
-        dims3 = tuple(arr.shape) + (1,) * (3 - arr.ndim) if arr.ndim <= 3 else (flat.size, 1, 1)
+        if arr.ndim <= 3:
+            dims3 = tuple(arr.shape) + (1,) * (3 - arr.ndim)
+            orig_ndim = arr.ndim
+        else:
+            dims3 = (flat.size, 1, 1)
+            orig_ndim = 0  # >3-D inputs decode flat, like the core codec
         header = struct.pack(
             HEADER_FMT,
             MAGIC,
-            1,  # version
+            2,  # version (v2: original ndim rides in the high byte below)
             0 if data.dtype == np.float32 else 1,
-            self.predictor_ndim,
+            # low byte: predictor dimensionality; high byte: the caller's
+            # array ndim, so decompress restores the original shape.  v1
+            # streams carry 0 there and keep decoding flat.
+            self.predictor_ndim | (orig_ndim << 8),
             flat.size,
             eb_abs,
             *dims3,
@@ -122,13 +130,21 @@ class FZGPU:
             buf = np.frombuffer(bytes(buf), dtype=np.uint8)
         if buf.size < HEADER_SIZE:
             raise StreamFormatError("FZ-GPU stream shorter than its header")
-        magic, _ver, dt, pred_ndim, nelems, eb_abs, d0, d1, d2 = struct.unpack(
+        magic, _ver, dt, pred_field, nelems, eb_abs, d0, d1, d2 = struct.unpack(
             HEADER_FMT, buf[:HEADER_SIZE].tobytes()
         )
         if magic != MAGIC:
             raise StreamFormatError(f"bad FZ-GPU magic {magic!r}")
+        pred_ndim = pred_field & 0xFF
+        orig_ndim = pred_field >> 8  # 0 in v1 streams: flat decode
         dtype = np.dtype(np.float32 if dt == 0 else np.float64)
-        if pred_ndim == 3 and d0 * d1 * d2 != nelems:
+        if orig_ndim > 3:
+            raise StreamFormatError(f"FZ-GPU header declares ndim {orig_ndim} > 3")
+        shape = (d0, d1, d2)[:orig_ndim]
+        nshape = 1
+        for s in shape:
+            nshape *= s
+        if (pred_ndim == 3 and d0 * d1 * d2 != nelems) or (orig_ndim and nshape != nelems):
             raise StreamFormatError("FZ-GPU header dims inconsistent with element count")
 
         padded = nelems if pred_ndim == 3 else -(-nelems // BLOCK) * BLOCK
@@ -156,10 +172,16 @@ class FZGPU:
             q = vol.reshape(-1)
         else:
             q = predictor.undiff_1d(deltas.reshape(-1, BLOCK)).reshape(-1)[:nelems]
-        return dequantize(q, eb_abs, dtype)
+        # corrupted streams can carry absurd quant codes; the cast's
+        # overflow to +-inf is itself the corruption signal downstream
+        with np.errstate(over="ignore"):
+            out = dequantize(q, eb_abs, dtype)
+        return out.reshape(shape) if orig_ndim else out
 
 
 def compress(data: np.ndarray, rel: float = None, abs: float = None, **kw) -> np.ndarray:  # noqa: A002
+    if (rel is None) == (abs is None):
+        raise InvalidInputError("specify exactly one of rel= or abs=")
     eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
     return FZGPU(eb, **kw).compress(data)
 

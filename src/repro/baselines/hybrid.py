@@ -135,7 +135,9 @@ class CuSZx:
         blocks = padded.reshape(nblocks, _CUSZX_BLOCK).astype(np.float64)
         lo, hi = blocks.min(axis=1), blocks.max(axis=1)
         constant = (hi - lo) <= 2 * eb_abs
-        means = ((lo + hi) / 2).astype(np.float32)
+        # means stored in the *input* dtype: float32 storage would push an
+        # f64 field's constant blocks past the error bound
+        means = ((lo + hi) / 2).astype(data.dtype)
 
         # Non-constant blocks: quantize + blockwise diff + Plain-FLE.
         q = quantize(blocks[~constant].reshape(-1), eb_abs) if (~constant).any() else np.empty(0, np.int64)
@@ -172,8 +174,8 @@ class CuSZx:
         bitmap_bytes = -(-nblocks // 8)
         constant = np.unpackbits(raw[off : off + bitmap_bytes], bitorder="little")[:nblocks].astype(bool)
         off += bitmap_bytes
-        means = raw[off : off + 4 * ncon].view(np.float32)
-        off += 4 * ncon
+        means = raw[off : off + dtype.itemsize * ncon].view(dtype)
+        off += dtype.itemsize * ncon
         n_var = int((~constant).sum())
         offsets = raw[off : off + n_var]
         off += n_var

@@ -37,16 +37,19 @@ def to_fixed(blocks: np.ndarray, emax: np.ndarray, intprec: int = 32) -> np.ndar
     """Convert float blocks ``(n, bsize)`` to fixed point against the
     per-block exponent (int64 carrier for both precisions)."""
     frac = FRACTION_BITS[intprec]
-    scale = np.ldexp(1.0, frac - emax.astype(np.int64))
-    q = blocks.astype(np.float64) * scale[:, None]
+    # scale via ldexp on the values themselves: a materialized 2**(frac-emax)
+    # overflows to inf for denormal-range blocks (emax < frac - 1023), which
+    # would turn exact zeros into 0*inf = NaN
+    shift = (frac - emax.astype(np.int64)).astype(np.int32)
+    q = np.ldexp(blocks.astype(np.float64), shift[:, None])
     return q.astype(np.int64)  # |q| <= 2**frac, guard bits left for the transform
 
 
 def from_fixed(iblocks: np.ndarray, emax: np.ndarray, dtype=np.float32, intprec: int = 32) -> np.ndarray:
     """Invert :func:`to_fixed`."""
     frac = FRACTION_BITS[intprec]
-    scale = np.ldexp(1.0, emax.astype(np.int64) - frac)
-    return (iblocks.astype(np.float64) * scale[:, None]).astype(dtype)
+    shift = (emax.astype(np.int64) - frac).astype(np.int32)
+    return np.ldexp(iblocks.astype(np.float64), shift[:, None]).astype(dtype)
 
 
 def encode_emax(emax: np.ndarray) -> np.ndarray:

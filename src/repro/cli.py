@@ -43,6 +43,23 @@ def _parse_dims(text):
 #: works without importing numpy; tests pin it against the live registry.
 KERNEL_BACKENDS = ["auto", "numpy", "numba", "fused-python"]
 
+#: Compressor plugins (repro.codecs registry) plus the per-field
+#: auto-tuner.  Same literal-not-imported deal as KERNEL_BACKENDS; a test
+#: pins this list against the live registry.
+CODECS = ["auto", "cuszp2", "cuszp", "fzgpu", "cuzfp", "cusz", "cuszx", "mgard"]
+
+
+def _parse_codec_opts(items) -> dict:
+    """``--codec-opt k=v`` pairs to a dict (values stay strings; the
+    plugin's option schema coerces and validates them)."""
+    opts = {}
+    for item in items or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--codec-opt expects name=value, got {item!r}")
+        opts[key.strip()] = value.strip()
+    return opts
+
 
 def _add_kernel_backend_arg(parser) -> None:
     parser.add_argument(
@@ -66,6 +83,8 @@ def cmd_compress(args) -> int:
     from .metrics import check_error_bound
 
     data = _load_raw(args.input, _parse_dims(args.dims))
+    if args.codec != "cuszp2":
+        return _compress_codec_cli(args, data)
     mode = {"p": "plain", "o": "outlier"}.get(args.mode, args.mode)
 
     chunk_bytes = int(args.chunk_mb * (1 << 20))
@@ -100,6 +119,53 @@ def cmd_compress(args) -> int:
     print(f"compressed stream written to {out_path}")
     print()
     recon = decompress(stream, kernel_backend=args.kernel_backend)
+    if check_error_bound(data.reshape(-1), recon.reshape(-1), eb_abs):
+        print("Pass error check!")
+        return 0
+    print("ERROR CHECK FAILED")
+    return 1
+
+
+def _compress_codec_cli(args, data) -> int:
+    """``repro compress --codec <name|auto>``: compress through a
+    registered plugin (or the per-field auto-tuner) instead of the golden
+    cuSZp2 path."""
+    from . import codecs
+    from .metrics import check_error_bound
+
+    bound_key = "abs" if args.absolute else "rel"
+    opts = _parse_codec_opts(args.codec_opt)
+    t0 = time.perf_counter()
+    if args.codec == "auto":
+        if opts:
+            raise SystemExit("--codec auto picks its own options; drop --codec-opt")
+        stream, rec = codecs.autotune_compress(data, **{bound_key: args.error_bound})
+        name, bounded, eb_abs = rec.codec, True, rec.eb_abs
+        print(rec.describe())
+    else:
+        plugin = codecs.resolve(args.codec)
+        name, bounded = plugin.name, plugin.bounded
+        if bounded:
+            opts[bound_key] = args.error_bound
+        stream = codecs.encode(data, name, **opts)
+        if args.absolute:
+            eb_abs = args.error_bound
+        else:
+            rng = float(data.max() - data.min())
+            eb_abs = args.error_bound * (rng if rng else max(abs(float(data.max())), 1.0))
+    wall = time.perf_counter() - t0
+
+    out_path = Path(args.output or (args.input + f".{name}"))
+    stream.tofile(out_path)
+    print(f"codec: {name} (repro.codecs plugin)")
+    print(f"compression ratio: {data.nbytes / stream.size:.6f}")
+    print(f"(functional codec wall time: {wall:.3f} s for {data.nbytes / 1e6:.1f} MB)")
+    print(f"compressed stream written to {out_path}")
+    print()
+    recon = codecs.decode(stream)
+    if not bounded:
+        print(f"(fixed-rate codec {name}: no error bound to check)")
+        return 0
     if check_error_bound(data.reshape(-1), recon.reshape(-1), eb_abs):
         print("Pass error check!")
         return 0
@@ -183,20 +249,27 @@ def cmd_decompress(args) -> int:
                 return 1
             recon = decompress_chunked(chunked, kernel_backend=args.kernel_backend)
         else:
-            header = StreamHeader.unpack(stream)
-            checks = "header+group checksums" if header.version >= 2 else "no checksums"
-            print(f"stream format v{header.version} ({checks})")
-            recon = decompress(
-                stream,
-                on_corruption=args.on_corruption,
-                kernel_backend=args.kernel_backend,
-            )
+            from . import codecs as _codecs
+
+            name = args.codec or _codecs.sniff(stream)
+            if name is not None and name != "cuszp2":
+                print(f"{name} stream (repro.codecs plugin)")
+                recon = _codecs.decode(stream, codec=args.codec)
+            else:
+                header = StreamHeader.unpack(stream)
+                checks = "header+group checksums" if header.version >= 2 else "no checksums"
+                print(f"stream format v{header.version} ({checks})")
+                recon = decompress(
+                    stream,
+                    on_corruption=args.on_corruption,
+                    kernel_backend=args.kernel_backend,
+                )
     except IntegrityError as e:
         print(f"integrity check FAILED: {e}")
         print("hint: retry with --on-corruption recover to salvage intact block groups")
         return 1
     except StreamFormatError as e:
-        print(f"not a decodable cuSZp2 stream: {e}")
+        print(f"not a stream of any registered codec: {e}")
         return 1
     out_path = Path(args.output or (str(args.input).removesuffix(".csz2") + ".out"))
     suffix = ".f64" if recon.dtype == np.float64 else ".f32"
@@ -530,10 +603,66 @@ def cmd_datasets(args) -> int:
 def cmd_pack(args) -> int:
     from .core.archive import pack_dataset
 
+    if args.codec != "cuszp2":
+        return _pack_codec_cli(args)
     buf = pack_dataset(args.dataset, args.rel, mode=args.mode)
     out = Path(args.output or f"{args.dataset}.csz2arch")
     buf.tofile(out)
     print(f"packed {args.dataset} at REL {args.rel:g} -> {out} ({buf.size:,} bytes)")
+    return 0
+
+
+def _pack_codec_cli(args) -> int:
+    """``repro pack --codec <name|auto>``: archive a dataset through a
+    registered plugin, or let the auto-tuner pick per field."""
+    from . import codecs
+    from .core.archive import pack_streams
+    from .datasets import get_dataset
+
+    fields = get_dataset(args.dataset).generate_all()
+    if args.codec == "auto":
+        buf, records = codecs.autotune_pack(fields, rel=args.rel)
+        for name, rec in records.items():
+            label = rec.opts and " " + ",".join(f"{k}={v}" for k, v in rec.opts.items()) or ""
+            print(f"  {name}: {rec.codec}{label} (sample ratio {rec.sample_ratio:.2f})")
+    else:
+        plugin = codecs.resolve(args.codec)
+        bound = {"rel": args.rel} if plugin.bounded else {}
+        buf = pack_streams(
+            {name: codecs.encode(data, plugin.name, **bound) for name, data in fields.items()}
+        )
+    out = Path(args.output or f"{args.dataset}.csz2arch")
+    buf.tofile(out)
+    print(
+        f"packed {args.dataset} (codec {args.codec}) at REL {args.rel:g} "
+        f"-> {out} ({buf.size:,} bytes)"
+    )
+    return 0
+
+
+def cmd_codecs(args) -> int:
+    """List the compressor-plugin registry with each plugin's options."""
+    from . import codecs
+
+    for plugin in codecs.list_plugins().values():
+        kind = "error-bounded" if plugin.bounded else "fixed-rate"
+        if plugin.heavy:
+            kind += ", CPU-GPU hybrid"
+        default = " (default)" if plugin.name == codecs.DEFAULT_CODEC else ""
+        print(f"{plugin.name}{default}: {plugin.description}")
+        print(f"    [{kind}; stream magic {plugin.magic!r}; max ndim {plugin.max_ndim}]")
+        for opt in plugin.options.values():
+            bits = [f"{opt.type.__name__}"]
+            if opt.default is not None:
+                bits.append(f"default {opt.default}")
+            if opt.choices is not None:
+                bits.append("one of " + "/".join(str(c) for c in opt.choices))
+            if opt.minimum is not None:
+                bits.append(f">= {opt.minimum:g}")
+            print(f"    {opt.name} ({', '.join(bits)}): {opt.doc}")
+        print()
+    print("compress with:  repro compress FILE BOUND --codec NAME [--codec-opt k=v]")
+    print("auto-tune with: repro compress FILE BOUND --codec auto")
     return 0
 
 
@@ -600,6 +729,16 @@ def build_parser() -> argparse.ArgumentParser:
         "unrelated to --kernel-backend, which picks the codec kernels",
     )
     _add_kernel_backend_arg(c)
+    c.add_argument(
+        "--codec", default="cuszp2", choices=CODECS,
+        help="compressor plugin from the repro.codecs registry, or 'auto' "
+        "to let the per-field tuner pick (default cuszp2; see `repro codecs`)",
+    )
+    c.add_argument(
+        "--codec-opt", action="append", metavar="NAME=VALUE",
+        help="plugin option for --codec (repeatable; e.g. rate=16 for cuzfp); "
+        "validated against the plugin's option schema",
+    )
     c.set_defaults(fn=cmd_compress)
 
     d = sub.add_parser("decompress", help="decompress a .csz2 stream")
@@ -612,6 +751,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="corrupt v2 stream: fail (default) or decode intact groups + NaN-fill",
     )
     _add_kernel_backend_arg(d)
+    d.add_argument(
+        "--codec", default=None, choices=[c for c in CODECS if c != "auto"],
+        help="force a specific plugin instead of sniffing the stream magic",
+    )
     d.set_defaults(fn=cmd_decompress)
 
     sb = sub.add_parser(
@@ -711,7 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--paths",
         action="append",
         choices=["roundtrip", "chunked", "random_access", "corruption", "store",
-                 "backends", "serve_shm"],
+                 "backends", "serve_shm", "codecs"],
         help="restrict to one oracle path (repeatable; default all)",
     )
     fz.add_argument(
@@ -808,8 +951,19 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("dataset")
     pk.add_argument("--rel", type=float, default=1e-3)
     pk.add_argument("--mode", default="outlier", choices=["plain", "outlier"])
+    pk.add_argument(
+        "--codec", default="cuszp2", choices=CODECS,
+        help="plugin for every field, or 'auto' for per-field tuning "
+        "(default cuszp2; extraction sniffs, so mixed archives just work)",
+    )
     pk.add_argument("-o", "--output")
     pk.set_defaults(fn=cmd_pack)
+
+    co = sub.add_parser(
+        "codecs",
+        help="list the compressor-plugin registry (names, options, flags)",
+    )
+    co.set_defaults(fn=cmd_codecs)
 
     ex = sub.add_parser("extract", help="extract a field from an archive (omit FIELD to list)")
     ex.add_argument("archive")

@@ -1,0 +1,59 @@
+"""repro.codecs: the CompressorPlugin registry and per-field auto-tuner.
+
+One contract over every codec (libpressio-style; see docs/CODECS.md):
+
+>>> from repro import codecs
+>>> stream = codecs.encode(field, "fzgpu", rel=1e-3)
+>>> recon = codecs.decode(stream)          # sniffs the producer
+>>> codecs.codec_names()
+['cuszp2', 'cuszp', 'fzgpu', 'cuzfp', 'cusz', 'cuszx', 'mgard']
+
+Importing this package registers the seven builtin plugins.
+"""
+
+from .builtin import register_builtin_plugins
+from .plugin import (
+    DEFAULT_CODEC,
+    CompressorPlugin,
+    OptionSpec,
+    codec_names,
+    decode,
+    encode,
+    is_envelope,
+    list_plugins,
+    register,
+    resolve,
+    sniff,
+    unregister,
+)
+from .tuner import (
+    DEFAULT_CANDIDATES,
+    Candidate,
+    TuneRecord,
+    autotune,
+    autotune_compress,
+    autotune_pack,
+)
+
+register_builtin_plugins()
+
+__all__ = [
+    "DEFAULT_CODEC",
+    "CompressorPlugin",
+    "OptionSpec",
+    "register",
+    "unregister",
+    "resolve",
+    "codec_names",
+    "list_plugins",
+    "encode",
+    "decode",
+    "sniff",
+    "is_envelope",
+    "Candidate",
+    "DEFAULT_CANDIDATES",
+    "TuneRecord",
+    "autotune",
+    "autotune_compress",
+    "autotune_pack",
+]

@@ -1,0 +1,224 @@
+"""Per-field auto-tuning: pick the codec/config with the best ratio under
+the bound.
+
+This generalizes the paper's per-block Plain-vs-Outlier selection to
+whole-pipeline selection: for each field the tuner resolves the error
+bound once (on the full field, so a REL bound means the same absolute
+step for every trial), trial-compresses a few sampled block groups with
+every candidate codec/mode/block-size configuration, and commits to the
+configuration with the best sampled ratio.  Candidates are bounded codecs
+only -- a fixed-rate codec (cuzfp) cannot promise the bound, so it never
+competes.  Fields small enough that sampling would cover most of the data
+are trialed whole, which makes the choice exact rather than estimated.
+
+Every decision is recorded: as a :class:`TuneRecord` (per-trial ratios
+included) and as attributes on a ``codecs.autotune`` trace span when a
+tracer is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.archive import pack_streams
+from ..core.errors import CuSZp2Error, InvalidInputError
+from ..core.quantize import ErrorBound, validate_input
+from ..obs import trace as obs_trace
+from . import plugin as _plugin
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One codec/configuration the tuner may pick."""
+
+    codec: str
+    opts: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def label(self) -> str:
+        if not self.opts:
+            return self.codec
+        return self.codec + "[" + ",".join(f"{k}={v}" for k, v in self.opts) + "]"
+
+    def options(self) -> Dict[str, Any]:
+        return dict(self.opts)
+
+
+#: The default candidate set: the core codec in both selection modes and a
+#: smaller block size, plus every bounded baseline.
+DEFAULT_CANDIDATES: Tuple[Candidate, ...] = (
+    Candidate("cuszp2", (("mode", "outlier"),)),
+    Candidate("cuszp2", (("mode", "plain"),)),
+    Candidate("cuszp2", (("mode", "outlier"), ("block", 64))),
+    Candidate("fzgpu"),
+    Candidate("cusz"),
+    Candidate("cuszx"),
+    Candidate("mgard"),
+)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One candidate's sampled result (``ratio`` is None when it refused)."""
+
+    label: str
+    codec: str
+    opts: Tuple[Tuple[str, Any], ...]
+    ratio: Optional[float]
+    error: Optional[str] = None
+
+
+@dataclass
+class TuneRecord:
+    """The tuner's decision for one field, with the evidence."""
+
+    codec: str
+    opts: Dict[str, Any]
+    eb_abs: float
+    sample_elems: int
+    total_elems: int
+    sampled_whole: bool
+    trials: List[Trial] = field(default_factory=list)
+    #: Ratio of the final full-field stream (set by :func:`autotune_compress`).
+    full_ratio: Optional[float] = None
+
+    @property
+    def sample_ratio(self) -> Optional[float]:
+        for t in self.trials:
+            if t.codec == self.codec and dict(t.opts) == self.opts:
+                return t.ratio
+        return None  # pragma: no cover - trials always include the winner
+
+    def describe(self) -> str:
+        lines = [
+            f"auto-tuner: {self.total_elems} elems, eb_abs={self.eb_abs:g}, "
+            f"sampled {self.sample_elems} elems"
+            + (" (whole field)" if self.sampled_whole else "")
+        ]
+        for t in sorted(self.trials, key=lambda t: -(t.ratio or 0.0)):
+            if t.ratio is None:
+                lines.append(f"  {t.label:<28} refused: {t.error}")
+            else:
+                mark = " <== chosen" if (t.codec == self.codec and dict(t.opts) == self.opts) else ""
+                lines.append(f"  {t.label:<28} ratio {t.ratio:.3f}{mark}")
+        return "\n".join(lines)
+
+
+def _sample(flat: np.ndarray, groups: int, group_elems: int) -> Tuple[np.ndarray, bool]:
+    """Evenly spaced sample spans of ``flat`` (or the whole field when the
+    spans would cover at least half of it)."""
+    n = flat.size
+    if groups * group_elems * 2 >= n:
+        return flat, True
+    step = n // groups
+    spans = [flat[i * step : i * step + group_elems] for i in range(groups)]
+    return np.concatenate(spans), False
+
+
+def autotune(
+    data: np.ndarray,
+    rel: Optional[float] = None,
+    abs: Optional[float] = None,  # noqa: A002 - mirrors repro.compress
+    candidates: Optional[Tuple[Candidate, ...]] = None,
+    sample_groups: int = 4,
+    group_elems: int = 2048,
+) -> TuneRecord:
+    """Pick the best codec/config for ``data`` under the bound.
+
+    Returns a :class:`TuneRecord`; compress with
+    ``repro.codecs.encode(data, rec.codec, abs=rec.eb_abs, **rec.opts)``
+    (or just call :func:`autotune_compress`).
+    """
+    if (rel is None) == (abs is None):
+        raise InvalidInputError("specify exactly one of rel= or abs=")
+    flat, lo, hi = validate_input(data, return_minmax=True)
+    eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
+    eb_abs = eb.resolve(flat, minmax=(lo, hi))
+    candidates = candidates if candidates is not None else DEFAULT_CANDIDATES
+
+    sample, whole = _sample(flat, sample_groups, group_elems)
+    itemsize = sample.dtype.itemsize
+    trials: List[Trial] = []
+    best: Optional[Trial] = None
+    with obs_trace.maybe_span(
+        "codecs.autotune", elems=int(flat.size), sample_elems=int(sample.size)
+    ) as sp:
+        for cand in candidates:
+            plugin = _plugin.resolve(cand.codec)
+            if not plugin.bounded:
+                trials.append(Trial(cand.label, cand.codec, cand.opts, None,
+                                    "fixed-rate codec cannot promise the bound"))
+                continue
+            trial_data = sample[:512] if plugin.heavy else sample
+            try:
+                stream = plugin.compress(trial_data, abs=eb_abs, **cand.options())
+            except CuSZp2Error as e:
+                trials.append(Trial(cand.label, cand.codec, cand.opts, None,
+                                    f"{type(e).__name__}: {e}"))
+                continue
+            ratio = trial_data.size * itemsize / int(stream.size)
+            t = Trial(cand.label, cand.codec, cand.opts, float(ratio))
+            trials.append(t)
+            if best is None or t.ratio > best.ratio:
+                best = t
+        if best is None:
+            # every candidate refused (e.g. quantization overflow across the
+            # board); fall back to the default codec and let its compress
+            # surface the classified error to the caller
+            best = Trial(_plugin.DEFAULT_CODEC, _plugin.DEFAULT_CODEC, (), None)
+        if sp is not None:
+            sp.set(codec=best.codec, opts=dict(best.opts),
+                   ratio=best.ratio, eb_abs=float(eb_abs))
+    return TuneRecord(
+        codec=best.codec,
+        opts=dict(best.opts),
+        eb_abs=float(eb_abs),
+        sample_elems=int(sample.size),
+        total_elems=int(flat.size),
+        sampled_whole=whole,
+        trials=trials,
+    )
+
+
+def autotune_compress(
+    data: np.ndarray,
+    rel: Optional[float] = None,
+    abs: Optional[float] = None,  # noqa: A002 - mirrors repro.compress
+    **tuner_kwargs,
+) -> Tuple[np.ndarray, TuneRecord]:
+    """Tune, then compress the full field with the winning configuration.
+
+    The final stream uses the bound already resolved on the full field, so
+    the reconstruction honors exactly the bound the trials competed under.
+    """
+    rec = autotune(data, rel=rel, abs=abs, **tuner_kwargs)
+    stream = _plugin.encode(data, rec.codec, abs=rec.eb_abs, **rec.opts)
+    rec.full_ratio = float(data.nbytes / int(stream.size))
+    return stream, rec
+
+
+def autotune_pack(
+    fields: Mapping[str, np.ndarray],
+    rel: Optional[float] = None,
+    abs: Optional[float] = None,  # noqa: A002 - mirrors repro.compress
+    **tuner_kwargs,
+) -> Tuple[np.ndarray, Dict[str, TuneRecord]]:
+    """Tune each field independently and pack the winning streams into one
+    archive (the mixed multi-field scenario the tuner exists for).
+
+    Streams of any registered codec extract transparently:
+    :meth:`repro.core.archive.DatasetArchive.extract` dispatches non-CSZ2
+    streams through :func:`repro.codecs.decode`.
+    """
+    if not fields:
+        raise InvalidInputError("cannot auto-tune an empty field mapping")
+    streams: Dict[str, np.ndarray] = {}
+    records: Dict[str, TuneRecord] = {}
+    for name, data in fields.items():
+        streams[name], records[name] = autotune_compress(
+            data, rel=rel, abs=abs, **tuner_kwargs
+        )
+    return pack_streams(streams), records

@@ -177,8 +177,15 @@ class DatasetArchive:
         when the field's archive CRC or its stream's own checksums fail;
         ``"recover"`` salvages every intact block group of the damaged
         stream (see :func:`repro.core.decompress`).
+
+        Streams produced by other registered codecs (``repro.codecs``,
+        e.g. an auto-tuned archive) dispatch through
+        :func:`repro.codecs.decode`; ``on_corruption="recover"`` applies
+        to core CSZ2 streams only -- the baselines carry no group
+        checksums to salvage from.
         """
         from .compressor import decompress
+        from .stream import MAGIC as _CSZ2
 
         s = self.stream(name)
         if on_corruption == "raise" and not self.verify_field(name):
@@ -188,7 +195,11 @@ class DatasetArchive:
                 f"{self.entries[name].offset + self.entries[name].length})); "
                 "other fields are unaffected"
             )
-        return decompress(s, on_corruption=on_corruption)
+        if s.size >= len(_CSZ2) and bytes(s[: len(_CSZ2)]) == _CSZ2:
+            return decompress(s, on_corruption=on_corruption)
+        from ..codecs import decode as _codec_decode  # lazy: codecs imports archive
+
+        return _codec_decode(s)
 
     def accessor(self, name: str) -> RandomAccessor:
         """Random access into one field without extracting it."""

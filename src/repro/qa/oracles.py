@@ -33,6 +33,11 @@ The oracles mirror the shipped entry points:
     chunked requests routed through a worker pool on the zero-copy
     shared-memory transport produce byte-identical chunk streams and
     containers vs the inline codec (descriptors never corrupt payloads).
+``codecs``
+    every plugin in the :mod:`repro.codecs` registry honors the uniform
+    contract: deterministic bytes, dtype+shape-preserving roundtrip within
+    the bound (bounded plugins), sniffed ``decode`` agrees with direct
+    decompression, and hostile input answers with classified errors.
 """
 
 from __future__ import annotations
@@ -548,6 +553,111 @@ def oracle_serve_shm(case: FuzzCase, ctx: OracleContext) -> None:
         ) from None
 
 
+#: The plugin-conformance sweep recompresses the case through every
+#: registered codec, so it runs on a bounded prefix of big cases (the
+#: hybrids, which drag a real Huffman pass along, get a tighter cap).
+_CODEC_MAX_ELEMS = 2048
+_CODEC_HEAVY_MAX_ELEMS = 256
+
+
+def oracle_codecs(case: FuzzCase, ctx: OracleContext) -> None:
+    """Every registered compressor plugin against the uniform contract.
+
+    For hostile cases every plugin must answer with the case's expected
+    classified error.  For finite cases every plugin must compress
+    deterministically, decompress back to the exact dtype+shape, agree
+    with the sniffing :func:`repro.codecs.decode`, and (bounded plugins)
+    respect the error bound pointwise.  Baseline plugins may refuse a
+    particular finite input with a classified error (e.g. FZ-GPU's 32-bit
+    zigzag overflow); the default plugin may not.
+    """
+    name = "codecs"
+    from .. import codecs as _codecs
+    from ..core.quantize import ErrorBound, validate_input
+
+    if case.expect_error is not None:
+        for plugin in _codecs.list_plugins().values():
+            opts = dict(case.bound_kwargs) if plugin.bounded else {}
+            try:
+                plugin.compress(case.data, **opts)
+            except case.expect_error:
+                continue
+            except Exception as e:
+                raise _fail(
+                    name, case,
+                    f"plugin {plugin.name!r}: expected "
+                    f"{case.expect_error.__name__}, got {type(e).__name__}: {e}",
+                ) from None
+            raise _fail(
+                name, case,
+                f"plugin {plugin.name!r}: expected {case.expect_error.__name__}, "
+                "but compress succeeded",
+            )
+        return
+
+    flat = case.data.reshape(-1)
+
+    def _do():
+        for plugin in _codecs.list_plugins().values():
+            cap = _CODEC_HEAVY_MAX_ELEMS if plugin.heavy else _CODEC_MAX_ELEMS
+            sub = case.data
+            if sub.size > cap or sub.ndim > plugin.max_ndim:
+                sub = flat[: min(cap, flat.size)].copy()
+            opts = dict(case.bound_kwargs) if plugin.bounded else {}
+            try:
+                stream = plugin.compress(sub, **opts)
+            except CuSZp2Error as e:
+                if plugin.name in ("cuszp2", "cuszp"):
+                    raise _fail(
+                        name, case,
+                        f"plugin {plugin.name!r} rejected a finite input: "
+                        f"{type(e).__name__}: {e}",
+                    ) from None
+                continue  # a classified refusal is a legal baseline answer
+            again = plugin.compress(sub, **opts)
+            if not np.array_equal(np.asarray(stream), np.asarray(again)):
+                raise _fail(
+                    name, case,
+                    f"plugin {plugin.name!r} is nondeterministic: two runs differ",
+                )
+            recon = plugin.decompress(stream)
+            if recon.dtype != sub.dtype:
+                raise _fail(
+                    name, case,
+                    f"plugin {plugin.name!r}: dtype {sub.dtype} decoded as {recon.dtype}",
+                )
+            if recon.shape != sub.shape:
+                raise _fail(
+                    name, case,
+                    f"plugin {plugin.name!r}: shape {sub.shape} decoded as {recon.shape}",
+                )
+            sniffed = _codecs.decode(stream)
+            if sniffed.tobytes() != recon.tobytes():
+                raise _fail(
+                    name, case,
+                    f"plugin {plugin.name!r}: sniffing decode() differs from "
+                    "direct decompression",
+                )
+            if plugin.bounded:
+                if "abs" in case.bound_kwargs:
+                    eb_abs = float(case.bound_kwargs["abs"])
+                else:
+                    eb_abs = ErrorBound.relative(
+                        float(case.bound_kwargs["rel"])
+                    ).resolve(validate_input(sub))
+                diag = _max_error_ok(sub, recon, eb_abs)
+                if diag:
+                    raise _fail(name, case, f"plugin {plugin.name!r}: {diag}")
+
+    try:
+        _guard(name, case, _do, "compressor plugins")
+    except CuSZp2Error as e:
+        raise _fail(
+            name, case,
+            f"plugin path raised on valid data: {type(e).__name__}: {e}",
+        ) from None
+
+
 #: name -> oracle; drives --paths selection and corpus replay.
 ORACLES: Dict[str, Callable[[FuzzCase, OracleContext], None]] = {
     "roundtrip": oracle_roundtrip,
@@ -557,6 +667,7 @@ ORACLES: Dict[str, Callable[[FuzzCase, OracleContext], None]] = {
     "store": oracle_store,
     "backends": oracle_backends,
     "serve_shm": oracle_serve_shm,
+    "codecs": oracle_codecs,
 }
 
 
@@ -569,7 +680,7 @@ def applicable_oracles(case: FuzzCase, paths=None):
             raise ValueError(f"unknown oracle {nm!r}; choose from {sorted(ORACLES)}")
         if nm in ("random_access", "store", "backends") and case.params["predictor_ndim"] != 1:
             continue
-        if nm != "roundtrip" and case.expect_error is not None:
+        if nm not in ("roundtrip", "codecs") and case.expect_error is not None:
             continue
         out.append(nm)
     return out

@@ -416,7 +416,11 @@ def decompress_chunk(arg) -> np.ndarray:
     raw-passthrough chunk emitted by the degradation chain).  ``arg`` is
     either the stream bytes themselves or a dict
     ``{"stream": ..., "kernel_backend": ...}`` carrying the worker's
-    kernel-backend choice."""
+    kernel-backend choice.
+
+    Streams that are neither raw containers nor core CSZ2 sniff through
+    the :mod:`repro.codecs` plugin registry, so a service decodes any
+    registered codec's output without being told which codec made it."""
     kernel_backend = "auto"
     if isinstance(arg, dict):
         kernel_backend = arg.get("kernel_backend", "auto")
@@ -425,8 +429,54 @@ def decompress_chunk(arg) -> np.ndarray:
     with obs_trace.maybe_span("chunk.decompress", bytes_in=nbytes) as sp:
         if is_raw(arg):
             out = raw_from_bytes(arg)
-        else:
+        elif _is_csz2(arg):
             out = _decompress(arg, kernel_backend=kernel_backend)
+        else:
+            from repro import codecs as _codecs
+
+            out = _codecs.decode(arg)
+        if sp is not None:
+            sp.set(bytes_out=int(out.nbytes))
+        return out
+
+
+def _is_csz2(buf) -> bool:
+    head = buf[:4] if isinstance(buf, np.ndarray) else np.frombuffer(
+        bytes(buf[:4]), dtype=np.uint8
+    )
+    return head.size >= 4 and bytes(head[:4]) == _stream.MAGIC
+
+
+@register_task("codec.compress")
+def codec_compress(arg: dict) -> np.ndarray:
+    """Compress through a registered :mod:`repro.codecs` plugin.  The task
+    dict is ``{"data": ndarray, "codec": name, "opts": {...}}`` with the
+    error bound (for bounded plugins) already inside ``opts``."""
+    from repro import codecs as _codecs
+
+    data = arg["data"]
+    with obs_trace.maybe_span(
+        "codec.compress", bytes_in=int(data.nbytes), codec=arg["codec"]
+    ) as sp:
+        out = _codecs.encode(data, arg["codec"], **arg.get("opts", {}))
+        if sp is not None:
+            sp.set(bytes_out=int(out.size))
+        return out
+
+
+@register_task("codec.decompress")
+def codec_decompress(arg) -> np.ndarray:
+    """Decode through the plugin registry (sniffing unless ``codec`` is
+    forced).  ``arg`` is the stream bytes or ``{"stream": ..., "codec": ...}``."""
+    from repro import codecs as _codecs
+
+    codec = None
+    if isinstance(arg, dict):
+        codec = arg.get("codec")
+        arg = arg["stream"]
+    nbytes = int(arg.size) if isinstance(arg, np.ndarray) else len(arg)
+    with obs_trace.maybe_span("codec.decompress", bytes_in=nbytes) as sp:
+        out = _codecs.decode(arg, codec=codec)
         if sp is not None:
             sp.set(bytes_out=int(out.nbytes))
         return out

@@ -47,6 +47,14 @@ class ServiceConfig:
     mode: str = "outlier"
     block: int = DEFAULT_BLOCK
     group_blocks: int = _stream.DEFAULT_GROUP_BLOCKS
+    #: Compressor plugin (repro.codecs registry name).  The default keeps
+    #: the golden CSZ2 chunked/resilient path; any other name routes
+    #: requests through the plugin's worker task.  Decoding always sniffs,
+    #: so a service decompresses any registered codec's streams.
+    codec: str = "cuszp2"
+    #: Extra plugin options as ``(name, value)`` pairs (kept a tuple so the
+    #: frozen config stays hashable), e.g. ``(("rate", 16.0),)`` for cuzfp.
+    codec_opts: tuple = ()
     chunk_bytes: int = _chunked.DEFAULT_CHUNK_BYTES  # fan-out threshold
     cache_bytes: int = 256 << 20
     max_pending: int = 256
@@ -271,6 +279,10 @@ class CompressionService:
         deadline or fail."""
         cfg = self.config
         data = np.asarray(data)
+        if cfg.codec != "cuszp2":
+            return self._compress_codec(
+                data, rel=rel, abs=abs, priority=priority, timeout_s=timeout_s
+            )
         if (rel is None) == (abs is None):
             raise InvalidInputError("specify exactly one of rel= or abs=")
         eb = ErrorBound.relative(rel) if rel is not None else ErrorBound.absolute(abs)
@@ -388,6 +400,76 @@ class CompressionService:
         master.add_done_callback(account)
         return master
 
+    def _compress_codec(
+        self,
+        data: np.ndarray,
+        rel: Optional[float],
+        abs: Optional[float],  # noqa: A002 - mirrors compress()
+        priority: str,
+        timeout_s: Optional[float],
+    ) -> PoolFuture:
+        """Route a compression request through a non-default plugin
+        (``config.codec``): one ``codec.compress`` task, no chunk fan-out.
+
+        The error bound rides inside the plugin's options (bounded plugins
+        only; fixed-rate plugins like cuzfp ignore it and take their knobs
+        from ``config.codec_opts``).  ``validate_results`` is a CSZ2 CRC
+        check, so it does not apply here; the raw-passthrough degradation
+        floor still does."""
+        cfg = self.config
+        from repro import codecs as _codecs
+
+        plugin = _codecs.resolve(cfg.codec)
+        opts = dict(cfg.codec_opts)
+        if plugin.bounded:
+            if (rel is None) == (abs is None):
+                raise InvalidInputError("specify exactly one of rel= or abs=")
+            opts["rel" if rel is not None else "abs"] = rel if rel is not None else abs
+        # fail fast on the caller's thread: bad options should not cost a
+        # round trip to a worker (the worker re-validates regardless)
+        plugin.validate_options(dict(opts))
+
+        t0 = time.perf_counter()
+        self.stats.counter("service.requests").inc()
+        self.stats.counter("service.bytes_in").inc(data.nbytes)
+        span = (
+            self.tracer.begin(
+                "service.compress", bytes_in=int(data.nbytes), codec=cfg.codec,
+                priority=priority,
+            )
+            if self.tracer is not None
+            else None
+        )
+        trace = TraceContext(self.tracer, span) if span is not None else None
+        master = self._submit(
+            "codec.compress",
+            {"data": data, "codec": cfg.codec, "opts": opts},
+            priority=priority,
+            nbytes=data.nbytes,
+            batchable=True,
+            trace=trace,
+            deadline=self._deadline(timeout_s),
+            raw_fallback=(
+                (lambda: _chunked.raw_to_bytes(data)) if cfg.degrade_raw else None
+            ),
+        )
+
+        def account(f: PoolFuture) -> None:
+            self.stats.histogram("service.compress_latency_s").observe(
+                time.perf_counter() - t0
+            )
+            err = f.exception()
+            if err is None:
+                self.stats.counter("service.bytes_out").inc(int(f.result().size))
+            if span is not None:
+                self.tracer.end(
+                    span, ok=err is None,
+                    bytes_out=int(f.result().size) if err is None else 0,
+                )
+
+        master.add_done_callback(account)
+        return master
+
     # -- decompression ------------------------------------------------------
 
     def decompress(
@@ -465,8 +547,8 @@ class CompressionService:
 
             master = _gather(futures, assemble)
         else:
-            # single v2 stream or a CSZ2RAW1 passthrough container; the
-            # worker task sniffs the magic and decodes either
+            # single v2 stream, a CSZ2RAW1 passthrough container, or any
+            # registered plugin's stream; the worker task sniffs the magic
             master = self._submit(
                 "chunk.decompress", decode_arg(buf), priority=priority,
                 nbytes=int(buf.size), batchable=True, trace=trace,

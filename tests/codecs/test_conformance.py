@@ -1,0 +1,137 @@
+"""Plugin conformance: every registered codec honors the uniform
+contract -- one parametrized suite, so a new plugin is conformance-tested
+by the act of registering it."""
+
+import numpy as np
+import pytest
+
+from repro import codecs
+from repro.core.errors import InvalidInputError, StreamFormatError
+from tests.helpers import seeded_rng
+
+ALL_CODECS = codecs.codec_names()
+BOUNDED = [n for n in ALL_CODECS if codecs.resolve(n).bounded]
+
+
+def _field(dtype, ndim):
+    rng = seeded_rng(0xC0DEC + ndim)
+    shape = {1: (3_000,), 2: (48, 40), 3: (12, 14, 16)}[ndim]
+    n = int(np.prod(shape))
+    return np.cumsum(rng.normal(size=n)).astype(dtype).reshape(shape)
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS)
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("ndim", [1, 2, 3])
+class TestRoundTrip:
+    def test_roundtrip_preserves_dtype_shape_and_bound(self, codec, dtype, ndim):
+        plugin = codecs.resolve(codec)
+        data = _field(dtype, ndim)
+        opts = {"abs": 1e-2} if plugin.bounded else {}
+        stream = plugin.compress(data, **opts)
+        recon = plugin.decompress(stream)
+        assert recon.dtype == data.dtype
+        assert recon.shape == data.shape
+        if plugin.bounded:
+            err = np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+            assert err <= 1e-2 * (1 + 1e-6), f"{codec}: max error {err}"
+
+    def test_compression_is_deterministic(self, codec, dtype, ndim):
+        plugin = codecs.resolve(codec)
+        data = _field(dtype, ndim)
+        opts = {"rel": 1e-3} if plugin.bounded else {}
+        a = plugin.compress(data, **opts)
+        b = plugin.compress(data, **opts)
+        assert bytes(a) == bytes(b)
+
+    def test_decode_dispatches_without_the_codec_name(self, codec, dtype, ndim):
+        plugin = codecs.resolve(codec)
+        data = _field(dtype, ndim)
+        opts = {"abs": 1e-2} if plugin.bounded else {}
+        stream = plugin.compress(data, **opts)
+        sniffed = codecs.decode(stream)
+        assert sniffed.tobytes() == plugin.decompress(stream).tobytes()
+        assert sniffed.shape == data.shape
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS)
+class TestClassifiedErrors:
+    def _opts(self, codec):
+        return {"abs": 1e-3} if codecs.resolve(codec).bounded else {}
+
+    def test_empty_input(self, codec):
+        with pytest.raises(InvalidInputError, match="empty"):
+            codecs.encode(np.empty(0, np.float32), codec, **self._opts(codec))
+
+    def test_nonfinite_input(self, codec):
+        data = np.array([1.0, np.nan, 3.0], dtype=np.float32)
+        with pytest.raises(InvalidInputError, match="finite"):
+            codecs.encode(data, codec, **self._opts(codec))
+        data = np.array([1.0, np.inf, 3.0], dtype=np.float64)
+        with pytest.raises(InvalidInputError, match="finite"):
+            codecs.encode(data, codec, **self._opts(codec))
+
+    def test_non_array_input(self, codec):
+        with pytest.raises(InvalidInputError, match="numpy array"):
+            codecs.encode([1.0, 2.0, 3.0], codec, **self._opts(codec))
+
+    def test_wrong_dtype(self, codec):
+        with pytest.raises(InvalidInputError, match="float32 or float64"):
+            codecs.encode(np.arange(16, dtype=np.int32), codec, **self._opts(codec))
+
+    def test_too_many_dims(self, codec):
+        data = np.zeros((2, 3, 4, 5), dtype=np.float32)
+        with pytest.raises(InvalidInputError, match="dimensions"):
+            codecs.encode(data, codec, **self._opts(codec))
+
+    def test_bound_required_exactly_once(self, codec):
+        plugin = codecs.resolve(codec)
+        if not plugin.bounded:
+            pytest.skip(f"{codec} is fixed-rate")
+        data = np.ones(64, dtype=np.float32)
+        with pytest.raises(InvalidInputError, match="exactly one"):
+            plugin.compress(data)
+        with pytest.raises(InvalidInputError, match="exactly one"):
+            plugin.compress(data, rel=1e-3, abs=1e-3)
+
+    def test_garbage_stream_is_classified(self, codec):
+        plugin = codecs.resolve(codec)
+        with pytest.raises(StreamFormatError):
+            plugin.decompress(b"garbage that is not a stream at all")
+
+    def test_truncated_stream_is_classified(self, codec):
+        plugin = codecs.resolve(codec)
+        data = _field(np.float32, 1)
+        opts = {"abs": 1e-2} if plugin.bounded else {}
+        stream = np.asarray(plugin.compress(data, **opts))
+        for frac in (0.25, 0.6, 0.95):
+            cut = stream[: max(1, int(stream.size * frac))].copy()
+            try:
+                out = plugin.decompress(cut)
+            except (StreamFormatError, InvalidInputError):
+                continue
+            # a decode that survives truncation must at least keep the
+            # contract's dtype (it can only happen when the cut falls
+            # past the last needed byte)
+            assert out.dtype == data.dtype
+
+
+@pytest.mark.parametrize("codec", BOUNDED)
+def test_rel_and_abs_bounds_agree(codec):
+    """A rel bound equals the abs bound it resolves to (same stream)."""
+    from repro.core.quantize import ErrorBound, validate_input
+
+    data = _field(np.float32, 1)
+    rel = 1e-3
+    eb_abs = ErrorBound.relative(rel).resolve(validate_input(data))
+    a = codecs.encode(data, codec, rel=rel)
+    b = codecs.encode(data, codec, abs=eb_abs)
+    ra, rb = codecs.decode(a), codecs.decode(b)
+    assert np.array_equal(ra, rb)
+
+
+def test_every_plugin_declares_identity():
+    for name, plugin in codecs.list_plugins().items():
+        assert plugin.name == name
+        assert plugin.description
+        assert 1 <= plugin.max_ndim <= 3

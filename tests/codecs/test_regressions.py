@@ -1,0 +1,107 @@
+"""Regression tests for the divergent-contract bugs the plugin registry
+unified away.  Each test fails on the pre-fix code:
+
+* ``FZGPU.decompress`` returned *flat* arrays for multi-dimensional
+  inputs (both predictor modes), unlike every other codec here.
+* module-level ``fzgpu.compress`` / ``cuszp.compress`` raised a raw
+  ``TypeError`` when neither ``rel`` nor ``abs`` was given, instead of a
+  classified :class:`InvalidInputError`.
+* ``CuSZx`` stored constant-block means as float32 even for float64
+  fields, silently breaking tight absolute bounds.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.baselines import cuszp, fzgpu
+from repro.baselines.fzgpu import FZGPU, HEADER_FMT, HEADER_SIZE
+from repro.baselines.hybrid import CuSZx
+from repro.core.errors import InvalidInputError
+from repro.core.quantize import ErrorBound
+
+
+class TestFZGPUShapeRestoration:
+    """Satellite 1: multi-dim inputs must decode back to their shape."""
+
+    @pytest.mark.parametrize("shape", [(40, 50), (10, 12, 14)])
+    def test_blockwise_mode_restores_shape(self, rng, shape):
+        data = rng.normal(size=shape).astype(np.float32)
+        codec = FZGPU(ErrorBound.absolute(1e-3))
+        recon = codec.decompress(codec.compress(data))
+        assert recon.shape == data.shape
+        assert recon.dtype == data.dtype
+        assert np.abs(recon - data).max() <= 1e-3 * (1 + 1e-6)
+
+    def test_3d_lorenzo_mode_restores_shape(self, rng):
+        data = np.cumsum(
+            rng.normal(size=10 * 12 * 14).astype(np.float32)
+        ).reshape(10, 12, 14)
+        codec = FZGPU(ErrorBound.absolute(1e-2), predictor_ndim=3)
+        recon = codec.decompress(codec.compress(data))
+        assert recon.shape == data.shape
+        assert np.abs(recon - data).max() <= 1e-2 * (1 + 1e-6)
+
+    def test_1d_unchanged(self, rng):
+        data = rng.normal(size=500).astype(np.float64)
+        codec = FZGPU(ErrorBound.absolute(1e-6))
+        recon = codec.decompress(codec.compress(data))
+        assert recon.shape == data.shape
+
+    def test_v1_streams_still_decode_flat(self, rng):
+        """Back-compat: pre-fix streams carry 0 in the header's high
+        byte and must keep decoding to a flat array."""
+        data = rng.normal(size=(20, 30)).astype(np.float32)
+        codec = FZGPU(ErrorBound.absolute(1e-3))
+        stream = codec.compress(data)
+        fields = list(struct.unpack(HEADER_FMT, stream[:HEADER_SIZE].tobytes()))
+        assert fields[1] == 2  # version
+        assert fields[3] >> 8 == 2  # original ndim rides in the high byte
+        fields[1] = 1  # rewrite as a v1 header: version 1, ndim byte clear
+        fields[3] &= 0xFF
+        v1 = stream.copy()
+        v1[:HEADER_SIZE] = np.frombuffer(
+            struct.pack(HEADER_FMT, *fields), dtype=np.uint8
+        )
+        recon = codec.decompress(v1)
+        assert recon.shape == (data.size,)
+        assert np.abs(recon - data.reshape(-1)).max() <= 1e-3 * (1 + 1e-6)
+
+
+class TestModuleLevelBoundErrors:
+    """Satellite 2: a missing/double bound is a classified error, not a
+    raw TypeError from ErrorBound's constructor."""
+
+    @pytest.mark.parametrize("mod", [fzgpu, cuszp], ids=["fzgpu", "cuszp"])
+    def test_no_bound_is_classified(self, mod, rng):
+        data = rng.normal(size=64).astype(np.float32)
+        with pytest.raises(InvalidInputError, match="exactly one"):
+            mod.compress(data)
+
+    @pytest.mark.parametrize("mod", [fzgpu, cuszp], ids=["fzgpu", "cuszp"])
+    def test_double_bound_is_classified(self, mod, rng):
+        data = rng.normal(size=64).astype(np.float32)
+        with pytest.raises(InvalidInputError, match="exactly one"):
+            mod.compress(data, rel=1e-3, abs=1e-3)
+
+
+class TestCuSZxF64Means:
+    """Constant-block means must be stored in the input dtype: float32
+    storage pushes an f64 field's constant blocks past a tight bound."""
+
+    def test_constant_f64_blocks_respect_tiny_bound(self):
+        value = 1.0 + 1e-9  # not representable in float32
+        data = np.full(1024, value, dtype=np.float64)
+        eb = 1e-12
+        codec = CuSZx(ErrorBound.absolute(eb))
+        recon = codec.decompress(codec.compress(data))
+        assert recon.dtype == np.float64
+        assert np.abs(recon - data).max() <= eb * (1 + 1e-6)
+
+    def test_f32_unchanged(self, rng):
+        data = np.repeat(rng.normal(size=8).astype(np.float32), 256)
+        codec = CuSZx(ErrorBound.absolute(1e-4))
+        recon = codec.decompress(codec.compress(data))
+        assert recon.dtype == np.float32
+        assert np.abs(recon - data).max() <= 1e-4 * (1 + 1e-6)

@@ -53,7 +53,13 @@ def test_error_bound_always_respected(case):
     recon = decompress(buf)
     rng = float(data.max() - data.min())
     eb = rel * rng if rng else rel * max(abs(float(data.max())), 1.0)
-    assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= eb * (1 + 1e-6)
+    # the native-dtype cast of the reconstruction can add up to half a
+    # float32 ULP on top of the bound (the same slack the qa roundtrip
+    # oracle grants): near a lattice midpoint the error is ~eb already,
+    # and at large magnitudes half an ULP dwarfs a 1e-6 relative margin
+    slack = np.spacing(np.abs(recon)).astype(np.float64) / 2
+    err = np.abs(recon.astype(np.float64) - data.astype(np.float64))
+    assert np.all(err <= eb * (1 + 1e-6) + slack)
 
 
 @given(data_and_bound(), st.sampled_from(["plain", "outlier"]))

@@ -15,7 +15,7 @@ class TestConfig:
     def test_defaults_cover_all_oracles(self):
         assert set(FuzzConfig().paths) == {
             "roundtrip", "chunked", "random_access", "corruption", "store",
-            "backends", "serve_shm",
+            "backends", "serve_shm", "codecs",
         }
 
 

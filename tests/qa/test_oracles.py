@@ -42,9 +42,11 @@ class TestApplicability:
         case1 = draw_case(0, 0, family="walk")
         assert "random_access" in applicable_oracles(case1)
 
-    def test_expect_error_keeps_only_roundtrip(self):
+    def test_expect_error_keeps_only_refusal_oracles(self):
+        # hostile cases still exercise roundtrip (core refusal) and codecs
+        # (every plugin must refuse too); the differential paths drop out
         case = draw_case(0, 0, family="nonfinite")
-        assert applicable_oracles(case) == ["roundtrip"]
+        assert applicable_oracles(case) == ["roundtrip", "codecs"]
 
     def test_paths_filter_respected(self):
         case = draw_case(0, 0, family="walk")

@@ -1,0 +1,91 @@
+"""ServiceConfig.codec: routing requests through non-default plugins."""
+
+import numpy as np
+import pytest
+
+from repro import codecs
+from repro.core.errors import InvalidInputError
+from repro.serve.service import CompressionService, ServiceConfig
+
+
+@pytest.fixture
+def field(rng):
+    return np.cumsum(rng.normal(size=6_000)).astype(np.float32).reshape(60, 100)
+
+
+class TestCodecRouting:
+    @pytest.mark.parametrize("codec", ["cusz", "fzgpu", "cuszx"])
+    def test_bounded_codec_roundtrip(self, field, codec):
+        with CompressionService(workers=2, codec=codec) as svc:
+            blob = svc.compress(field, rel=1e-3).result(timeout=30)
+            assert codecs.sniff(blob) == codec
+            recon = svc.decompress(blob).result(timeout=30)
+        assert recon.shape == field.shape
+        assert recon.dtype == field.dtype
+        eb = 1e-3 * float(field.max() - field.min())
+        err = np.abs(recon.astype(np.float64) - field.astype(np.float64)).max()
+        assert err <= eb * (1 + 1e-6)
+
+    def test_fixed_rate_codec_with_opts(self, field):
+        cfg = ServiceConfig(
+            workers=1, codec="cuzfp", codec_opts=(("rate", 16.0),)
+        )
+        with CompressionService(cfg) as svc:
+            blob = svc.compress(field).result(timeout=30)
+            recon = svc.decompress(blob).result(timeout=30)
+        assert recon.shape == field.shape
+        assert recon.dtype == field.dtype
+        # rate 16 on float32: ~2x, well below raw
+        assert blob.size < field.nbytes
+
+    def test_abs_bound_rides_through(self, field):
+        with CompressionService(workers=1, codec="fzgpu") as svc:
+            blob = svc.compress(field, abs=1e-2).result(timeout=30)
+            recon = svc.decompress(blob).result(timeout=30)
+        assert np.abs(recon.astype(np.float64) - field.astype(np.float64)).max() <= 1e-2 * (1 + 1e-6)
+
+    def test_default_service_decodes_foreign_streams(self, field):
+        """Decoding always sniffs: a cuszp2 service decodes any
+        registered plugin's stream."""
+        stream = bytes(codecs.encode(field, "fzgpu", abs=1e-3))
+        with CompressionService(workers=1) as svc:
+            recon = svc.decompress(stream).result(timeout=30)
+        assert recon.shape == field.shape
+
+    def test_codec_service_still_decodes_csz2(self, field):
+        """And the reverse: a plugin-configured service decodes core
+        CSZ2 streams produced elsewhere."""
+        from repro.core import compress as core_compress
+
+        stream = core_compress(field, rel=1e-3)
+        with CompressionService(workers=1, codec="cusz") as svc:
+            recon = svc.decompress(stream).result(timeout=30)
+        assert recon.shape == field.shape
+
+
+class TestCodecValidation:
+    def test_unknown_codec_fails_fast(self, field):
+        with CompressionService(workers=1, codec="nope") as svc:
+            with pytest.raises(InvalidInputError, match="unknown codec"):
+                svc.compress(field, rel=1e-3)
+
+    def test_bad_codec_opt_fails_fast(self, field):
+        with CompressionService(
+            workers=1, codec="cusz", codec_opts=(("bogus", 1),)
+        ) as svc:
+            with pytest.raises(InvalidInputError, match="has no option"):
+                svc.compress(field, rel=1e-3)
+
+    def test_bounded_codec_requires_exactly_one_bound(self, field):
+        with CompressionService(workers=1, codec="cusz") as svc:
+            with pytest.raises(InvalidInputError, match="exactly one"):
+                svc.compress(field)
+            with pytest.raises(InvalidInputError, match="exactly one"):
+                svc.compress(field, rel=1e-3, abs=1e-3)
+
+    def test_metrics_account_codec_requests(self, field):
+        with CompressionService(workers=1, codec="cuszx") as svc:
+            svc.compress(field, rel=1e-3).result(timeout=30)
+            snap = svc.stats_snapshot()
+        assert snap["counters"]["service.requests"] >= 1
+        assert snap["counters"]["service.bytes_in"] >= field.nbytes

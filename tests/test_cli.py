@@ -332,3 +332,93 @@ class TestTrace:
         rc = main(["trace", str(path), "--workers", "1"])
         assert rc == 0
         assert "Pass error check!" in capsys.readouterr().out
+
+
+class TestCodecFlag:
+    """``--codec`` (compressor plugin registry) on compress/decompress/pack."""
+
+    def test_codecs_list_stays_in_sync_with_registry(self):
+        from repro import codecs
+        from repro.cli import CODECS
+
+        assert set(CODECS) == {"auto"} | set(codecs.codec_names())
+        assert CODECS[0] == "auto"
+
+    def test_codecs_subcommand_lists_every_plugin(self, capsys):
+        from repro import codecs
+
+        assert main(["codecs"]) == 0
+        text = capsys.readouterr().out
+        for name in codecs.codec_names():
+            assert name in text
+        assert "fixed-rate" in text  # cuzfp's flag
+        assert "--codec-opt" in text
+
+    @pytest.mark.parametrize("codec", ["cuszp", "fzgpu", "cusz", "cuszx", "mgard"])
+    def test_compress_decompress_each_bounded_codec(self, raw_field, tmp_path, codec, capsys):
+        path, data = raw_field
+        out = tmp_path / f"field.{codec}"
+        rc = main(["compress", str(path), "1e-3", "--codec", codec, "-o", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert f"codec: {codec}" in text
+        assert "Pass error check!" in text
+
+        recon_path = tmp_path / "recon.f32"
+        assert main(["decompress", str(out), "-o", str(recon_path)]) == 0
+        assert f"{codec} stream" in capsys.readouterr().out or codec == "cuszp"
+        recon = read_field(recon_path)
+        eb = 1e-3 * (data.max() - data.min())
+        assert np.abs(recon - data).max() <= eb * (1 + 1e-6)
+
+    def test_compress_fixed_rate_codec_with_opt(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "field.cuzfp"
+        rc = main([
+            "compress", str(path), "1e-3", "--codec", "cuzfp",
+            "--codec-opt", "rate=16", "-o", str(out),
+        ])
+        assert rc == 0
+        assert "no error bound to check" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_compress_codec_auto_prints_tuning_report(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "field.auto"
+        rc = main(["compress", str(path), "1e-3", "--codec", "auto", "-o", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "auto-tuner:" in text
+        assert "<== chosen" in text
+        assert "Pass error check!" in text
+
+    def test_bad_codec_opt_format_exits(self, raw_field):
+        path, _ = raw_field
+        with pytest.raises(SystemExit):
+            main(["compress", str(path), "1e-3", "--codec", "cusz", "--codec-opt", "rate16"])
+
+    def test_decompress_forced_codec(self, raw_field, tmp_path, capsys):
+        path, _ = raw_field
+        out = tmp_path / "f.fzgpu"
+        assert main(["compress", str(path), "1e-3", "--codec", "fzgpu", "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["decompress", str(out), "--codec", "fzgpu", "-o", str(tmp_path / "r.f32")]) == 0
+        # forcing the wrong plugin is a classified failure, not a traceback
+        assert main(["decompress", str(out), "--codec", "mgard", "-o", str(tmp_path / "x.f32")]) == 1
+        assert "not a stream of any registered codec" in capsys.readouterr().out
+
+    def test_pack_codec_auto_reports_per_field_choices(self, tmp_path, capsys):
+        out = tmp_path / "hacc.arch"
+        rc = main(["pack", "HACC", "--codec", "auto", "-o", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "codec auto" in text
+        assert text.count("sample ratio") == 6  # one line per HACC field
+
+        assert main(["extract", str(out), "xx", "-o", str(tmp_path / "xx.f32")]) == 0
+
+    def test_pack_fixed_codec(self, tmp_path, capsys):
+        out = tmp_path / "hacc2.arch"
+        assert main(["pack", "HACC", "--codec", "cuszx", "-o", str(out)]) == 0
+        assert "codec cuszx" in capsys.readouterr().out
+        assert main(["extract", str(out), "vx", "-o", str(tmp_path / "vx.f32")]) == 0
